@@ -1,0 +1,50 @@
+"""E1 — per-query response time: cracking vs scan vs sort-first vs full index.
+
+Source: database cracking, CIDR 2007 (the canonical per-query response-time
+figure the tutorial presents first).  Expected shape: the scan baseline is
+flat and high; sort-first pays an enormous first query and is then at index
+cost; cracking starts at roughly scan cost (plus a small copy overhead) and
+its per-query cost drops towards index cost as more queries arrive; the
+a-priori full index is flat and low (its build cost was paid offline).
+"""
+
+import pytest
+
+from bench_common import (
+    CORE_STRATEGIES,
+    make_column,
+    make_spec,
+    print_series,
+    print_summary,
+    run_comparison,
+    tail_mean,
+)
+from repro.workloads.generators import random_workload
+
+
+def run_experiment():
+    values = make_column()
+    queries = random_workload(make_spec(selectivity=0.01))
+    return run_comparison(values, queries, CORE_STRATEGIES)
+
+
+@pytest.mark.benchmark(group="e01-cracking-vs-baselines")
+def test_e01_per_query_response(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_summary("E1: per-query response, random workload", result)
+    print_series("per-query logical cost", result.per_query_costs())
+
+    runs = result.runs
+    per_query = result.per_query_costs()
+    # scan: flat, no initialization overhead, never converges
+    assert runs["scan"].initialization_overhead == pytest.approx(1.0, rel=0.3)
+    assert runs["scan"].convergence_query is None
+    # sort-first: by far the largest first query, then immediately cheap
+    assert runs["sort-first"].initialization_overhead > runs["cracking"].initialization_overhead
+    assert runs["sort-first"].convergence_query in (0, 1)
+    # cracking: modest first-query overhead (copy + first crack), and its
+    # steady-state cost falls far below the scan cost
+    assert 1.0 < runs["cracking"].initialization_overhead < runs["sort-first"].initialization_overhead
+    assert tail_mean(per_query["cracking"]) < result.scan_cost / 10
+    # the offline full index is the cheapest per query throughout
+    assert tail_mean(per_query["full-index"]) <= tail_mean(per_query["cracking"])

@@ -1,0 +1,48 @@
+"""E2 — cumulative cost crossover: when does adaptive indexing pay off?
+
+Source: database cracking, CIDR 2007 (cumulative-cost figure).  Expected
+shape: cracking's cumulative cost crosses below the scan baseline after a
+handful of queries, and stays below the sort-first baseline until sort-first
+amortises its huge first query over many queries (if at all within the
+workload).
+"""
+
+import pytest
+
+from bench_common import (
+    make_column,
+    make_spec,
+    print_series,
+    print_summary,
+    run_comparison,
+)
+from repro.workloads.generators import random_workload
+from repro.workloads.metrics import cost_crossover
+
+
+def run_experiment():
+    values = make_column()
+    queries = random_workload(make_spec(selectivity=0.01))
+    return run_comparison(values, queries, ["scan", "sort-first", "cracking"])
+
+
+@pytest.mark.benchmark(group="e02-cumulative-cost")
+def test_e02_cumulative_crossover(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    cumulative = result.cumulative_costs()
+    print_summary("E2: cumulative cost, random workload", result)
+    print_series("cumulative logical cost", cumulative)
+
+    crossover_vs_scan = cost_crossover(cumulative["cracking"], cumulative["scan"])
+    crossover_vs_sort = cost_crossover(cumulative["cracking"], cumulative["sort-first"])
+    print(
+        f"\ncracking beats scan cumulatively from query {crossover_vs_scan}; "
+        f"cracking is below sort-first from query {crossover_vs_sort}"
+    )
+    # cracking's cumulative cost drops below scanning within a handful of queries
+    assert crossover_vs_scan is not None and crossover_vs_scan <= 5
+    # and it is below the sort-first baseline from the very first query
+    assert crossover_vs_sort == 0
+    # over the full workload, cracking is the cheapest of the three or close
+    # to sort-first (which amortises eventually)
+    assert cumulative["cracking"][-1] < cumulative["scan"][-1]

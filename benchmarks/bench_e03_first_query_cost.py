@@ -1,0 +1,60 @@
+"""E3 — benchmark metric 1: initialization cost of the first query.
+
+Source: Benchmarking adaptive indexing, TPCTC 2010 (metric 1).  Expected
+shape: scan ≈ 1x (no index is ever built); plain cracking a small factor
+above the scan (cracker-column copy plus one crack); the hybrids with lazy
+initial partitions close to cracking; adaptive merging and hybrid sort-sort
+noticeably higher (run generation sorts every partition); sort-first the
+highest (a complete sort on query one).
+"""
+
+import pytest
+
+from bench_common import (
+    make_column,
+    make_spec,
+    print_summary,
+    run_comparison,
+)
+from repro.workloads.generators import random_workload
+
+STRATEGIES = [
+    "scan",
+    "cracking",
+    "stochastic-cracking",
+    "hybrid-crack-crack",
+    "hybrid-crack-sort",
+    "hybrid-sort-sort",
+    "adaptive-merging",
+    "sort-first",
+]
+
+
+def run_experiment():
+    values = make_column()
+    queries = random_workload(make_spec(query_count=50, selectivity=0.01))
+    return run_comparison(values, queries, STRATEGIES)
+
+
+@pytest.mark.benchmark(group="e03-first-query-cost")
+def test_e03_initialization_cost(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_summary("E3: first-query (initialization) cost", result)
+    overheads = {
+        name: run.initialization_overhead for name, run in result.runs.items()
+    }
+    print("\nfirst-query cost relative to a scan:")
+    for name, overhead in sorted(overheads.items(), key=lambda item: item[1]):
+        print(f"  {name:24s} {overhead:8.2f}x")
+
+    assert overheads["scan"] == pytest.approx(1.0, rel=0.3)
+    assert 1.0 < overheads["cracking"] < 5.0
+    # lazy-initial hybrids stay close to cracking
+    assert overheads["hybrid-crack-crack"] < overheads["adaptive-merging"]
+    assert overheads["hybrid-crack-sort"] < overheads["adaptive-merging"]
+    # active reorganisation costs more up front
+    assert overheads["cracking"] < overheads["adaptive-merging"] < overheads["sort-first"]
+    # hybrid sort-sort behaves like adaptive merging on the first query
+    assert overheads["hybrid-sort-sort"] == pytest.approx(
+        overheads["adaptive-merging"], rel=0.25
+    )

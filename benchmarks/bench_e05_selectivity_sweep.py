@@ -1,0 +1,56 @@
+"""E5 — effect of query selectivity on adaptive indexing benefit.
+
+Source: database cracking, CIDR 2007 (selectivity sweep).  Expected shape:
+for every selectivity from very narrow point-like ranges up to half the
+domain, cracking's total cost stays well below repeated scanning, because a
+scan always pays the full column while cracking pays (shrinking
+reorganisation) + (result size).  The relative advantage is largest for
+selective queries and narrows as queries return most of the column.
+"""
+
+import pytest
+
+from bench_common import (
+    make_column,
+    make_spec,
+    print_summary,
+    run_comparison,
+)
+from repro.workloads.generators import random_workload
+
+SELECTIVITIES = [0.0001, 0.001, 0.01, 0.1, 0.5]
+
+
+def run_experiment():
+    values = make_column()
+    results = {}
+    for selectivity in SELECTIVITIES:
+        spec = make_spec(query_count=200, selectivity=selectivity, seed=5)
+        queries = random_workload(spec)
+        results[selectivity] = run_comparison(
+            values, queries, ["scan", "cracking", "full-index"]
+        )
+    return results
+
+
+@pytest.mark.benchmark(group="e05-selectivity")
+def test_e05_selectivity_sweep(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print("\n=== E5: selectivity sweep (total logical cost) ===")
+    print(f"{'selectivity':>12s} {'scan':>14s} {'cracking':>14s} {'full-index':>14s} {'scan/cracking':>14s}")
+    ratios = {}
+    for selectivity, result in results.items():
+        totals = {name: run.total_cost for name, run in result.runs.items()}
+        ratio = totals["scan"] / totals["cracking"]
+        ratios[selectivity] = ratio
+        print(
+            f"{selectivity:>12.4f} {totals['scan']:>14.0f} {totals['cracking']:>14.0f} "
+            f"{totals['full-index']:>14.0f} {ratio:>14.1f}"
+        )
+    for selectivity, result in results.items():
+        print_summary(f"E5 detail: selectivity {selectivity}", result)
+
+    # cracking beats repeated scanning at every selectivity
+    assert all(ratio > 1.5 for ratio in ratios.values())
+    # and the advantage is largest for the most selective queries
+    assert ratios[0.0001] > ratios[0.5]

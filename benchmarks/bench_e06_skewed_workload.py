@@ -1,0 +1,93 @@
+"""E6 — skewed workloads: only what is queried gets optimised.
+
+Source: robustness studies of PVLDB 2011 (and the tutorial's core "rule":
+every query is an advice of how data should be stored).  Expected shape: the
+more skewed the workload, the cheaper the adaptive strategies get (the hot
+region converges quickly and cold regions are never touched), while the scan
+baseline is completely insensitive to skew.  Structurally, the cracker index
+concentrates its pieces in the hot region.
+"""
+
+import numpy as np
+import pytest
+
+from bench_common import make_column, make_spec, print_summary, run_comparison, tail_mean
+from repro.core.strategies import create_strategy
+from repro.cost.counters import CostCounters
+from repro.workloads.generators import skewed_workload
+
+ALPHAS = [0.0, 1.0, 2.0]
+
+
+def run_experiment():
+    values = make_column()
+    results = {}
+    for alpha in ALPHAS:
+        queries = skewed_workload(
+            make_spec(query_count=300, selectivity=0.01, seed=6),
+            alpha=alpha,
+            hot_regions=16,
+        )
+        results[alpha] = run_comparison(
+            values, queries, ["scan", "cracking", "adaptive-merging"]
+        )
+    return results
+
+
+@pytest.mark.benchmark(group="e06-skew")
+def test_e06_skewed_workload(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print("\n=== E6: zipf-skewed workloads (total logical cost) ===")
+    print(f"{'alpha':>6s} {'scan':>14s} {'cracking':>14s} {'adaptive-merging':>18s}")
+    totals = {}
+    tails = {}
+    for alpha, result in results.items():
+        row = {name: run.total_cost for name, run in result.runs.items()}
+        totals[alpha] = row
+        per_query = result.per_query_costs()
+        tails[alpha] = {name: tail_mean(series) for name, series in per_query.items()}
+        print(
+            f"{alpha:>6.1f} {row['scan']:>14.0f} {row['cracking']:>14.0f} "
+            f"{row['adaptive-merging']:>18.0f}"
+        )
+    for alpha, result in results.items():
+        print_summary(f"E6 detail: alpha={alpha}", result)
+    print("\nsteady-state (tail) per-query cost:")
+    for alpha, row in tails.items():
+        print(f"  alpha={alpha}: " + ", ".join(f"{k}={v:.0f}" for k, v in sorted(row.items())))
+
+    # scanning is insensitive to skew
+    assert totals[0.0]["scan"] == pytest.approx(totals[2.0]["scan"], rel=0.01)
+    # the actively merging strategy profits directly: the hot regions get
+    # fully optimised quickly, so both total and tail cost drop with skew
+    assert totals[2.0]["adaptive-merging"] < totals[0.0]["adaptive-merging"]
+    assert tails[2.0]["adaptive-merging"] <= tails[0.0]["adaptive-merging"] * 1.1
+    # cracking's total cost is dominated by the (skew-independent) early
+    # partitioning passes, so skew leaves it roughly unchanged rather than
+    # hurting it; its steady state stays far below scanning in all cases
+    assert totals[2.0]["cracking"] == pytest.approx(totals[0.0]["cracking"], rel=0.2)
+    for alpha in ALPHAS:
+        assert tails[alpha]["cracking"] < totals[alpha]["scan"] / len(results[alpha].runs["scan"].statistics) / 10
+
+
+@pytest.mark.benchmark(group="e06-skew")
+def test_e06_only_hot_region_is_refined(benchmark):
+    """Structural check: pieces concentrate where the queries are."""
+
+    def run():
+        values = make_column(size=50_000)
+        strategy = create_strategy("cracking", values)
+        rng = np.random.default_rng(0)
+        # all queries in the first 10% of the domain
+        for _ in range(200):
+            low = float(rng.uniform(0, 90_000))
+            strategy.search(low, low + 5_000, CostCounters())
+        return strategy
+
+    strategy = benchmark.pedantic(run, rounds=1, iterations=1)
+    pieces = strategy.cracked.pieces()
+    hot = [p for p in pieces if p.high is not None and p.high <= 100_000]
+    cold = [p for p in pieces if p.low is not None and p.low >= 100_000]
+    print(f"\npieces covering the hot 10% of the domain: {len(hot)}")
+    print(f"pieces covering the cold 90% of the domain: {len(cold)}")
+    assert len(hot) > 10 * max(len(cold), 1)

@@ -1,0 +1,61 @@
+"""E7 — adversarial access patterns: sequential and periodic workloads.
+
+Source: the robustness discussion of the tutorial (optimisation issues /
+convergence speed) and the workload patterns of the TPCTC 2010 benchmark and
+PVLDB 2012 stochastic cracking work.  Expected shape: under a strictly
+sequential sweep, plain cracking keeps re-partitioning one huge piece and its
+total cost stays high; stochastic cracking (random auxiliary cuts) and
+adaptive merging are largely insensitive to the pattern; the random workload
+is the easy case for everyone.
+"""
+
+import pytest
+
+from bench_common import make_column, make_spec, print_summary, run_comparison
+from repro.workloads.generators import (
+    periodic_workload,
+    random_workload,
+    sequential_workload,
+)
+
+STRATEGIES = ["scan", "cracking", "stochastic-cracking", "adaptive-merging"]
+
+
+def run_experiment():
+    values = make_column()
+    spec = make_spec(query_count=300, selectivity=0.005, seed=7)
+    workloads = {
+        "random": random_workload(spec),
+        "sequential": sequential_workload(spec),
+        "periodic": periodic_workload(spec, period=100),
+    }
+    return {
+        pattern: run_comparison(values, queries, STRATEGIES)
+        for pattern, queries in workloads.items()
+    }
+
+
+@pytest.mark.benchmark(group="e07-patterns")
+def test_e07_query_patterns(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print("\n=== E7: access patterns (total logical cost) ===")
+    header = f"{'pattern':>12s} " + " ".join(f"{name:>20s}" for name in STRATEGIES)
+    print(header)
+    totals = {}
+    for pattern, result in results.items():
+        row = {name: run.total_cost for name, run in result.runs.items()}
+        totals[pattern] = row
+        print(f"{pattern:>12s} " + " ".join(f"{row[name]:>20.0f}" for name in STRATEGIES))
+    for pattern, result in results.items():
+        print_summary(f"E7 detail: {pattern} pattern", result)
+
+    # on the random pattern both cracking flavours are comparable
+    random_row = totals["random"]
+    assert random_row["stochastic-cracking"] < 2.0 * random_row["cracking"]
+    # the sequential sweep hurts plain cracking ...
+    sequential_row = totals["sequential"]
+    assert sequential_row["cracking"] > 1.5 * random_row["cracking"]
+    # ... while stochastic cracking stays robust and clearly beats it
+    assert sequential_row["stochastic-cracking"] < sequential_row["cracking"]
+    # adaptive merging is pattern-insensitive (its work is driven by coverage)
+    assert totals["sequential"]["adaptive-merging"] < 2.0 * totals["random"]["adaptive-merging"]

@@ -1,0 +1,57 @@
+"""E11 — hybrid adaptive indexing: trading initialization against convergence.
+
+Source: Merging what's cracked, cracking what's merged, PVLDB 2011.
+Expected shape: the hybrids populate the space between plain cracking and
+adaptive merging / sort-sort.  Hybrids with lazy (cracked) initial
+partitions keep the first query cheap — close to plain cracking and far
+below the sort-based variants — while hybrids that invest more order per
+query (sorted final pieces, sorted initial partitions) reach low steady-state
+cost sooner.  Plotting first-query overhead against steady-state tail cost
+reproduces the paper's trade-off picture.
+"""
+
+import pytest
+
+from bench_common import (
+    HYBRID_STRATEGIES,
+    make_column,
+    make_spec,
+    print_summary,
+    run_comparison,
+    tail_mean,
+)
+from repro.workloads.generators import random_workload
+
+
+def run_experiment():
+    values = make_column()
+    queries = random_workload(make_spec(query_count=400, selectivity=0.01, seed=11))
+    return run_comparison(values, queries, HYBRID_STRATEGIES + ["sort-first"])
+
+
+@pytest.mark.benchmark(group="e11-hybrids")
+def test_e11_hybrid_tradeoff(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_summary("E11: hybrid adaptive indexing", result)
+    per_query = result.per_query_costs()
+    print("\nfirst-query overhead vs steady-state (tail) cost:")
+    rows = {}
+    for name, run in result.runs.items():
+        rows[name] = (run.initialization_overhead, tail_mean(per_query[name]))
+        print(f"  {name:24s} init={rows[name][0]:7.2f}x   tail={rows[name][1]:10.0f}")
+
+    init = {name: row[0] for name, row in rows.items()}
+    tail = {name: row[1] for name, row in rows.items()}
+    # crack-initial hybrids keep the first query close to plain cracking ...
+    assert init["hybrid-crack-crack"] < 2.0 * init["cracking"]
+    assert init["hybrid-crack-sort"] < 2.0 * init["cracking"]
+    # ... and far below the sort-everything-first baseline
+    assert init["hybrid-crack-sort"] < init["sort-first"] / 1.5
+    # sort-initial hybrids pay more up front than crack-initial ones
+    assert init["hybrid-sort-sort"] > init["hybrid-crack-sort"]
+    # every hybrid reaches a steady state far below the scan cost
+    for name in HYBRID_STRATEGIES:
+        assert tail[name] < result.scan_cost / 10
+    # investing more order per query pays off in the tail: the sorted-final
+    # variants end up at least as cheap as the fully lazy crack-crack hybrid
+    assert tail["hybrid-sort-sort"] <= tail["hybrid-crack-crack"] * 1.25

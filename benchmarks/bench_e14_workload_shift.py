@@ -1,0 +1,70 @@
+"""E14 — workload-shift robustness: adaptive indexing re-converges per focus.
+
+Source: the dynamic-workload motivation of the tutorial and the
+workload-shift experiments of the adaptive-indexing line ([8], [15]).
+Expected shape: when the workload focus jumps to a previously untouched key
+range, the first queries there cost more again (the new region is still one
+big piece / still sitting in the runs), but cost falls quickly as the new
+region is refined — and the previously refined regions remain cheap.
+Cumulative cost therefore stays far below scanning even across many shifts.
+"""
+
+import numpy as np
+import pytest
+
+from bench_common import make_column
+from repro.core.strategies import create_strategy
+from repro.cost.counters import CostCounters
+from repro.cost.model import DEFAULT_MAIN_MEMORY_MODEL
+from repro.workloads.generators import WorkloadSpec, piecewise_focus_workload
+
+QUERY_COUNT = 450
+SHIFT_EVERY = 150
+
+
+def run_experiment():
+    values = make_column(size=100_000)
+    spec = WorkloadSpec(
+        domain_low=0.0, domain_high=1_000_000.0, query_count=QUERY_COUNT,
+        selectivity=0.02, seed=14,
+    )
+    queries = piecewise_focus_workload(spec, shift_every=SHIFT_EVERY, focus_fraction=0.08)
+    model = DEFAULT_MAIN_MEMORY_MODEL
+    series = {}
+    for name in ("scan", "cracking", "adaptive-merging", "hybrid-crack-sort"):
+        strategy = create_strategy(name, values, run_size=2_000)
+        costs = []
+        for query in queries:
+            counters = CostCounters()
+            strategy.search(query.low, query.high, counters)
+            costs.append(model.cost(counters))
+        series[name] = costs
+    return series
+
+
+@pytest.mark.benchmark(group="e14-workload-shift")
+def test_e14_focus_shift_reconvergence(benchmark):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print("\n=== E14: piecewise-focused workload with shifts every "
+          f"{SHIFT_EVERY} queries ===")
+    print(f"{'strategy':>20s} {'phase1 tail':>12s} {'shift spike':>12s} {'phase2 tail':>12s} {'total':>14s}")
+    summary = {}
+    for name, costs in series.items():
+        arr = np.asarray(costs)
+        phase1_tail = float(np.mean(arr[SHIFT_EVERY - 20:SHIFT_EVERY]))
+        shift_spike = float(np.mean(arr[SHIFT_EVERY:SHIFT_EVERY + 5]))
+        phase2_tail = float(np.mean(arr[2 * SHIFT_EVERY - 20:2 * SHIFT_EVERY]))
+        summary[name] = (phase1_tail, shift_spike, phase2_tail, float(arr.sum()))
+        print(
+            f"{name:>20s} {phase1_tail:>12.0f} {shift_spike:>12.0f} "
+            f"{phase2_tail:>12.0f} {summary[name][3]:>14.0f}"
+        )
+
+    for name in ("cracking", "adaptive-merging", "hybrid-crack-sort"):
+        phase1_tail, shift_spike, phase2_tail, total = summary[name]
+        # before the shift the strategy had converged on the first focus
+        assert phase1_tail < shift_spike, f"{name}: no re-adaptation spike visible"
+        # after re-adapting, the new focus is cheap again
+        assert phase2_tail < shift_spike / 2, f"{name}: did not re-converge"
+        # and overall it still beats scanning by a wide margin
+        assert total < summary["scan"][3] / 2, f"{name}: did not beat scanning"

@@ -1,0 +1,7 @@
+"""Pytest configuration for the experiment benchmarks."""
+
+import sys
+from pathlib import Path
+
+# make bench_common importable regardless of how pytest resolves rootdir
+sys.path.insert(0, str(Path(__file__).parent))

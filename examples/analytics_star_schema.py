@@ -1,0 +1,73 @@
+"""Analytics on a star schema with sideways cracking.
+
+The scenario the tutorial's introduction motivates: an analyst fires ad-hoc
+multi-column queries (date window + quantity/discount filters, aggregate of
+the selected revenue) at a fact table nobody tuned.  We run the same query
+stream under three physical designs:
+
+1. no indexes at all (every selection scans),
+2. cracking the selection column, with classic late tuple reconstruction,
+3. sideways cracking (cracker maps keep all touched attributes aligned).
+
+Run with:  python examples/analytics_star_schema.py
+"""
+
+from repro.cost.model import DEFAULT_MAIN_MEMORY_MODEL
+from repro.workloads.tpch_like import (
+    TPCHLikeConfig,
+    build_database,
+    shipping_priority_queries,
+)
+
+
+def run_mode(mode: str, config: TPCHLikeConfig, queries) -> dict:
+    database = build_database(config)
+    if mode == "cracking + late reconstruction":
+        database.set_indexing("lineorder", "orderdate", "cracking")
+    elif mode == "sideways cracking":
+        database.enable_sideways("lineorder", "orderdate")
+    stats = database.run_workload(queries, strategy_label=mode)
+    totals = stats.total_counters()
+    return {
+        "total_cost": sum(stats.per_query_cost(DEFAULT_MAIN_MEMORY_MODEL)),
+        "seconds": stats.total_seconds,
+        "random_accesses": totals.random_accesses,
+        "design": database.physical_design_report(),
+    }
+
+
+def main() -> None:
+    config = TPCHLikeConfig(fact_rows=200_000, seed=3)
+    queries = shipping_priority_queries(config, query_count=200, seed=4)
+    print(
+        f"fact table: {config.fact_rows:,} rows; workload: {len(queries)} "
+        "multi-column select/project/aggregate queries\n"
+    )
+
+    results = {}
+    for mode in ("no indexes", "cracking + late reconstruction", "sideways cracking"):
+        results[mode] = run_mode(mode, config, queries)
+
+    header = f"{'physical design':>32s} {'logical cost':>14s} {'wall clock':>11s} {'random accesses':>16s}"
+    print(header)
+    print("-" * len(header))
+    for mode, row in results.items():
+        print(
+            f"{mode:>32s} {row['total_cost']:>14.0f} {row['seconds']:>10.2f}s "
+            f"{row['random_accesses']:>16,d}"
+        )
+
+    print("\nphysical design after the sideways-cracking run:")
+    for entry in results["sideways cracking"]["design"]:
+        print(f"  {entry['table']}.{entry['column']}: {entry['mode']} ({entry['structure']})")
+
+    print(
+        "\nnote how sideways cracking answers the same queries without a single"
+        "\nrandom access into the fact table: the cracker maps drag the projected"
+        "\nattributes along while the selection column is cracked, so tuple"
+        "\nreconstruction reads contiguous memory."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Quickstart: adaptive indexing on a single column.
+
+Creates a column of 500k random integers, wraps it in an :class:`AdaptiveIndex`
+with the classic database-cracking strategy, runs a stream of range queries,
+and shows how the per-query cost falls as the index refines itself — no
+index was ever created explicitly.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import AdaptiveIndex, available_strategies
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    column = rng.integers(0, 1_000_000, size=500_000)
+
+    print("available strategies:", ", ".join(available_strategies()))
+    index = AdaptiveIndex(column, strategy="cracking")
+
+    print("\nrunning 1000 random range queries (0.1% selectivity) ...")
+    for _ in range(1000):
+        low = int(rng.integers(0, 999_000))
+        positions = index.search(low, low + 1_000)
+        # positions index into the original column; verify one query by hand
+    sample_low = 123_456
+    positions = index.search(sample_low, sample_low + 1_000)
+    expected = np.flatnonzero((column >= sample_low) & (column < sample_low + 1_000))
+    assert set(positions.tolist()) == set(expected.tolist())
+
+    costs = index.per_query_cost()
+    print(f"first query cost      : {costs[0]:12.0f}   (copy + first crack)")
+    print(f"10th query cost       : {costs[9]:12.0f}")
+    print(f"100th query cost      : {costs[99]:12.0f}")
+    print(f"1000th query cost     : {costs[-1]:12.0f}   (near index-lookup cost)")
+    print(f"cracker pieces so far : {index.structure_description()}")
+    print(f"auxiliary storage     : {index.nbytes / 1e6:.1f} MB")
+    print("\nthe column was never sorted and no CREATE INDEX was ever issued;")
+    print("every query left the data a little better organised than it found it.")
+
+
+if __name__ == "__main__":
+    main()

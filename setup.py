@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+Package metadata lives in ``pyproject.toml``.  This file exists so the
+package can be installed in environments without the ``wheel`` package
+(offline machines), via the legacy code path::
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

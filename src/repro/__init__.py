@@ -1,0 +1,40 @@
+"""Adaptive indexing in modern database kernels — EDBT 2012 reproduction.
+
+This package implements the full adaptive-indexing stack surveyed by the
+EDBT 2012 tutorial *Adaptive Indexing in Modern Database Kernels* (Idreos,
+Manegold, Graefe):
+
+* a MonetDB-style column-store substrate (:mod:`repro.columnstore`),
+* non-adaptive baselines: full indexes, offline what-if tuning, online
+  tuning and soft indexes (:mod:`repro.indexes`),
+* the adaptive-indexing family: database cracking, cracking updates,
+  partial and sideways cracking, stochastic cracking, adaptive merging and
+  the hybrid algorithms (:mod:`repro.core`),
+* a query engine facade (:mod:`repro.engine`), and
+* workload generators plus the adaptive-indexing benchmark of Graefe et al.
+  (:mod:`repro.workloads`).
+
+Quickstart
+----------
+
+>>> import numpy as np
+>>> from repro import AdaptiveIndex
+>>> values = np.random.default_rng(0).integers(0, 10_000, size=100_000)
+>>> index = AdaptiveIndex(values, strategy="cracking")
+>>> positions = index.search(1_000, 2_000)          # crack as a side effect
+>>> sorted(values[positions]) == sorted(v for v in values if 1_000 <= v < 2_000)
+True
+"""
+
+from repro.core.adaptive_index import AdaptiveIndex
+from repro.core.strategies import available_strategies, create_strategy
+from repro.engine.database import Database
+from repro.version import __version__
+
+__all__ = [
+    "AdaptiveIndex",
+    "Database",
+    "available_strategies",
+    "create_strategy",
+    "__version__",
+]

@@ -1,0 +1,167 @@
+"""Command-line interface.
+
+Three subcommands cover the common interactive uses of the library without
+writing any Python:
+
+``python -m repro strategies``
+    list the registered indexing strategies;
+``python -m repro compare``
+    run the adaptive-indexing benchmark over a synthetic column and workload
+    for a set of strategies and print (or export) the summary;
+``python -m repro demo``
+    a tiny guided run of database cracking showing per-query cost collapse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.strategies import available_strategies
+from repro.version import __version__
+from repro.workloads.benchmark import AdaptiveIndexingBenchmark
+from repro.workloads.generators import (
+    WorkloadSpec,
+    generate_column_data,
+    make_workload,
+)
+from repro.workloads.reporting import (
+    per_query_series_csv,
+    render_markdown_table,
+    render_text_table,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive indexing in modern database kernels (EDBT 2012 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("strategies", help="list registered indexing strategies")
+
+    compare = subparsers.add_parser(
+        "compare", help="run the adaptive-indexing benchmark over a synthetic workload"
+    )
+    compare.add_argument("--rows", type=int, default=100_000, help="column size")
+    compare.add_argument("--queries", type=int, default=500, help="number of range queries")
+    compare.add_argument("--selectivity", type=float, default=0.01, help="query selectivity")
+    compare.add_argument(
+        "--pattern",
+        default="random",
+        choices=["random", "skewed", "sequential", "periodic", "piecewise"],
+        help="workload access pattern",
+    )
+    compare.add_argument(
+        "--strategies",
+        default="scan,sort-first,cracking,adaptive-merging,hybrid-crack-sort",
+        help="comma-separated strategy names (see `repro strategies`)",
+    )
+    compare.add_argument("--seed", type=int, default=0, help="random seed")
+    compare.add_argument(
+        "--format", default="text", choices=["text", "markdown", "csv"],
+        help="output format for the summary table",
+    )
+    compare.add_argument(
+        "--series-csv", default=None, metavar="PATH",
+        help="also write the per-query cost series as CSV to PATH",
+    )
+
+    demo = subparsers.add_parser("demo", help="tiny guided database-cracking demo")
+    demo.add_argument("--rows", type=int, default=200_000)
+    demo.add_argument("--queries", type=int, default=200)
+    return parser
+
+
+def _command_strategies() -> int:
+    for name in available_strategies():
+        print(name)
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    strategies = [name.strip() for name in args.strategies.split(",") if name.strip()]
+    unknown = [name for name in strategies if name not in available_strategies()]
+    if unknown:
+        print(
+            f"unknown strategies: {', '.join(unknown)}; "
+            f"available: {', '.join(available_strategies())}",
+            file=sys.stderr,
+        )
+        return 2
+    values = generate_column_data(args.rows, 0, 1_000_000, seed=args.seed)
+    spec = WorkloadSpec(
+        domain_low=0,
+        domain_high=1_000_000,
+        query_count=args.queries,
+        selectivity=args.selectivity,
+        seed=args.seed + 1,
+    )
+    queries = make_workload(args.pattern, spec)
+    harness = AdaptiveIndexingBenchmark(values, queries)
+    result = harness.run(strategies)
+
+    if args.format == "markdown":
+        print(render_markdown_table(result))
+    elif args.format == "csv":
+        from repro.workloads.reporting import summary_csv
+
+        print(summary_csv(result), end="")
+    else:
+        print(
+            f"column: {args.rows:,} rows | workload: {args.queries} {args.pattern} "
+            f"queries at {args.selectivity:.2%} selectivity"
+        )
+        print(
+            f"scan cost/query = {result.scan_cost:,.0f}, "
+            f"full-index cost/query = {result.full_index_cost:,.0f}\n"
+        )
+        print(render_text_table(result))
+    if args.series_csv:
+        with open(args.series_csv, "w") as handle:
+            handle.write(per_query_series_csv(result))
+        print(f"\nper-query series written to {args.series_csv}")
+    return 0
+
+
+def _command_demo(args: argparse.Namespace) -> int:
+    from repro.core.adaptive_index import AdaptiveIndex
+
+    rng = np.random.default_rng(0)
+    values = generate_column_data(args.rows, 0, 1_000_000, seed=0)
+    index = AdaptiveIndex(values, strategy="cracking")
+    width = 1_000
+    for _ in range(args.queries):
+        low = float(rng.uniform(0, 1_000_000 - width))
+        index.search(low, low + width)
+    costs = index.per_query_cost()
+    checkpoints = [0, 1, 4, 9, 49, 99, len(costs) - 1]
+    print(f"database cracking over {args.rows:,} rows, {args.queries} queries:")
+    for point in checkpoints:
+        if point < len(costs):
+            print(f"  query {point + 1:>4d}: logical cost {costs[point]:>12.0f}")
+    print(f"  structure: {index.structure_description()}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (returns the process exit code)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "strategies":
+        return _command_strategies()
+    if args.command == "compare":
+        return _command_compare(args)
+    if args.command == "demo":
+        return _command_demo(args)
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,269 @@
+"""Vectorised physical kernels (bulk processing primitives).
+
+These are the low-level array kernels used by scans, cracking and adaptive
+merging.  All of them operate on NumPy arrays, record their work on a
+:class:`~repro.cost.counters.CostCounters` instance when one is provided, and
+avoid per-element Python loops: this is the "bulk processing" pillar of the
+column-store substrate the tutorial describes.
+
+Physical reorganisation kernels (:func:`partition_two_way`,
+:func:`partition_three_way`) rearrange a slice of an array **in place** and
+return the resulting boundary positions, which is exactly what crack-in-two
+and crack-in-three need.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.cost.counters import CostCounters
+
+
+def range_mask(
+    values: np.ndarray,
+    low: Optional[float],
+    high: Optional[float],
+    counters: Optional[CostCounters] = None,
+    include_low: bool = True,
+    include_high: bool = False,
+) -> np.ndarray:
+    """Boolean mask of ``low <= v < high`` (bounds optional / configurable).
+
+    ``None`` bounds are treated as unbounded.  The default half-open
+    interval ``[low, high)`` matches the convention used throughout the
+    cracking literature.
+    """
+    values = np.asarray(values)
+    mask = np.ones(len(values), dtype=bool)
+    comparisons = 0
+    if low is not None:
+        mask &= (values >= low) if include_low else (values > low)
+        comparisons += len(values)
+    if high is not None:
+        mask &= (values < high) if not include_high else (values <= high)
+        comparisons += len(values)
+    if counters is not None:
+        counters.record_scan(len(values))
+        counters.record_comparisons(comparisons)
+    return mask
+
+
+def filter_range(
+    values: np.ndarray,
+    low: Optional[float],
+    high: Optional[float],
+    counters: Optional[CostCounters] = None,
+    include_low: bool = True,
+    include_high: bool = False,
+) -> np.ndarray:
+    """Positions (indices into ``values``) whose value falls in the range."""
+    mask = range_mask(
+        values, low, high, counters, include_low=include_low, include_high=include_high
+    )
+    return np.flatnonzero(mask)
+
+
+def gather(
+    values: np.ndarray,
+    positions: np.ndarray,
+    counters: Optional[CostCounters] = None,
+) -> np.ndarray:
+    """Fetch ``values[positions]`` (random-access gather)."""
+    positions = np.asarray(positions)
+    if counters is not None:
+        counters.record_random_access(len(positions))
+    return np.asarray(values)[positions]
+
+
+def scatter(
+    target: np.ndarray,
+    positions: np.ndarray,
+    source: np.ndarray,
+    counters: Optional[CostCounters] = None,
+) -> None:
+    """Write ``source`` into ``target`` at ``positions`` (random scatter)."""
+    positions = np.asarray(positions)
+    target[positions] = source
+    if counters is not None:
+        counters.record_random_access(len(positions))
+        counters.record_move(len(positions))
+
+
+def _payload_list(payload) -> list:
+    """Normalise the ``payload`` argument to a list of aligned arrays."""
+    if payload is None:
+        return []
+    if isinstance(payload, (list, tuple)):
+        return [p for p in payload if p is not None]
+    return [payload]
+
+
+def partition_two_way(
+    values: np.ndarray,
+    start: int,
+    end: int,
+    pivot: float,
+    counters: Optional[CostCounters] = None,
+    payload=None,
+) -> int:
+    """Partition ``values[start:end]`` in place around ``pivot``.
+
+    After the call, all elements strictly less than ``pivot`` precede the
+    returned split position and all elements greater than or equal to
+    ``pivot`` follow it.  ``payload`` may be one aligned array or a sequence
+    of aligned arrays (e.g. the row-identifier head of a cracker column and
+    the dragged tail attribute of a cracker map); each is permuted
+    identically.
+
+    Returns the absolute index of the first element >= pivot.
+    """
+    segment = values[start:end]
+    if len(segment) == 0:
+        return start
+    mask = segment < pivot
+    left_count = int(mask.sum())
+    order = np.argsort(~mask, kind="stable")
+    values[start:end] = segment[order]
+    for extra in _payload_list(payload):
+        extra[start:end] = extra[start:end][order]
+    if counters is not None:
+        counters.record_scan(len(segment))
+        counters.record_comparisons(len(segment))
+        counters.record_move(len(segment))
+    return start + left_count
+
+
+def partition_three_way(
+    values: np.ndarray,
+    start: int,
+    end: int,
+    low: float,
+    high: float,
+    counters: Optional[CostCounters] = None,
+    payload=None,
+) -> Tuple[int, int]:
+    """Partition ``values[start:end]`` in place into ``< low | [low, high) | >= high``.
+
+    Returns ``(split_low, split_high)``: absolute indices of the first
+    element >= low and the first element >= high respectively.  This is the
+    kernel behind crack-in-three.  ``payload`` may be one aligned array or a
+    sequence of aligned arrays, permuted identically.
+    """
+    if high < low:
+        raise ValueError("high must be >= low for three-way partitioning")
+    segment = values[start:end]
+    if len(segment) == 0:
+        return start, start
+    below = segment < low
+    above = segment >= high
+    middle = ~(below | above)
+    # stable grouping: below, middle, above
+    group = np.where(below, 0, np.where(middle, 1, 2))
+    order = np.argsort(group, kind="stable")
+    values[start:end] = segment[order]
+    for extra in _payload_list(payload):
+        extra[start:end] = extra[start:end][order]
+    below_count = int(below.sum())
+    middle_count = int(middle.sum())
+    if counters is not None:
+        counters.record_scan(len(segment))
+        counters.record_comparisons(2 * len(segment))
+        counters.record_move(len(segment))
+    return start + below_count, start + below_count + middle_count
+
+
+def stable_sort_segment(
+    values: np.ndarray,
+    start: int,
+    end: int,
+    counters: Optional[CostCounters] = None,
+    payload=None,
+) -> None:
+    """Sort ``values[start:end]`` in place (mergesort), permuting ``payload`` alike."""
+    segment = values[start:end]
+    if len(segment) <= 1:
+        return
+    order = np.argsort(segment, kind="stable")
+    values[start:end] = segment[order]
+    for extra in _payload_list(payload):
+        extra[start:end] = extra[start:end][order]
+    if counters is not None:
+        n = len(segment)
+        # n log n comparisons, n moves: the standard accounting for a sort.
+        counters.record_comparisons(int(n * max(1.0, np.log2(n))))
+        counters.record_move(n)
+
+
+def radix_cluster(
+    values: np.ndarray,
+    bits: int,
+    counters: Optional[CostCounters] = None,
+    payload: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cluster ``values`` into ``2**bits`` range buckets (out of place).
+
+    Used by the radix variants of the hybrid algorithms (PVLDB 2011).  The
+    clustering is value-range based (most-significant bits of the normalised
+    key), so each bucket covers a contiguous key range and buckets are
+    ordered by key range.
+
+    Returns ``(clustered_values, clustered_payload, bucket_offsets)`` where
+    ``bucket_offsets`` has ``2**bits + 1`` entries delimiting each bucket.
+    """
+    values = np.asarray(values)
+    n = len(values)
+    buckets = 1 << bits
+    if n == 0:
+        empty_payload = payload if payload is not None else np.empty(0, dtype=np.int64)
+        return values.copy(), np.asarray(empty_payload).copy(), np.zeros(
+            buckets + 1, dtype=np.int64
+        )
+    lo = values.min()
+    hi = values.max()
+    if hi == lo:
+        bucket_ids = np.zeros(n, dtype=np.int64)
+    else:
+        # normalise into [0, buckets) by value range
+        scaled = (values.astype(np.float64) - lo) / (float(hi) - float(lo))
+        bucket_ids = np.minimum((scaled * buckets).astype(np.int64), buckets - 1)
+    order = np.argsort(bucket_ids, kind="stable")
+    clustered = values[order]
+    clustered_payload = (
+        np.asarray(payload)[order] if payload is not None else order.astype(np.int64)
+    )
+    counts = np.bincount(bucket_ids, minlength=buckets)
+    offsets = np.zeros(buckets + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    if counters is not None:
+        counters.record_scan(n)
+        counters.record_move(n)
+        counters.record_comparisons(n)
+    return clustered, clustered_payload, offsets
+
+
+def merge_sorted_with_positions(
+    left_values: np.ndarray,
+    left_positions: np.ndarray,
+    right_values: np.ndarray,
+    right_positions: np.ndarray,
+    counters: Optional[CostCounters] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge two sorted (values, positions) pairs into one sorted pair."""
+    merged_values = np.concatenate([left_values, right_values])
+    merged_positions = np.concatenate([left_positions, right_positions])
+    order = np.argsort(merged_values, kind="stable")
+    if counters is not None:
+        n = len(merged_values)
+        counters.record_scan(n)
+        counters.record_move(n)
+        counters.record_comparisons(n)
+    return merged_values[order], merged_positions[order]
+
+
+def binary_search_count(n: int) -> int:
+    """Number of comparisons a binary search over ``n`` elements performs."""
+    if n <= 0:
+        return 0
+    return int(np.ceil(np.log2(n + 1)))

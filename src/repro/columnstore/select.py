@@ -1,0 +1,126 @@
+"""Bulk select operators (scan-based selection).
+
+Selection in a column-store is a bulk operation: a predicate is applied to an
+entire column (or to an intermediate candidate list) at once and the result
+is a position list.  These operators are the non-adaptive baseline that a
+plain scan-based system uses for every query, and the building block that
+the adaptive strategies are compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.columnstore.bulk import filter_range, range_mask
+from repro.columnstore.column import Column
+from repro.cost.counters import CostCounters
+
+
+@dataclass(frozen=True)
+class RangePredicate:
+    """Half-open range predicate ``low <= value < high``.
+
+    Either bound may be ``None`` (unbounded).  ``include_low`` /
+    ``include_high`` adjust bound inclusivity; the default half-open
+    convention matches the cracking literature.
+    """
+
+    low: Optional[float] = None
+    high: Optional[float] = None
+    include_low: bool = True
+    include_high: bool = False
+
+    def __post_init__(self) -> None:
+        if self.low is not None and self.high is not None and self.high < self.low:
+            raise ValueError(f"empty predicate: high ({self.high}) < low ({self.low})")
+
+    def matches(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of values satisfying the predicate (no cost recorded)."""
+        return range_mask(
+            values,
+            self.low,
+            self.high,
+            include_low=self.include_low,
+            include_high=self.include_high,
+        )
+
+    def selectivity_estimate(self, lo: float, hi: float) -> float:
+        """Fraction of a uniform [lo, hi) domain selected by this predicate."""
+        if hi <= lo:
+            return 1.0
+        lower = self.low if self.low is not None else lo
+        upper = self.high if self.high is not None else hi
+        lower = max(lower, lo)
+        upper = min(upper, hi)
+        if upper <= lower:
+            return 0.0
+        return (upper - lower) / (hi - lo)
+
+
+def scan_select(
+    column: Union[Column, np.ndarray],
+    predicate: RangePredicate,
+    counters: Optional[CostCounters] = None,
+) -> np.ndarray:
+    """Full-column scan returning the positions satisfying ``predicate``.
+
+    This is the cost every query pays when no index exists: the entire
+    column is read and compared.
+    """
+    values = column.values if isinstance(column, Column) else np.asarray(column)
+    return filter_range(
+        values,
+        predicate.low,
+        predicate.high,
+        counters,
+        include_low=predicate.include_low,
+        include_high=predicate.include_high,
+    )
+
+
+def refine_select(
+    column: Union[Column, np.ndarray],
+    candidate_positions: np.ndarray,
+    predicate: RangePredicate,
+    counters: Optional[CostCounters] = None,
+) -> np.ndarray:
+    """Apply ``predicate`` only to the rows in ``candidate_positions``.
+
+    Used for conjunctive multi-column selections under late materialisation:
+    the first column produces a candidate list, subsequent columns refine it
+    by gathering only the candidate rows.
+    """
+    values = column.values if isinstance(column, Column) else np.asarray(column)
+    candidate_positions = np.asarray(candidate_positions, dtype=np.int64)
+    fetched = values[candidate_positions]
+    if counters is not None:
+        counters.record_random_access(len(candidate_positions))
+        counters.record_comparisons(len(candidate_positions))
+    mask = predicate.matches(fetched)
+    return candidate_positions[mask]
+
+
+def count_select(
+    column: Union[Column, np.ndarray],
+    predicate: RangePredicate,
+    counters: Optional[CostCounters] = None,
+) -> int:
+    """Count qualifying rows without materialising the position list."""
+    values = column.values if isinstance(column, Column) else np.asarray(column)
+    mask = range_mask(
+        values,
+        predicate.low,
+        predicate.high,
+        counters,
+        include_low=predicate.include_low,
+        include_high=predicate.include_high,
+    )
+    return int(mask.sum())
+
+
+def between(low: Optional[float], high: Optional[float]) -> RangePredicate:
+    """Shorthand constructor for the canonical half-open range predicate."""
+    return RangePredicate(low=low, high=high)

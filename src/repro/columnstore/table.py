@@ -1,0 +1,138 @@
+"""Tables: collections of aligned columns."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.columnstore.column import Column
+from repro.cost.counters import CostCounters
+
+
+class Table:
+    """A named collection of equal-length :class:`~repro.columnstore.column.Column`.
+
+    Rows are identified by their position (0-based, dense).  All columns of a
+    table are kept aligned: appending rows appends to every column, deleting
+    rows compacts every column identically.
+    """
+
+    def __init__(self, name: str, columns: Optional[Mapping[str, Union[Column, np.ndarray, Iterable]]] = None) -> None:
+        self.name = name
+        self._columns: Dict[str, Column] = {}
+        if columns:
+            for column_name, values in columns.items():
+                self.add_column(column_name, values)
+
+    # -- column management ---------------------------------------------------
+
+    def add_column(self, name: str, values: Union[Column, np.ndarray, Iterable]) -> Column:
+        """Add a column; its length must match existing columns."""
+        if name in self._columns:
+            raise ValueError(f"column {name!r} already exists in table {self.name!r}")
+        column = values if isinstance(values, Column) else Column(values, name=name)
+        column.name = name
+        if self._columns and len(column) != self.row_count:
+            raise ValueError(
+                f"column {name!r} has {len(column)} rows, expected {self.row_count}"
+            )
+        self._columns[name] = column
+        return column
+
+    def drop_column(self, name: str) -> None:
+        """Remove a column from the table."""
+        if name not in self._columns:
+            raise KeyError(f"no column {name!r} in table {self.name!r}")
+        del self._columns[name]
+
+    def column(self, name: str) -> Column:
+        """Return the column named ``name``."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r} in table {self.name!r}; "
+                f"available: {sorted(self._columns)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> Column:
+        return self.column(name)
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._columns)
+
+    @property
+    def columns(self) -> Dict[str, Column]:
+        return dict(self._columns)
+
+    @property
+    def row_count(self) -> int:
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def nbytes(self) -> int:
+        return sum(column.nbytes for column in self._columns.values())
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Table(name={self.name!r}, rows={self.row_count}, "
+            f"columns={self.column_names})"
+        )
+
+    # -- row operations --------------------------------------------------------
+
+    def append_rows(self, rows: Mapping[str, Union[np.ndarray, Iterable, int, float]],
+                    counters: Optional[CostCounters] = None) -> None:
+        """Append rows given as a mapping column-name -> values.
+
+        Every column of the table must be present and all value arrays must
+        have the same length (scalars are broadcast to length one).
+        """
+        if set(rows) != set(self._columns):
+            missing = set(self._columns) - set(rows)
+            extra = set(rows) - set(self._columns)
+            raise ValueError(
+                f"append_rows expects exactly the table's columns; "
+                f"missing={sorted(missing)}, unexpected={sorted(extra)}"
+            )
+        arrays = {name: np.atleast_1d(np.asarray(values)) for name, values in rows.items()}
+        lengths = {len(a) for a in arrays.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"all appended columns must have equal length, got {lengths}")
+        for name, array in arrays.items():
+            self._columns[name].append(array, counters=counters)
+
+    def delete_rows(self, positions: Union[np.ndarray, Iterable[int]],
+                    counters: Optional[CostCounters] = None) -> None:
+        """Delete the rows at ``positions`` from every column."""
+        positions = np.asarray(list(positions) if not isinstance(positions, np.ndarray) else positions)
+        for column in self._columns.values():
+            column.delete_positions(positions, counters=counters)
+
+    def fetch_rows(self, positions: Union[np.ndarray, Iterable[int]],
+                   column_names: Optional[Iterable[str]] = None,
+                   counters: Optional[CostCounters] = None) -> Dict[str, np.ndarray]:
+        """Materialise the requested columns for the given row positions."""
+        positions = np.asarray(positions, dtype=np.int64)
+        names = list(column_names) if column_names is not None else self.column_names
+        result = {}
+        for name in names:
+            column = self.column(name)
+            if counters is not None:
+                counters.record_random_access(len(positions))
+            result[name] = column.values[positions]
+        return result
+
+    def to_dict(self) -> Dict[str, np.ndarray]:
+        """Export all columns as a dict of NumPy arrays (copies)."""
+        return {name: column.values.copy() for name, column in self._columns.items()}

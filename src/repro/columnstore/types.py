@@ -1,0 +1,89 @@
+"""Fixed-width column data types.
+
+A column-store stores every attribute as a dense array of fixed-width values.
+This module provides lightweight type descriptors wrapping NumPy dtypes plus
+validation and inference helpers.  Only fixed-width numeric types are
+supported, mirroring the storage model that database cracking relies on
+(cracking reorganises arrays in place, which requires fixed-width values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DataType:
+    """Descriptor for a fixed-width column type."""
+
+    name: str
+    numpy_dtype: np.dtype
+    width_bytes: int
+
+    def validate_array(self, array: np.ndarray) -> np.ndarray:
+        """Coerce ``array`` to this type, raising on lossy conversions."""
+        array = np.asarray(array)
+        if array.dtype == self.numpy_dtype:
+            return array
+        converted = array.astype(self.numpy_dtype)
+        if np.issubdtype(self.numpy_dtype, np.integer) and np.issubdtype(
+            array.dtype, np.floating
+        ):
+            if not np.allclose(converted.astype(array.dtype), array):
+                raise TypeError(
+                    f"cannot losslessly convert float data to {self.name}"
+                )
+        return converted
+
+    def empty(self, capacity: int) -> np.ndarray:
+        """Allocate an uninitialised array of ``capacity`` elements."""
+        return np.empty(int(capacity), dtype=self.numpy_dtype)
+
+    def zeros(self, capacity: int) -> np.ndarray:
+        """Allocate a zero-initialised array of ``capacity`` elements."""
+        return np.zeros(int(capacity), dtype=self.numpy_dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DataType({self.name})"
+
+
+INT32 = DataType("int32", np.dtype(np.int32), 4)
+INT64 = DataType("int64", np.dtype(np.int64), 8)
+FLOAT32 = DataType("float32", np.dtype(np.float32), 4)
+FLOAT64 = DataType("float64", np.dtype(np.float64), 8)
+
+_BY_NAME = {t.name: t for t in (INT32, INT64, FLOAT32, FLOAT64)}
+_BY_DTYPE = {t.numpy_dtype: t for t in (INT32, INT64, FLOAT32, FLOAT64)}
+
+
+def dtype_by_name(name: str) -> DataType:
+    """Look up a :class:`DataType` by its name (``"int64"`` etc.)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown data type {name!r}; supported: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def infer_dtype(values: Union[np.ndarray, Iterable]) -> DataType:
+    """Infer the narrowest supported :class:`DataType` for ``values``."""
+    array = np.asarray(values)
+    if array.dtype in _BY_DTYPE:
+        return _BY_DTYPE[array.dtype]
+    if np.issubdtype(array.dtype, np.integer):
+        return INT64
+    if np.issubdtype(array.dtype, np.floating):
+        return FLOAT64
+    if array.dtype == bool:
+        return INT32
+    raise TypeError(
+        f"unsupported column dtype {array.dtype}; only fixed-width numeric "
+        "types are supported by the column-store substrate"
+    )
+
+
+SUPPORTED_TYPES = tuple(_BY_NAME.values())

@@ -1,0 +1,178 @@
+"""Structural analysis of adaptive index state.
+
+The adaptive-indexing papers characterise index state not only by query cost
+but also structurally: how many pieces exist, how small they have become,
+how much of the column is already fully ordered, how much of the key domain
+the workload has touched.  This module computes those measures for any of
+the library's adaptive structures, so experiments, examples and operators
+(e.g. a future "finish the index in idle time" maintenance task, one of the
+tutorial's open topics) can reason about convergence explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.core.cracking.cracked_column import CrackedColumn
+from repro.core.hybrids.hybrid_index import HybridIndex
+from repro.core.merging.adaptive_merge import AdaptiveMergingIndex
+
+
+@dataclass(frozen=True)
+class StructureReport:
+    """Structural snapshot of an adaptive index."""
+
+    kind: str
+    row_count: int
+    piece_count: int
+    largest_piece: int
+    median_piece: float
+    sorted_fraction: float      # fraction of rows inside sorted/ordered regions
+    optimised_fraction: float   # fraction of rows in "final"/converged form
+    auxiliary_bytes: int
+
+    def is_converged(self, piece_threshold: int = 64) -> bool:
+        """Heuristic convergence test: no unsorted piece larger than the threshold."""
+        return self.largest_piece <= piece_threshold or self.sorted_fraction >= 0.999
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "row_count": self.row_count,
+            "piece_count": self.piece_count,
+            "largest_piece": self.largest_piece,
+            "median_piece": self.median_piece,
+            "sorted_fraction": self.sorted_fraction,
+            "optimised_fraction": self.optimised_fraction,
+            "auxiliary_bytes": self.auxiliary_bytes,
+        }
+
+
+def _piece_sizes_cracked(cracked: CrackedColumn) -> List[int]:
+    return [piece.size for piece in cracked.pieces()]
+
+
+def analyze_cracked_column(cracked: CrackedColumn) -> StructureReport:
+    """Structural report for a (plain or stochastic) cracked column."""
+    n = len(cracked)
+    if not cracked.materialised or n == 0:
+        return StructureReport(
+            kind="cracking", row_count=n, piece_count=1, largest_piece=n,
+            median_piece=float(n), sorted_fraction=0.0, optimised_fraction=0.0,
+            auxiliary_bytes=cracked.nbytes,
+        )
+    sizes = _piece_sizes_cracked(cracked)
+    sorted_rows = sum(
+        piece.size for piece in cracked.pieces() if piece.sorted or piece.size <= 1
+    )
+    # a piece is "optimised" when no further cracking can ever touch it:
+    # single-valued or sorted pieces qualify
+    optimised_rows = sorted_rows
+    return StructureReport(
+        kind="cracking",
+        row_count=n,
+        piece_count=len(sizes),
+        largest_piece=max(sizes) if sizes else 0,
+        median_piece=float(np.median(sizes)) if sizes else 0.0,
+        sorted_fraction=sorted_rows / n,
+        optimised_fraction=optimised_rows / n,
+        auxiliary_bytes=cracked.nbytes,
+    )
+
+
+def analyze_adaptive_merging(index: AdaptiveMergingIndex) -> StructureReport:
+    """Structural report for an adaptive merging index."""
+    n = len(index)
+    if not index.initialized or n == 0:
+        return StructureReport(
+            kind="adaptive-merging", row_count=n, piece_count=0, largest_piece=n,
+            median_piece=float(n), sorted_fraction=0.0, optimised_fraction=0.0,
+            auxiliary_bytes=index.nbytes,
+        )
+    run_sizes = [len(run) for run in index.runs if len(run)]
+    merged = len(index.final_values)
+    pieces = len(run_sizes) + (1 if merged else 0)
+    largest = max(run_sizes + [merged]) if (run_sizes or merged) else 0
+    return StructureReport(
+        kind="adaptive-merging",
+        row_count=n,
+        piece_count=pieces,
+        largest_piece=largest,
+        median_piece=float(np.median(run_sizes + ([merged] if merged else []))) if pieces else 0.0,
+        sorted_fraction=1.0,  # runs and the final partition are always sorted
+        optimised_fraction=merged / n,
+        auxiliary_bytes=index.nbytes,
+    )
+
+
+def analyze_hybrid(index: HybridIndex) -> StructureReport:
+    """Structural report for a hybrid index."""
+    n = len(index)
+    if not index.initialized or n == 0:
+        return StructureReport(
+            kind=f"hybrid-{index.initial_mode}-{index.final_mode}", row_count=n,
+            piece_count=0, largest_piece=n, median_piece=float(n),
+            sorted_fraction=0.0, optimised_fraction=0.0, auxiliary_bytes=index.nbytes,
+        )
+    partition_sizes = [len(p) for p in index.partitions if len(p)]
+    final_sizes = [len(piece) for piece in index.final.pieces]
+    merged = len(index.final)
+    sizes = partition_sizes + final_sizes
+    sorted_rows = merged if index.final_mode == "sort" else 0
+    if index.initial_mode == "sort":
+        sorted_rows += sum(partition_sizes)
+    return StructureReport(
+        kind=f"hybrid-{index.initial_mode}-{index.final_mode}",
+        row_count=n,
+        piece_count=len(sizes),
+        largest_piece=max(sizes) if sizes else 0,
+        median_piece=float(np.median(sizes)) if sizes else 0.0,
+        sorted_fraction=min(1.0, sorted_rows / n),
+        optimised_fraction=merged / n,
+        auxiliary_bytes=index.nbytes,
+    )
+
+
+def analyze(structure: Union[CrackedColumn, AdaptiveMergingIndex, HybridIndex, object]) -> StructureReport:
+    """Dispatch to the right analyzer (also unwraps strategy objects)."""
+    # unwrap strategy wrappers from repro.core.strategies
+    for attribute in ("cracked", "index"):
+        inner = getattr(structure, attribute, None)
+        if isinstance(inner, (CrackedColumn, AdaptiveMergingIndex, HybridIndex)):
+            structure = inner
+            break
+    if isinstance(structure, CrackedColumn):
+        return analyze_cracked_column(structure)
+    if isinstance(structure, AdaptiveMergingIndex):
+        return analyze_adaptive_merging(structure)
+    if isinstance(structure, HybridIndex):
+        return analyze_hybrid(structure)
+    raise TypeError(
+        f"cannot analyze object of type {type(structure).__name__}; expected a "
+        "CrackedColumn, AdaptiveMergingIndex, HybridIndex or a strategy wrapping one"
+    )
+
+
+def piece_size_histogram(
+    structure: Union[CrackedColumn, AdaptiveMergingIndex, HybridIndex],
+    bins: int = 10,
+) -> List[tuple]:
+    """Histogram of piece sizes as ``(upper_bound, count)`` pairs."""
+    if isinstance(structure, CrackedColumn):
+        sizes = _piece_sizes_cracked(structure) if structure.materialised else [len(structure)]
+    elif isinstance(structure, AdaptiveMergingIndex):
+        sizes = [len(run) for run in structure.runs if len(run)]
+        if len(structure.final_values):
+            sizes.append(len(structure.final_values))
+    elif isinstance(structure, HybridIndex):
+        sizes = [len(p) for p in structure.partitions if len(p)]
+        sizes.extend(len(piece) for piece in structure.final.pieces)
+    else:
+        raise TypeError(f"unsupported structure type {type(structure).__name__}")
+    if not sizes:
+        return []
+    counts, edges = np.histogram(sizes, bins=bins)
+    return [(float(edges[i + 1]), int(counts[i])) for i in range(len(counts))]

@@ -1,0 +1,218 @@
+"""The cracked column: selection cracking as a select operator.
+
+A :class:`CrackedColumn` is the adaptive-indexing counterpart of a plain
+scan: its :meth:`search` answers a range selection **and**, as a side
+effect, physically reorganises its private copy of the column (the *cracker
+column*) so that the qualifying values become contiguous.  The more a key
+range is queried, the more refined that region of the cracker column
+becomes; ranges never queried are never touched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.columnstore.column import Column
+from repro.core.cracking.cracker_index import CrackerIndex, Piece
+from repro.core.cracking.crack_engine import crack_range
+from repro.cost.counters import CostCounters
+
+
+class CrackedColumn:
+    """Cracker column + cracker index + adaptive select operator.
+
+    Parameters
+    ----------
+    column:
+        The base column (or a raw array).  The cracked column keeps its own
+        copy — the cracker column — plus an aligned array of original row
+        identifiers, so search results are positions into the *base* column.
+    sort_threshold:
+        When a crack targets a piece of at most this many elements, the
+        piece is sorted outright instead of partitioned, and marked sorted
+        so later cracks inside it need no data movement.  ``0`` disables the
+        optimisation (the classic CIDR 2007 algorithm).
+    counters:
+        Optional cost counters charged with the initial copy (the
+        "initialization cost" of the first query is the copy plus the first
+        crack; callers that want to charge the copy to the first query pass
+        ``lazy_copy=True`` instead).
+    lazy_copy:
+        When True, the cracker column copy is deferred to the first
+        :meth:`search` call and charged to that call's counters, matching
+        how the literature accounts the first-query overhead.
+    """
+
+    def __init__(
+        self,
+        column: Union[Column, np.ndarray],
+        sort_threshold: int = 0,
+        counters: Optional[CostCounters] = None,
+        lazy_copy: bool = True,
+        name: str = "",
+    ) -> None:
+        base = column.values if isinstance(column, Column) else np.asarray(column)
+        if base.ndim != 1:
+            raise ValueError("cracked columns are one-dimensional")
+        self.name = name or (column.name if isinstance(column, Column) else "")
+        self.sort_threshold = int(sort_threshold)
+        self._base = base
+        self.values: Optional[np.ndarray] = None
+        self.rowids: Optional[np.ndarray] = None
+        self.index = CrackerIndex(len(base))
+        self.queries_processed = 0
+        if not lazy_copy:
+            self._materialise(counters)
+
+    # -- materialisation ---------------------------------------------------------
+
+    @property
+    def materialised(self) -> bool:
+        """True once the cracker column copy exists."""
+        return self.values is not None
+
+    def _materialise(self, counters: Optional[CostCounters]) -> None:
+        if self.materialised:
+            return
+        self.values = np.array(self._base, copy=True)
+        self.rowids = np.arange(len(self._base), dtype=np.int64)
+        if counters is not None:
+            counters.record_scan(len(self._base))
+            counters.record_move(len(self._base))
+            counters.record_allocation(self.values.nbytes + self.rowids.nbytes)
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of auxiliary storage currently held (cracker column + rowids)."""
+        if not self.materialised:
+            return 0
+        return int(self.values.nbytes + self.rowids.nbytes)
+
+    @property
+    def piece_count(self) -> int:
+        """Number of pieces in the cracker index."""
+        return self.index.piece_count
+
+    def pieces(self) -> List[Piece]:
+        """Pieces of the cracker column (for inspection and tests)."""
+        return self.index.pieces()
+
+    # -- the adaptive select operator ----------------------------------------------
+
+    def search(
+        self,
+        low: Optional[float],
+        high: Optional[float],
+        counters: Optional[CostCounters] = None,
+    ) -> np.ndarray:
+        """Positions (into the base column) of rows with ``low <= value < high``.
+
+        Cracks the cracker column as a side effect.  Either bound may be
+        ``None`` (unbounded).
+        """
+        self.queries_processed += 1
+        if not self.materialised:
+            self._materialise(counters)
+        start, end = crack_range(
+            self.values,
+            self.rowids,
+            self.index,
+            low,
+            high,
+            counters,
+            sort_threshold=self.sort_threshold,
+        )
+        if counters is not None:
+            counters.record_scan(max(0, end - start))
+        return self.rowids[start:end].copy()
+
+    def search_values(
+        self,
+        low: Optional[float],
+        high: Optional[float],
+        counters: Optional[CostCounters] = None,
+    ) -> np.ndarray:
+        """Qualifying *values* rather than base positions (cracks as a side effect)."""
+        self.queries_processed += 1
+        if not self.materialised:
+            self._materialise(counters)
+        start, end = crack_range(
+            self.values,
+            self.rowids,
+            self.index,
+            low,
+            high,
+            counters,
+            sort_threshold=self.sort_threshold,
+        )
+        if counters is not None:
+            counters.record_scan(max(0, end - start))
+        return self.values[start:end].copy()
+
+    def count(
+        self,
+        low: Optional[float],
+        high: Optional[float],
+        counters: Optional[CostCounters] = None,
+    ) -> int:
+        """Number of qualifying rows (cracks as a side effect)."""
+        if not self.materialised:
+            self._materialise(counters)
+        start, end = crack_range(
+            self.values, self.rowids, self.index, low, high, counters,
+            sort_threshold=self.sort_threshold,
+        )
+        return max(0, end - start)
+
+    # -- maintenance / inspection -----------------------------------------------------
+
+    def crack_at(
+        self,
+        pivot: float,
+        counters: Optional[CostCounters] = None,
+    ) -> int:
+        """Introduce a boundary at ``pivot`` without answering a query.
+
+        Used by stochastic cracking (auxiliary random cuts) and by sideways
+        cracking's alignment replay.
+        """
+        from repro.core.cracking.crack_engine import crack_value
+
+        if not self.materialised:
+            self._materialise(counters)
+        return crack_value(
+            self.values, self.rowids, self.index, pivot, counters,
+            sort_threshold=self.sort_threshold,
+        )
+
+    def is_fully_sorted(self) -> bool:
+        """True when the cracker column has become completely sorted."""
+        if not self.materialised:
+            return False
+        return bool(np.all(self.values[:-1] <= self.values[1:])) if len(self.values) > 1 else True
+
+    def check_invariants(self) -> None:
+        """Verify piece bounds and content preservation (test helper)."""
+        self.index.check_invariants()
+        if not self.materialised:
+            return
+        assert len(self.values) == len(self._base)
+        # content preservation: same multiset of values, rowids a permutation
+        assert np.array_equal(np.sort(self.values), np.sort(self._base))
+        assert np.array_equal(np.sort(self.rowids), np.arange(len(self._base)))
+        # rowid alignment: values[i] == base[rowids[i]]
+        assert np.array_equal(self.values, self._base[self.rowids])
+        # piece bounds respected
+        for piece in self.index.pieces():
+            segment = self.values[piece.start : piece.end]
+            if piece.low is not None and len(segment):
+                assert segment.min() >= piece.low, f"piece {piece} violates low bound"
+            if piece.high is not None and len(segment):
+                assert segment.max() < piece.high, f"piece {piece} violates high bound"
+            if piece.sorted and len(segment) > 1:
+                assert np.all(segment[:-1] <= segment[1:]), f"piece {piece} not sorted"

@@ -1,0 +1,271 @@
+"""The cracker index: piece boundaries over a cracker column.
+
+The cracker index is an ordered mapping from key values to positions in the
+cracker column.  A boundary ``(value, position)`` asserts the invariant:
+
+    every element before ``position`` is strictly smaller than ``value``, and
+    every element at or after ``position`` is greater than or equal to
+    ``value``.
+
+Consecutive boundaries delimit *pieces*.  The index additionally tracks, per
+piece, whether the piece happens to be fully sorted (pieces become sorted
+when a strategy decides to sort small pieces, or when hybrid algorithms sort
+merged pieces), because boundaries inside a sorted piece can be introduced
+with a binary search instead of a physical crack.
+
+MonetDB implements this structure as an AVL tree; here an ordered pair of
+Python lists with :mod:`bisect` gives the same O(log #pieces) navigation,
+and the number of pieces is at most two per query so the lists stay small.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Piece:
+    """A contiguous region of the cracker column with known value bounds.
+
+    ``low``/``high`` are value bounds: every value in ``[start, end)`` is
+    ``>= low`` (if ``low`` is not ``None``) and ``< high`` (if ``high`` is
+    not ``None``).  ``sorted`` indicates the region is in non-decreasing
+    order.
+    """
+
+    start: int
+    end: int
+    low: Optional[float]
+    high: Optional[float]
+    sorted: bool = False
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lo = "-inf" if self.low is None else self.low
+        hi = "+inf" if self.high is None else self.high
+        flag = ", sorted" if self.sorted else ""
+        return f"Piece([{self.start}:{self.end}), values [{lo}, {hi}){flag})"
+
+
+class CrackerIndex:
+    """Ordered boundary structure over a cracker column of ``size`` elements."""
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self.size = size
+        # boundary i: values[0.._positions[i]) < _values[i] <= values[_positions[i]..)
+        self._values: List[float] = []
+        self._positions: List[int] = []
+        # _sorted_flags[i] describes the piece *before* boundary i;
+        # _sorted_flags[len(_values)] describes the last piece.
+        self._sorted_flags: List[bool] = [False]
+
+    # -- basic properties ---------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of boundaries currently registered."""
+        return len(self._values)
+
+    @property
+    def piece_count(self) -> int:
+        """Number of pieces (boundaries + 1)."""
+        return len(self._values) + 1
+
+    @property
+    def boundary_values(self) -> List[float]:
+        return list(self._values)
+
+    @property
+    def boundary_positions(self) -> List[int]:
+        return list(self._positions)
+
+    def has_boundary(self, value: float) -> bool:
+        """True when a boundary for exactly ``value`` exists."""
+        index = bisect.bisect_left(self._values, value)
+        return index < len(self._values) and self._values[index] == value
+
+    # -- lookups --------------------------------------------------------------
+
+    def position_of(self, value: float) -> Optional[int]:
+        """Position registered for ``value``, or None when not a boundary."""
+        index = bisect.bisect_left(self._values, value)
+        if index < len(self._values) and self._values[index] == value:
+            return self._positions[index]
+        return None
+
+    def piece_for_value(self, value: float) -> Piece:
+        """The piece whose value range contains ``value``.
+
+        A value equal to a boundary belongs to the piece *after* it (the
+        boundary's semantics are "values >= boundary start here").
+        """
+        index = bisect.bisect_right(self._values, value)
+        return self._piece_at(index)
+
+    def piece_index_for_value(self, value: float) -> int:
+        """Index (0-based) of the piece whose value range contains ``value``."""
+        return bisect.bisect_right(self._values, value)
+
+    def piece_at_index(self, index: int) -> Piece:
+        """The ``index``-th piece (0-based, left to right)."""
+        if not 0 <= index < self.piece_count:
+            raise IndexError(
+                f"piece index {index} out of range for {self.piece_count} pieces"
+            )
+        return self._piece_at(index)
+
+    def _piece_at(self, index: int) -> Piece:
+        start = self._positions[index - 1] if index > 0 else 0
+        end = self._positions[index] if index < len(self._positions) else self.size
+        low = self._values[index - 1] if index > 0 else None
+        high = self._values[index] if index < len(self._values) else None
+        return Piece(start=start, end=end, low=low, high=high,
+                     sorted=self._sorted_flags[index])
+
+    def pieces(self) -> List[Piece]:
+        """All pieces, left to right."""
+        return [self._piece_at(i) for i in range(self.piece_count)]
+
+    def lower_bound_position(self, value: float) -> Optional[int]:
+        """Position of the first element >= value, if derivable from boundaries.
+
+        Returns the exact position when ``value`` is a registered boundary,
+        otherwise None (a crack is needed to learn it).
+        """
+        return self.position_of(value)
+
+    # -- mutation --------------------------------------------------------------
+
+    def add_boundary(self, value: float, position: int,
+                     left_sorted: Optional[bool] = None,
+                     right_sorted: Optional[bool] = None) -> None:
+        """Register that the first element >= ``value`` sits at ``position``.
+
+        ``left_sorted`` / ``right_sorted`` override the sortedness flags of
+        the two pieces the split produces; by default both inherit the flag
+        of the piece that was split.
+        """
+        if not 0 <= position <= self.size:
+            raise ValueError(
+                f"boundary position {position} outside column of size {self.size}"
+            )
+        index = bisect.bisect_left(self._values, value)
+        if index < len(self._values) and self._values[index] == value:
+            existing = self._positions[index]
+            if existing != position:
+                raise ValueError(
+                    f"conflicting boundary for value {value!r}: "
+                    f"existing position {existing}, new position {position}"
+                )
+            if left_sorted is not None:
+                self._sorted_flags[index] = left_sorted
+            if right_sorted is not None:
+                self._sorted_flags[index + 1] = right_sorted
+            return
+        # monotonicity check against neighbours
+        if index > 0 and self._positions[index - 1] > position:
+            raise ValueError(
+                f"boundary ({value}, {position}) violates ordering against "
+                f"({self._values[index - 1]}, {self._positions[index - 1]})"
+            )
+        if index < len(self._positions) and self._positions[index] < position:
+            raise ValueError(
+                f"boundary ({value}, {position}) violates ordering against "
+                f"({self._values[index]}, {self._positions[index]})"
+            )
+        inherited = self._sorted_flags[index]
+        self._values.insert(index, value)
+        self._positions.insert(index, position)
+        self._sorted_flags.insert(
+            index, inherited if left_sorted is None else left_sorted
+        )
+        if right_sorted is not None:
+            self._sorted_flags[index + 1] = right_sorted
+
+    def mark_piece_sorted(self, piece_index: int, is_sorted: bool = True) -> None:
+        """Set the sortedness flag of the ``piece_index``-th piece."""
+        if not 0 <= piece_index < self.piece_count:
+            raise IndexError(f"piece index {piece_index} out of range")
+        self._sorted_flags[piece_index] = is_sorted
+
+    def shift_positions(self, from_position: int, delta: int) -> None:
+        """Shift every boundary at or after ``from_position`` by ``delta``.
+
+        Used by the update machinery (ripple insert/delete) and by partial
+        cracking when the underlying cracker column grows or shrinks.
+        ``size`` is adjusted by the same delta.
+        """
+        self._positions = [
+            p + delta if p >= from_position else p for p in self._positions
+        ]
+        self.size += delta
+        if self.size < 0:
+            raise ValueError("shift_positions made the column size negative")
+        if any(p < 0 or p > self.size for p in self._positions):
+            raise ValueError("shift_positions produced out-of-range boundaries")
+
+    def shift_positions_for_values_above(self, value: float, delta: int) -> None:
+        """Shift boundaries whose *value* is strictly greater than ``value``.
+
+        This is the boundary adjustment performed by ripple insertion and
+        deletion: when an element enters (``delta=+1``) or leaves
+        (``delta=-1``) the piece containing ``value``, every piece to the
+        right of it — identified by boundary values above ``value`` — shifts
+        by one position.  ``size`` is adjusted by the same delta.
+        """
+        index = bisect.bisect_right(self._values, value)
+        self._positions = self._positions[:index] + [
+            p + delta for p in self._positions[index:]
+        ]
+        self.size += delta
+        if self.size < 0:
+            raise ValueError("shift made the column size negative")
+        if any(p < 0 or p > self.size for p in self._positions):
+            raise ValueError("shift produced out-of-range boundaries")
+
+    def mark_pieces_unsorted_from(self, piece_index: int) -> None:
+        """Clear the sortedness flag of every piece at or after ``piece_index``."""
+        if piece_index < 0:
+            piece_index = 0
+        for index in range(piece_index, self.piece_count):
+            self._sorted_flags[index] = False
+
+    def drop_boundaries_in_position_range(self, start: int, end: int) -> None:
+        """Remove boundaries whose position lies in ``(start, end)`` exclusive.
+
+        Used when a contiguous region is extracted (hybrid algorithms move
+        qualifying tuples out of initial partitions) — boundaries strictly
+        inside the removed region no longer describe anything.
+        """
+        keep = [
+            (v, p, flag)
+            for v, p, flag in zip(self._values, self._positions, self._sorted_flags)
+            if not (start < p < end)
+        ]
+        trailing_flag = self._sorted_flags[-1]
+        self._values = [v for v, _, _ in keep]
+        self._positions = [p for _, p, _ in keep]
+        self._sorted_flags = [flag for _, _, flag in keep] + [trailing_flag]
+
+    # -- validation ----------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError when internal invariants are violated (tests)."""
+        assert len(self._values) == len(self._positions)
+        assert len(self._sorted_flags) == len(self._values) + 1
+        assert all(
+            self._values[i] < self._values[i + 1] for i in range(len(self._values) - 1)
+        ), "boundary values must be strictly increasing"
+        assert all(
+            self._positions[i] <= self._positions[i + 1]
+            for i in range(len(self._positions) - 1)
+        ), "boundary positions must be non-decreasing"
+        assert all(0 <= p <= self.size for p in self._positions), (
+            "boundary positions must lie within the column"
+        )

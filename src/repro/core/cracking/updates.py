@@ -1,0 +1,414 @@
+"""Cracking under updates (Idreos, Kersten, Manegold; SIGMOD 2007).
+
+Updates are handled "in the same adaptive philosophy" as cracking itself:
+inserts and deletes are queued in pending structures and merged into the
+cracker column *on demand*, only when a query's range touches the pending
+values, and only the touched values are merged.  The physical merge uses
+*ripple* movements: to make room for (or close the hole left by) one value
+inside a piece, exactly one element per subsequent piece is relocated, so
+the cost is proportional to the number of pieces — not to the column size.
+
+Two merging policies are provided:
+
+* ``"ripple"`` — merge every qualifying pending update before answering
+  (the default, complete-merge policy);
+* ``"gradual"`` — merge at most ``merge_batch`` pending updates per query
+  and answer the remainder directly from the pending structures, spreading
+  the maintenance cost over more queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.columnstore.column import Column
+from repro.core.cracking.cracker_index import CrackerIndex
+from repro.core.cracking.crack_engine import crack_range
+from repro.cost.counters import CostCounters
+
+
+class UpdatableCrackedColumn:
+    """A cracked column that accepts inserts and deletes between queries.
+
+    Row identifiers: rows of the original column keep their position as
+    identifier; rows inserted later receive fresh identifiers starting at
+    ``len(original column)``.  :meth:`search` returns identifiers of all
+    *visible* qualifying rows (original minus deleted plus inserted).
+    """
+
+    def __init__(
+        self,
+        column: Union[Column, np.ndarray],
+        policy: str = "ripple",
+        merge_batch: int = 16,
+        sort_threshold: int = 0,
+        name: str = "",
+    ) -> None:
+        if policy not in ("ripple", "gradual"):
+            raise ValueError(f"unknown update policy {policy!r}")
+        base = column.values if isinstance(column, Column) else np.asarray(column)
+        self.name = name or (column.name if isinstance(column, Column) else "")
+        self.policy = policy
+        self.merge_batch = int(merge_batch)
+        self.sort_threshold = int(sort_threshold)
+
+        self._initial_size = len(base)
+        self._next_rowid = len(base)
+        # cracker column storage with spare capacity for ripple inserts
+        capacity = max(16, int(len(base) * 1.2))
+        self._values = np.empty(capacity, dtype=np.asarray(base).dtype
+                                if np.asarray(base).dtype.kind in "if" else np.float64)
+        self._values[: len(base)] = base
+        self._rowids = np.empty(capacity, dtype=np.int64)
+        self._rowids[: len(base)] = np.arange(len(base), dtype=np.int64)
+        self._length = len(base)
+        self.index = CrackerIndex(len(base))
+
+        # pending structures
+        self._pending_insert_values: List[float] = []
+        self._pending_insert_rowids: List[int] = []
+        self._pending_delete_rowids: Dict[int, float] = {}
+        # values of rows inserted at any point (needed to delete them later)
+        self._inserted_values: Dict[int, float] = {}
+
+        self.queries_processed = 0
+        self.merges_performed = 0
+
+    # -- public state -----------------------------------------------------------
+
+    @property
+    def values(self) -> np.ndarray:
+        """The live region of the cracker column (read-only view)."""
+        return self._values[: self._length]
+
+    @property
+    def rowids(self) -> np.ndarray:
+        """Row identifiers aligned with :attr:`values` (read-only view)."""
+        return self._rowids[: self._length]
+
+    def __len__(self) -> int:
+        """Number of currently visible rows (merged + pending inserts)."""
+        return self._length + len(self._pending_insert_values) - len(
+            [r for r in self._pending_delete_rowids if self._is_merged(r)]
+        )
+
+    @property
+    def pending_inserts(self) -> int:
+        return len(self._pending_insert_values)
+
+    @property
+    def pending_deletes(self) -> int:
+        return len(self._pending_delete_rowids)
+
+    @property
+    def piece_count(self) -> int:
+        return self.index.piece_count
+
+    def _is_merged(self, rowid: int) -> bool:
+        """True when ``rowid`` currently lives in the cracker column."""
+        if rowid < self._initial_size:
+            return True
+        return rowid in self._inserted_values and rowid not in set(
+            self._pending_insert_rowids
+        )
+
+    def value_of(self, rowid: int) -> float:
+        """Current value of a visible row (original or inserted)."""
+        if rowid in self._pending_delete_rowids:
+            raise KeyError(f"row {rowid} has been deleted")
+        if rowid < self._initial_size:
+            position = np.flatnonzero(self.rowids == rowid)
+            if len(position) == 0:
+                raise KeyError(f"row {rowid} not found")
+            return float(self.values[position[0]])
+        try:
+            return self._inserted_values[rowid]
+        except KeyError:
+            raise KeyError(f"row {rowid} not found") from None
+
+    # -- updates -----------------------------------------------------------------
+
+    def insert(self, value: float, counters: Optional[CostCounters] = None) -> int:
+        """Queue the insertion of ``value``; returns its new row identifier."""
+        if np.issubdtype(self._values.dtype, np.integer) and float(value) != int(value):
+            raise TypeError(
+                f"cannot insert non-integer value {value!r} into an integer column"
+            )
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._pending_insert_values.append(float(value))
+        self._pending_insert_rowids.append(rowid)
+        self._inserted_values[rowid] = float(value)
+        if counters is not None:
+            counters.record_move(1)
+        return rowid
+
+    def delete(self, rowid: int, counters: Optional[CostCounters] = None) -> None:
+        """Queue the deletion of the row identified by ``rowid``."""
+        if rowid in self._pending_delete_rowids:
+            return
+        if rowid >= self._initial_size and rowid not in self._inserted_values:
+            raise KeyError(f"unknown row identifier {rowid}")
+        # deleting a still-pending insert simply cancels it
+        if rowid in self._inserted_values and rowid in set(self._pending_insert_rowids):
+            position = self._pending_insert_rowids.index(rowid)
+            self._pending_insert_rowids.pop(position)
+            self._pending_insert_values.pop(position)
+            del self._inserted_values[rowid]
+            return
+        value = (
+            self._inserted_values[rowid]
+            if rowid in self._inserted_values
+            else None
+        )
+        if value is None:
+            # original row: its value can move around the cracker column but
+            # never changes, so look it up from the base positions once.
+            positions = np.flatnonzero(self.rowids == rowid)
+            if len(positions) == 0:
+                raise KeyError(f"unknown row identifier {rowid}")
+            value = float(self.values[positions[0]])
+        self._pending_delete_rowids[rowid] = value
+        if counters is not None:
+            counters.record_move(1)
+
+    def update(self, rowid: int, new_value: float,
+               counters: Optional[CostCounters] = None) -> int:
+        """Update = delete old row + insert new value; returns the new rowid."""
+        self.delete(rowid, counters)
+        return self.insert(new_value, counters)
+
+    # -- ripple kernels -------------------------------------------------------------
+
+    def _ensure_capacity(self, extra: int) -> None:
+        needed = self._length + extra
+        if needed <= len(self._values):
+            return
+        new_capacity = max(needed, 2 * len(self._values))
+        grown_values = np.empty(new_capacity, dtype=self._values.dtype)
+        grown_values[: self._length] = self._values[: self._length]
+        grown_rowids = np.empty(new_capacity, dtype=np.int64)
+        grown_rowids[: self._length] = self._rowids[: self._length]
+        self._values = grown_values
+        self._rowids = grown_rowids
+
+    def _ripple_insert_one(self, value: float, rowid: int,
+                           counters: Optional[CostCounters]) -> None:
+        """Physically place one value into its piece via ripple shifts."""
+        self._ensure_capacity(1)
+        target_index = self.index.piece_index_for_value(value)
+        target = self.index.piece_at_index(target_index)
+        # content of target piece and of every piece after it will change order
+        self.index.mark_pieces_unsorted_from(target_index)
+        # walk boundaries after the target piece from right to left, moving
+        # one element per piece into the hole that starts at the array end.
+        boundary_positions = [
+            p for p, v in zip(self.index.boundary_positions, self.index.boundary_values)
+            if v > value
+        ]
+        hole = self._length
+        moves = 0
+        for boundary in sorted(boundary_positions, reverse=True):
+            if boundary == hole:
+                continue
+            self._values[hole] = self._values[boundary]
+            self._rowids[hole] = self._rowids[boundary]
+            hole = boundary
+            moves += 1
+        self._values[hole] = value
+        self._rowids[hole] = rowid
+        self._length += 1
+        self.index.shift_positions_for_values_above(value, +1)
+        if counters is not None:
+            counters.record_move(moves + 1)
+            counters.record_random_access(moves + 1)
+
+    def _ripple_delete_one(self, rowid: int, value: float,
+                           counters: Optional[CostCounters]) -> bool:
+        """Physically remove one row from its piece via ripple shifts."""
+        target_index = self.index.piece_index_for_value(value)
+        target = self.index.piece_at_index(target_index)
+        segment_rowids = self._rowids[target.start : target.end]
+        offsets = np.flatnonzero(segment_rowids == rowid)
+        if counters is not None:
+            counters.record_scan(target.size)
+        if len(offsets) == 0:
+            return False
+        position = target.start + int(offsets[0])
+        self.index.mark_pieces_unsorted_from(target_index)
+        # fill the hole with the last element of the target piece, then let
+        # the hole ripple right through every subsequent piece.
+        moves = 0
+        hole = position
+        boundary_items = [
+            (p, v) for p, v in zip(self.index.boundary_positions,
+                                   self.index.boundary_values)
+            if v > value
+        ]
+        # end of the target piece is the first boundary above, or the length
+        piece_ends = sorted(p for p, _ in boundary_items) + [self._length]
+        for end in piece_ends:
+            last = end - 1
+            if last != hole:
+                self._values[hole] = self._values[last]
+                self._rowids[hole] = self._rowids[last]
+                moves += 1
+            hole = last
+        self._length -= 1
+        self.index.shift_positions_for_values_above(value, -1)
+        if counters is not None:
+            counters.record_move(moves)
+            counters.record_random_access(moves)
+        return True
+
+    # -- merge-on-demand -----------------------------------------------------------
+
+    def _qualifying_pending(self, low, high) -> Tuple[List[int], List[int]]:
+        """Indices of pending inserts / rowids of pending deletes in range."""
+        def in_range(value: float) -> bool:
+            if low is not None and value < low:
+                return False
+            if high is not None and value >= high:
+                return False
+            return True
+
+        insert_indices = [
+            i for i, v in enumerate(self._pending_insert_values) if in_range(v)
+        ]
+        delete_rowids = [
+            r for r, v in self._pending_delete_rowids.items()
+            if in_range(v) and self._is_merged(r)
+        ]
+        return insert_indices, delete_rowids
+
+    def _merge_pending(self, low, high, counters: Optional[CostCounters]) -> Tuple[List[int], List[int]]:
+        """Merge qualifying pending updates (policy dependent).
+
+        Returns ``(unmerged_insert_indices, unmerged_delete_rowids)`` — the
+        qualifying pending updates that were *not* merged (only non-empty
+        under the gradual policy) so the caller can still answer correctly.
+        """
+        insert_indices, delete_rowids = self._qualifying_pending(low, high)
+        if counters is not None and (insert_indices or delete_rowids):
+            counters.record_comparisons(
+                len(self._pending_insert_values) + len(self._pending_delete_rowids)
+            )
+
+        budget = None
+        if self.policy == "gradual":
+            budget = self.merge_batch
+
+        merged_insert_indices = []
+        for count, pending_index in enumerate(insert_indices):
+            if budget is not None and count >= budget:
+                break
+            value = self._pending_insert_values[pending_index]
+            rowid = self._pending_insert_rowids[pending_index]
+            self._ripple_insert_one(value, rowid, counters)
+            merged_insert_indices.append(pending_index)
+            self.merges_performed += 1
+        for pending_index in sorted(merged_insert_indices, reverse=True):
+            self._pending_insert_values.pop(pending_index)
+            self._pending_insert_rowids.pop(pending_index)
+
+        remaining_deletes = []
+        merged_deletes = 0
+        for rowid in delete_rowids:
+            if budget is not None and merged_deletes >= budget:
+                remaining_deletes.append(rowid)
+                continue
+            value = self._pending_delete_rowids[rowid]
+            if self._ripple_delete_one(rowid, value, counters):
+                del self._pending_delete_rowids[rowid]
+                merged_deletes += 1
+                self.merges_performed += 1
+            else:
+                remaining_deletes.append(rowid)
+
+        unmerged_inserts = [
+            i for i in range(len(self._pending_insert_values))
+            if self._in_range(self._pending_insert_values[i], low, high)
+        ]
+        return unmerged_inserts, remaining_deletes
+
+    @staticmethod
+    def _in_range(value, low, high) -> bool:
+        if low is not None and value < low:
+            return False
+        if high is not None and value >= high:
+            return False
+        return True
+
+    # -- the select operator ----------------------------------------------------------
+
+    def search(
+        self,
+        low: Optional[float],
+        high: Optional[float],
+        counters: Optional[CostCounters] = None,
+    ) -> np.ndarray:
+        """Row identifiers of visible rows with ``low <= value < high``.
+
+        Merges qualifying pending updates first (per the configured policy),
+        then cracks and answers from the cracker column.
+        """
+        self.queries_processed += 1
+        unmerged_inserts, unmerged_deletes = self._merge_pending(low, high, counters)
+
+        start, end = crack_range(
+            self._values[: self._length],
+            self._rowids[: self._length],
+            self.index,
+            low,
+            high,
+            counters,
+            sort_threshold=self.sort_threshold,
+        )
+        result_rowids = self._rowids[start:end]
+        if counters is not None:
+            counters.record_scan(max(0, end - start))
+
+        # under the gradual policy some qualifying updates may still be pending
+        extra = [self._pending_insert_rowids[i] for i in unmerged_inserts]
+        exclude = set(unmerged_deletes)
+        exclude.update(
+            r for r, v in self._pending_delete_rowids.items()
+            if self._in_range(v, low, high)
+        )
+        if exclude:
+            mask = ~np.isin(result_rowids, np.fromiter(exclude, dtype=np.int64))
+            result_rowids = result_rowids[mask]
+        if extra:
+            result_rowids = np.concatenate(
+                [result_rowids, np.asarray(extra, dtype=np.int64)]
+            )
+        return result_rowids.copy() if isinstance(result_rowids, np.ndarray) else result_rowids
+
+    # -- verification -----------------------------------------------------------------
+
+    def visible_values(self) -> np.ndarray:
+        """Multiset of currently visible values (reference for tests)."""
+        merged_mask = ~np.isin(
+            self.rowids,
+            np.fromiter(self._pending_delete_rowids.keys(), dtype=np.int64)
+            if self._pending_delete_rowids
+            else np.empty(0, dtype=np.int64),
+        )
+        merged = self.values[merged_mask]
+        pending = np.asarray(self._pending_insert_values, dtype=merged.dtype)
+        return np.concatenate([merged, pending]) if len(pending) else merged.copy()
+
+    def check_invariants(self) -> None:
+        """Verify piece bounds and boundary consistency (test helper)."""
+        self.index.check_invariants()
+        assert self.index.size == self._length
+        for piece in self.index.pieces():
+            segment = self._values[piece.start : piece.end]
+            if len(segment) == 0:
+                continue
+            if piece.low is not None:
+                assert segment.min() >= piece.low, f"{piece} violates low bound"
+            if piece.high is not None:
+                assert segment.max() < piece.high, f"{piece} violates high bound"

@@ -1,0 +1,179 @@
+"""The hybrid adaptive index: initial-partition mode × final-partition mode.
+
+:class:`HybridIndex` implements the algorithm family of PVLDB 2011.  The
+first query splits the column into initial partitions (organised per
+``initial_mode``); every query moves the not-yet-merged part of its key
+range from the initial partitions into the final partition (organised per
+``final_mode``) and answers from the final partition plus the tuples just
+moved.
+
+Canonical instances (exposed through the strategy registry):
+
+====================  =============  ===========
+name                  initial_mode   final_mode
+====================  =============  ===========
+hybrid-crack-crack    crack          crack
+hybrid-crack-sort     crack          sort
+hybrid-crack-radix    crack          radix
+hybrid-sort-sort      sort           sort
+hybrid-radix-radix    radix          radix
+====================  =============  ===========
+
+``hybrid-sort-sort`` is the main-memory formulation of adaptive merging;
+``hybrid-crack-crack`` is closest to plain cracking but with bounded piece
+sizes from the start.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.columnstore.column import Column
+from repro.core.hybrids.final_partition import FinalPartition
+from repro.core.hybrids.initial_partitions import (
+    CrackedInitialPartition,
+    InitialPartition,
+    RadixInitialPartition,
+    SortedInitialPartition,
+)
+from repro.core.merging.intervals import IntervalSet
+from repro.cost.counters import CostCounters
+
+
+class HybridIndex:
+    """Adaptive index combining one initial-partition and one final-partition mode."""
+
+    INITIAL_MODES = ("crack", "sort", "radix")
+    FINAL_MODES = ("crack", "sort", "radix")
+
+    def __init__(
+        self,
+        column: Union[Column, np.ndarray],
+        initial_mode: str = "crack",
+        final_mode: str = "sort",
+        partition_size: Optional[int] = None,
+        radix_bits: int = 4,
+        name: str = "",
+    ) -> None:
+        if initial_mode not in self.INITIAL_MODES:
+            raise ValueError(f"unknown initial_mode {initial_mode!r}")
+        if final_mode not in self.FINAL_MODES:
+            raise ValueError(f"unknown final_mode {final_mode!r}")
+        base = column.values if isinstance(column, Column) else np.asarray(column)
+        self.name = name or (column.name if isinstance(column, Column) else "")
+        self._base = base
+        self.initial_mode = initial_mode
+        self.final_mode = final_mode
+        self.partition_size = partition_size
+        self.radix_bits = int(radix_bits)
+        self.partitions: List[InitialPartition] = []
+        self.final = FinalPartition(mode=final_mode, radix_bits=radix_bits)
+        self.merged_ranges = IntervalSet()
+        self.queries_processed = 0
+        self.initialized = False
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    @property
+    def nbytes(self) -> int:
+        """Auxiliary storage of initial partitions plus the final partition."""
+        return sum(p.nbytes for p in self.partitions) + self.final.nbytes
+
+    @property
+    def fully_merged(self) -> bool:
+        """True when every tuple has moved into the final partition."""
+        return self.initialized and all(len(p) == 0 for p in self.partitions)
+
+    # -- initialization --------------------------------------------------------------
+
+    def _initialize(self, counters: Optional[CostCounters]) -> None:
+        n = len(self._base)
+        size = self.partition_size or max(1, int(np.sqrt(n))) if n else 1
+        for start in range(0, n, size):
+            end = min(start + size, n)
+            values = self._base[start:end]
+            rowids = np.arange(start, end, dtype=np.int64)
+            if self.initial_mode == "crack":
+                partition: InitialPartition = CrackedInitialPartition(
+                    values, rowids, counters
+                )
+            elif self.initial_mode == "sort":
+                partition = SortedInitialPartition(values, rowids, counters)
+            else:
+                partition = RadixInitialPartition(
+                    values, rowids, bits=self.radix_bits, counters=counters
+                )
+            self.partitions.append(partition)
+        self.initialized = True
+
+    # -- the select operator ------------------------------------------------------------
+
+    def search(
+        self,
+        low: Optional[float],
+        high: Optional[float],
+        counters: Optional[CostCounters] = None,
+    ) -> np.ndarray:
+        """Base positions of rows with ``low <= value < high`` (merging as a side effect)."""
+        self.queries_processed += 1
+        if not self.initialized:
+            self._initialize(counters)
+        if len(self._base) == 0:
+            return np.empty(0, dtype=np.int64)
+
+        effective_low = (
+            float(low) if low is not None else float(np.min(self._base))
+        )
+        effective_high = (
+            float(high)
+            if high is not None
+            else float(np.nextafter(np.max(self._base), np.inf))
+        )
+
+        if not self.merged_ranges.covers(effective_low, effective_high):
+            for gap_low, gap_high in self.merged_ranges.uncovered(
+                effective_low, effective_high
+            ):
+                self._merge_gap(gap_low, gap_high, counters)
+            self.merged_ranges.add(effective_low, effective_high)
+
+        return self.final.search(low, high, counters)
+
+    def _merge_gap(
+        self, gap_low: float, gap_high: float, counters: Optional[CostCounters]
+    ) -> None:
+        """Move [gap_low, gap_high) from every initial partition into the final one."""
+        values_parts: List[np.ndarray] = []
+        rowid_parts: List[np.ndarray] = []
+        for partition in self.partitions:
+            if len(partition) == 0:
+                continue
+            values, rowids = partition.extract_range(gap_low, gap_high, counters)
+            if len(values):
+                values_parts.append(values)
+                rowid_parts.append(rowids)
+        if not values_parts:
+            return
+        self.final.add_piece(
+            gap_low,
+            gap_high,
+            np.concatenate(values_parts),
+            np.concatenate(rowid_parts),
+            counters,
+        )
+
+    # -- verification --------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Content preservation across partitions and the final partition (tests)."""
+        if not self.initialized:
+            return
+        remaining = sum(len(p) for p in self.partitions)
+        assert remaining + len(self.final) == len(self._base), (
+            "tuples lost or duplicated during hybrid merging"
+        )
+        self.final.check_invariants()
+        self.merged_ranges.check_invariants()

@@ -1,0 +1,190 @@
+"""The adaptive merging select operator.
+
+Behaviour (Graefe & Kuno, EDBT 2010):
+
+* The **first query** performs run generation: the column is cut into
+  sorted runs (partitioned-B-tree partitions) and the query's own range is
+  immediately merged into the final partition.
+* **Every subsequent query** first serves whatever part of its range is
+  already in the final partition (two binary searches), then extracts the
+  still-unmerged part of the range from every run (binary searches + bulk
+  moves) and merges it into the final partition.
+* Once a key range has been merged, queries inside it touch only the final
+  partition — the adaptation overhead for that range is gone.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.columnstore.bulk import binary_search_count
+from repro.columnstore.column import Column
+from repro.core.merging.intervals import IntervalSet
+from repro.core.merging.runs import SortedRun, create_runs
+from repro.cost.counters import CostCounters
+
+
+class AdaptiveMergingIndex:
+    """Adaptive merging over sorted runs with a growing final partition."""
+
+    def __init__(
+        self,
+        column: Union[Column, np.ndarray],
+        run_size: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        base = column.values if isinstance(column, Column) else np.asarray(column)
+        self.name = name or (column.name if isinstance(column, Column) else "")
+        self._base = base
+        self.run_size = run_size
+        self.runs: List[SortedRun] = []
+        self.final_values = np.empty(0, dtype=base.dtype)
+        self.final_rowids = np.empty(0, dtype=np.int64)
+        self.merged_ranges = IntervalSet()
+        self.queries_processed = 0
+        self.initialized = False
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    @property
+    def nbytes(self) -> int:
+        """Auxiliary storage: runs plus the final partition."""
+        run_bytes = sum(run.nbytes for run in self.runs)
+        return int(run_bytes + self.final_values.nbytes + self.final_rowids.nbytes)
+
+    @property
+    def run_count(self) -> int:
+        """Number of non-empty runs remaining."""
+        return sum(1 for run in self.runs if len(run) > 0)
+
+    @property
+    def fully_merged(self) -> bool:
+        """True once every tuple has moved into the final partition."""
+        return self.initialized and all(len(run) == 0 for run in self.runs)
+
+    # -- initialization --------------------------------------------------------------
+
+    def _initialize(self, counters: Optional[CostCounters]) -> None:
+        self.runs = create_runs(self._base, run_size=self.run_size, counters=counters)
+        self.initialized = True
+
+    # -- merging -----------------------------------------------------------------------
+
+    def _merge_range(
+        self,
+        low: float,
+        high: float,
+        counters: Optional[CostCounters],
+    ) -> None:
+        """Extract [low, high) from every run and merge into the final partition.
+
+        Callers must pass a range that contains no already-merged values
+        (the search path iterates over the *uncovered* gaps of the query
+        range), so the extracted block is contiguous in value space with
+        respect to the final partition and can be spliced in at one spot.
+        """
+        extracted_values: List[np.ndarray] = []
+        extracted_rowids: List[np.ndarray] = []
+        for run in self.runs:
+            if len(run) == 0:
+                continue
+            values, rowids = run.extract_range(low, high, counters)
+            if len(values):
+                extracted_values.append(values)
+                extracted_rowids.append(rowids)
+        if not extracted_values:
+            return
+        new_values = np.concatenate(extracted_values)
+        new_rowids = np.concatenate(extracted_rowids)
+        order = np.argsort(new_values, kind="stable")
+        new_values = new_values[order]
+        new_rowids = new_rowids[order]
+        if counters is not None:
+            k = len(new_values)
+            counters.record_comparisons(int(k * max(1.0, np.log2(max(k, 2)))))
+            counters.record_move(k)
+
+        if len(self.final_values) == 0:
+            self.final_values = new_values
+            self.final_rowids = new_rowids
+        else:
+            # splice the new sorted block into the sorted final partition
+            insert_at = int(np.searchsorted(self.final_values, new_values[0], side="left"))
+            self.final_values = np.concatenate(
+                [self.final_values[:insert_at], new_values, self.final_values[insert_at:]]
+            )
+            self.final_rowids = np.concatenate(
+                [self.final_rowids[:insert_at], new_rowids, self.final_rowids[insert_at:]]
+            )
+            if counters is not None:
+                counters.record_move(len(new_values))
+                counters.record_comparisons(binary_search_count(len(self.final_values)))
+
+    # -- the select operator --------------------------------------------------------------
+
+    def search(
+        self,
+        low: Optional[float],
+        high: Optional[float],
+        counters: Optional[CostCounters] = None,
+    ) -> np.ndarray:
+        """Base positions of rows with ``low <= value < high`` (merging as a side effect)."""
+        self.queries_processed += 1
+        if not self.initialized:
+            self._initialize(counters)
+
+        effective_low = float(low) if low is not None else float(np.min(self._base)) if len(self._base) else 0.0
+        effective_high = (
+            float(high)
+            if high is not None
+            else float(np.nextafter(np.max(self._base), np.inf)) if len(self._base) else 0.0
+        )
+
+        if not self.merged_ranges.covers(effective_low, effective_high):
+            for gap_low, gap_high in self.merged_ranges.uncovered(
+                effective_low, effective_high
+            ):
+                self._merge_range(gap_low, gap_high, counters)
+            self.merged_ranges.add(effective_low, effective_high)
+
+        n = len(self.final_values)
+        begin = 0 if low is None else int(np.searchsorted(self.final_values, low, side="left"))
+        end = n if high is None else int(np.searchsorted(self.final_values, high, side="left"))
+        end = max(end, begin)
+        if counters is not None:
+            counters.record_comparisons(2 * binary_search_count(n))
+            counters.record_scan(end - begin)
+        return self.final_rowids[begin:end].copy()
+
+    def search_values(
+        self,
+        low: Optional[float],
+        high: Optional[float],
+        counters: Optional[CostCounters] = None,
+    ) -> np.ndarray:
+        """Qualifying values in sorted order (merging as a side effect)."""
+        positions = self.search(low, high, counters)
+        return self._base[positions]
+
+    # -- verification ----------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Content preservation and sortedness checks (test helper)."""
+        if not self.initialized:
+            return
+        total = len(self.final_values) + sum(len(run) for run in self.runs)
+        assert total == len(self._base), "tuples lost or duplicated during merging"
+        assert bool(
+            np.all(self.final_values[:-1] <= self.final_values[1:])
+        ) if len(self.final_values) > 1 else True, "final partition not sorted"
+        for run in self.runs:
+            assert run.is_sorted(), "run lost its sortedness"
+        # rowid alignment
+        if len(self.final_values):
+            assert np.array_equal(
+                self._base[self.final_rowids], self.final_values
+            ), "final partition misaligned with base column"
+        self.merged_ranges.check_invariants()

@@ -1,0 +1,100 @@
+"""Disjoint half-open interval bookkeeping.
+
+Adaptive merging must remember which key ranges have already been merged
+into the final partition so that (a) fully-merged ranges are served without
+touching the runs at all ("overhead ... disappears when a range has been
+fully-optimized") and (b) convergence can be measured structurally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class IntervalSet:
+    """A set of disjoint half-open intervals ``[low, high)`` over floats."""
+
+    def __init__(self) -> None:
+        self._intervals: List[Tuple[float, float]] = []
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self):
+        return iter(self._intervals)
+
+    @property
+    def intervals(self) -> List[Tuple[float, float]]:
+        """The disjoint intervals, sorted by lower bound (copy)."""
+        return list(self._intervals)
+
+    def is_empty(self) -> bool:
+        return not self._intervals
+
+    def total_length(self) -> float:
+        """Sum of interval lengths."""
+        return sum(high - low for low, high in self._intervals)
+
+    def add(self, low: float, high: float) -> None:
+        """Add ``[low, high)``, merging with overlapping or adjacent intervals."""
+        if high < low:
+            raise ValueError(f"invalid interval: high ({high}) < low ({low})")
+        if high == low:
+            return
+        merged: List[Tuple[float, float]] = []
+        placed = False
+        for existing_low, existing_high in self._intervals:
+            if existing_high < low or existing_low > high:
+                merged.append((existing_low, existing_high))
+            else:
+                low = min(low, existing_low)
+                high = max(high, existing_high)
+        for index, (existing_low, _) in enumerate(merged):
+            if existing_low > low:
+                merged.insert(index, (low, high))
+                placed = True
+                break
+        if not placed:
+            merged.append((low, high))
+        self._intervals = merged
+
+    def covers(self, low: float, high: float) -> bool:
+        """True when ``[low, high)`` is entirely inside one stored interval."""
+        if high <= low:
+            return True
+        for existing_low, existing_high in self._intervals:
+            if existing_low <= low and high <= existing_high:
+                return True
+        return False
+
+    def contains_point(self, value: float) -> bool:
+        """True when ``value`` lies inside some stored interval."""
+        return any(low <= value < high for low, high in self._intervals)
+
+    def uncovered(self, low: float, high: float) -> List[Tuple[float, float]]:
+        """Sub-intervals of ``[low, high)`` not covered by the set."""
+        if high <= low:
+            return []
+        gaps: List[Tuple[float, float]] = []
+        cursor = low
+        for existing_low, existing_high in self._intervals:
+            if existing_high <= cursor:
+                continue
+            if existing_low >= high:
+                break
+            if existing_low > cursor:
+                gaps.append((cursor, min(existing_low, high)))
+            cursor = max(cursor, existing_high)
+            if cursor >= high:
+                break
+        if cursor < high:
+            gaps.append((cursor, high))
+        return gaps
+
+    def check_invariants(self) -> None:
+        """Disjointness and ordering checks (test helper)."""
+        for (low1, high1), (low2, high2) in zip(self._intervals, self._intervals[1:]):
+            assert low1 < high1, "degenerate interval stored"
+            assert low2 < high2, "degenerate interval stored"
+            assert high1 < low2 or (high1 <= low2), "intervals overlap or are unsorted"
+            assert low1 <= low2, "intervals are unsorted"

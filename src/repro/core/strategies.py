@@ -1,0 +1,337 @@
+"""Uniform strategy registry over baselines and adaptive indexes.
+
+The adaptive-indexing benchmark compares a wide spectrum of techniques —
+plain scans, a-priori full indexes, sort-on-first-query, database cracking
+and its variants, adaptive merging and the hybrids.  To keep the engine and
+the benchmark harness agnostic of which technique is in use, every technique
+is wrapped as a :class:`SearchStrategy`: construct it over a column, then
+call :meth:`SearchStrategy.search` for each range query.
+
+New strategies can be plugged in with :func:`register_strategy`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.columnstore.column import Column
+from repro.columnstore.select import RangePredicate, scan_select
+from repro.core.cracking.cracked_column import CrackedColumn
+from repro.core.cracking.stochastic import StochasticCrackedColumn
+from repro.core.hybrids.hybrid_index import HybridIndex
+from repro.core.merging.adaptive_merge import AdaptiveMergingIndex
+from repro.cost.counters import CostCounters
+from repro.indexes.full_index import FullIndex
+
+
+def _as_array(column: Union[Column, np.ndarray]) -> np.ndarray:
+    return column.values if isinstance(column, Column) else np.asarray(column)
+
+
+class SearchStrategy(ABC):
+    """A named range-search technique over one column."""
+
+    #: registry name; subclasses set this
+    name: str = ""
+
+    def __init__(self, column: Union[Column, np.ndarray], **options) -> None:
+        self._column = column
+        self._array = _as_array(column)
+        self.options = options
+        self.queries_processed = 0
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+    @abstractmethod
+    def search(
+        self,
+        low: Optional[float],
+        high: Optional[float],
+        counters: Optional[CostCounters] = None,
+    ) -> np.ndarray:
+        """Positions (into the base column) of rows with ``low <= value < high``."""
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of auxiliary structures held by the strategy (0 by default)."""
+        return 0
+
+    @property
+    def structure_description(self) -> str:
+        """One-line summary of the current physical state (for reports)."""
+        return f"{self.name} over {len(self)} rows"
+
+    def reference_search(self, low: Optional[float], high: Optional[float]) -> np.ndarray:
+        """Scan-based reference answer (used by tests to validate any strategy)."""
+        return scan_select(self._array, RangePredicate(low, high))
+
+
+class ScanStrategy(SearchStrategy):
+    """Baseline: answer every query with a full scan, never build anything."""
+
+    name = "scan"
+
+    def search(self, low, high, counters=None):
+        self.queries_processed += 1
+        return scan_select(self._array, RangePredicate(low, high), counters)
+
+
+class FullIndexStrategy(SearchStrategy):
+    """Baseline: a full index built before the workload starts (offline indexing).
+
+    The build cost is *not* charged to any query (it is assumed to have been
+    paid offline in idle time); :attr:`build_counters` exposes it so
+    experiments can report it separately.
+    """
+
+    name = "full-index"
+
+    def __init__(self, column, **options):
+        super().__init__(column, **options)
+        self.index = FullIndex(self._array)
+        self.build_counters = self.index.build_counters
+
+    def search(self, low, high, counters=None):
+        self.queries_processed += 1
+        return self.index.search(low, high, counters)
+
+    @property
+    def nbytes(self) -> int:
+        return self.index.nbytes
+
+
+class SortFirstStrategy(SearchStrategy):
+    """Baseline: build the full index during the *first* query (sort-first).
+
+    This is the "create the index when you first need it" alternative; its
+    first query pays the entire sort, after which every query runs at full
+    index cost.
+    """
+
+    name = "sort-first"
+
+    def __init__(self, column, **options):
+        super().__init__(column, **options)
+        self.index: Optional[FullIndex] = None
+
+    def search(self, low, high, counters=None):
+        self.queries_processed += 1
+        if self.index is None:
+            self.index = FullIndex(self._array, counters=counters)
+        return self.index.search(low, high, counters)
+
+    @property
+    def nbytes(self) -> int:
+        return self.index.nbytes if self.index is not None else 0
+
+
+class CrackingStrategy(SearchStrategy):
+    """Standard selection cracking (CIDR 2007)."""
+
+    name = "cracking"
+
+    def __init__(self, column, **options):
+        super().__init__(column, **options)
+        self.cracked = CrackedColumn(
+            column,
+            sort_threshold=options.get("sort_threshold", 0),
+            lazy_copy=True,
+        )
+
+    def search(self, low, high, counters=None):
+        self.queries_processed += 1
+        return self.cracked.search(low, high, counters)
+
+    @property
+    def nbytes(self) -> int:
+        return self.cracked.nbytes
+
+    @property
+    def structure_description(self) -> str:
+        return f"cracking: {self.cracked.piece_count} pieces"
+
+
+class CrackingSortedPiecesStrategy(CrackingStrategy):
+    """Cracking that fully sorts pieces once they shrink below a threshold."""
+
+    name = "cracking-sort-pieces"
+
+    def __init__(self, column, **options):
+        options.setdefault("sort_threshold", 128)
+        super().__init__(column, **options)
+
+
+class StochasticCrackingStrategy(SearchStrategy):
+    """Stochastic cracking (random auxiliary cuts; robust to adversarial patterns)."""
+
+    name = "stochastic-cracking"
+
+    def __init__(self, column, **options):
+        super().__init__(column, **options)
+        self.cracked = StochasticCrackedColumn(
+            column,
+            variant=options.get("variant", "ddr"),
+            size_threshold_fraction=options.get("size_threshold_fraction", 0.01),
+            seed=options.get("seed", 0),
+            sort_threshold=options.get("sort_threshold", 0),
+        )
+
+    def search(self, low, high, counters=None):
+        self.queries_processed += 1
+        return self.cracked.search(low, high, counters)
+
+    @property
+    def nbytes(self) -> int:
+        return self.cracked.nbytes
+
+    @property
+    def structure_description(self) -> str:
+        return f"stochastic cracking ({self.cracked.variant}): {self.cracked.piece_count} pieces"
+
+
+class AdaptiveMergingStrategy(SearchStrategy):
+    """Adaptive merging over sorted runs (EDBT 2010)."""
+
+    name = "adaptive-merging"
+
+    def __init__(self, column, **options):
+        super().__init__(column, **options)
+        self.index = AdaptiveMergingIndex(
+            column, run_size=options.get("run_size")
+        )
+
+    def search(self, low, high, counters=None):
+        self.queries_processed += 1
+        return self.index.search(low, high, counters)
+
+    @property
+    def nbytes(self) -> int:
+        return self.index.nbytes
+
+    @property
+    def structure_description(self) -> str:
+        return (
+            f"adaptive merging: {self.index.run_count} runs left, "
+            f"{len(self.index.final_values)} tuples merged"
+        )
+
+
+class _HybridStrategyBase(SearchStrategy):
+    """Shared implementation of the hybrid strategies."""
+
+    initial_mode = "crack"
+    final_mode = "sort"
+
+    def __init__(self, column, **options):
+        super().__init__(column, **options)
+        self.index = HybridIndex(
+            column,
+            initial_mode=options.get("initial_mode", self.initial_mode),
+            final_mode=options.get("final_mode", self.final_mode),
+            partition_size=options.get("partition_size"),
+            radix_bits=options.get("radix_bits", 4),
+        )
+
+    def search(self, low, high, counters=None):
+        self.queries_processed += 1
+        return self.index.search(low, high, counters)
+
+    @property
+    def nbytes(self) -> int:
+        return self.index.nbytes
+
+    @property
+    def structure_description(self) -> str:
+        return (
+            f"{self.name}: {len(self.index.final)} tuples in final partition "
+            f"({self.index.final.piece_count} pieces)"
+        )
+
+
+class HybridCrackCrackStrategy(_HybridStrategyBase):
+    """Hybrid crack-crack (HCC): lazy everywhere, closest to plain cracking."""
+
+    name = "hybrid-crack-crack"
+    initial_mode = "crack"
+    final_mode = "crack"
+
+
+class HybridCrackSortStrategy(_HybridStrategyBase):
+    """Hybrid crack-sort (HCS): lazy initial partitions, sorted final pieces."""
+
+    name = "hybrid-crack-sort"
+    initial_mode = "crack"
+    final_mode = "sort"
+
+
+class HybridCrackRadixStrategy(_HybridStrategyBase):
+    """Hybrid crack-radix (HCR): lazy initial partitions, radix-clustered final pieces."""
+
+    name = "hybrid-crack-radix"
+    initial_mode = "crack"
+    final_mode = "radix"
+
+
+class HybridSortSortStrategy(_HybridStrategyBase):
+    """Hybrid sort-sort (HSS): sorted runs + sorted final pieces (adaptive merging)."""
+
+    name = "hybrid-sort-sort"
+    initial_mode = "sort"
+    final_mode = "sort"
+
+
+class HybridRadixRadixStrategy(_HybridStrategyBase):
+    """Hybrid radix-radix (HRR): radix-clustered initial and final partitions."""
+
+    name = "hybrid-radix-radix"
+    initial_mode = "radix"
+    final_mode = "radix"
+
+
+_REGISTRY: Dict[str, Callable[..., SearchStrategy]] = {}
+
+
+def register_strategy(name: str, factory: Callable[..., SearchStrategy]) -> None:
+    """Register a strategy factory under ``name`` (overwrites existing names)."""
+    if not name:
+        raise ValueError("strategy name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_strategies() -> List[str]:
+    """Names of all registered strategies, sorted."""
+    return sorted(_REGISTRY)
+
+
+def create_strategy(
+    name: str, column: Union[Column, np.ndarray], **options
+) -> SearchStrategy:
+    """Instantiate the strategy registered under ``name`` over ``column``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; available: {available_strategies()}"
+        ) from None
+    return factory(column, **options)
+
+
+for _cls in (
+    ScanStrategy,
+    FullIndexStrategy,
+    SortFirstStrategy,
+    CrackingStrategy,
+    CrackingSortedPiecesStrategy,
+    StochasticCrackingStrategy,
+    AdaptiveMergingStrategy,
+    HybridCrackCrackStrategy,
+    HybridCrackSortStrategy,
+    HybridCrackRadixStrategy,
+    HybridSortSortStrategy,
+    HybridRadixRadixStrategy,
+):
+    register_strategy(_cls.name, _cls)

@@ -1,0 +1,29 @@
+"""Cost accounting and instrumentation.
+
+Every operator and index strategy in the library reports its work through a
+:class:`~repro.cost.counters.CostCounters` instance.  The counters are
+deterministic (tuples scanned, tuples moved, comparisons, random accesses,
+bytes allocated) so experiment *shapes* are machine independent, while the
+:class:`~repro.cost.timer.Timer` provides wall-clock measurements for the
+benchmark harness.
+
+The :class:`~repro.cost.model.CostModel` converts logical counters into an
+abstract cost figure with configurable weights, which is how the disk-based
+trade-offs of adaptive merging are studied without a disk (see DESIGN.md,
+substitution table).
+"""
+
+from repro.cost.counters import CostCounters
+from repro.cost.model import CostModel, DEFAULT_MAIN_MEMORY_MODEL, DISK_MODEL
+from repro.cost.stats import QueryStatistics, WorkloadStatistics
+from repro.cost.timer import Timer
+
+__all__ = [
+    "CostCounters",
+    "CostModel",
+    "DEFAULT_MAIN_MEMORY_MODEL",
+    "DISK_MODEL",
+    "QueryStatistics",
+    "WorkloadStatistics",
+    "Timer",
+]

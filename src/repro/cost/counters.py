@@ -1,0 +1,155 @@
+"""Deterministic logical cost counters.
+
+The adaptive-indexing literature reports results as response times on a
+specific machine.  A Python reproduction cannot match those absolute numbers,
+but the *shape* of every curve (first-query overhead, convergence, crossover
+points) is determined by how much data each algorithm touches.  The counters
+in this module capture exactly that: every operator and every index strategy
+increments the counters of the :class:`CostCounters` instance it was given.
+
+Counters are plain integers and support addition, subtraction (for deltas),
+snapshots and dictionary export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class CostCounters:
+    """Mutable bundle of logical work counters.
+
+    Attributes
+    ----------
+    tuples_scanned:
+        Number of tuples read sequentially (scans, filters, merges reading
+        their input).
+    tuples_moved:
+        Number of tuples physically relocated (cracking swaps, partitioning,
+        merge output, sort movements).
+    comparisons:
+        Number of value comparisons performed by index navigation, binary
+        search and sorting.  Vectorised filters count one comparison per
+        element examined.
+    random_accesses:
+        Number of non-sequential accesses (index probes, piece lookups,
+        scattered fetches during tuple reconstruction).
+    bytes_allocated:
+        Bytes of auxiliary memory allocated (cracker columns, runs, maps).
+    pieces_created:
+        Number of index pieces/partitions created (cracker pieces, runs,
+        merged ranges); a structural counter used by convergence analyses.
+    """
+
+    tuples_scanned: int = 0
+    tuples_moved: int = 0
+    comparisons: int = 0
+    random_accesses: int = 0
+    bytes_allocated: int = 0
+    pieces_created: int = 0
+
+    extra: dict = field(default_factory=dict)
+
+    # -- recording helpers -------------------------------------------------
+
+    def record_scan(self, count: int) -> None:
+        """Record ``count`` tuples read sequentially."""
+        self.tuples_scanned += int(count)
+
+    def record_move(self, count: int) -> None:
+        """Record ``count`` tuples physically relocated."""
+        self.tuples_moved += int(count)
+
+    def record_comparisons(self, count: int) -> None:
+        """Record ``count`` value comparisons."""
+        self.comparisons += int(count)
+
+    def record_random_access(self, count: int = 1) -> None:
+        """Record ``count`` non-sequential accesses."""
+        self.random_accesses += int(count)
+
+    def record_allocation(self, nbytes: int) -> None:
+        """Record ``nbytes`` bytes of auxiliary memory allocated."""
+        self.bytes_allocated += int(nbytes)
+
+    def record_pieces(self, count: int = 1) -> None:
+        """Record creation of ``count`` new index pieces."""
+        self.pieces_created += int(count)
+
+    def record_extra(self, name: str, count: int = 1) -> None:
+        """Record an ad-hoc named counter (kept in :attr:`extra`)."""
+        self.extra[name] = self.extra.get(name, 0) + int(count)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _numeric_fields(self):
+        return [f.name for f in fields(self) if f.name != "extra"]
+
+    def copy(self) -> "CostCounters":
+        """Return an independent snapshot of the current counters."""
+        snapshot = CostCounters(
+            **{name: getattr(self, name) for name in self._numeric_fields()}
+        )
+        snapshot.extra = dict(self.extra)
+        return snapshot
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for name in self._numeric_fields():
+            setattr(self, name, 0)
+        self.extra.clear()
+
+    def __add__(self, other: "CostCounters") -> "CostCounters":
+        if not isinstance(other, CostCounters):
+            return NotImplemented
+        result = CostCounters(
+            **{
+                name: getattr(self, name) + getattr(other, name)
+                for name in self._numeric_fields()
+            }
+        )
+        result.extra = dict(self.extra)
+        for key, value in other.extra.items():
+            result.extra[key] = result.extra.get(key, 0) + value
+        return result
+
+    def __sub__(self, other: "CostCounters") -> "CostCounters":
+        if not isinstance(other, CostCounters):
+            return NotImplemented
+        result = CostCounters(
+            **{
+                name: getattr(self, name) - getattr(other, name)
+                for name in self._numeric_fields()
+            }
+        )
+        result.extra = {
+            key: self.extra.get(key, 0) - other.extra.get(key, 0)
+            for key in set(self.extra) | set(other.extra)
+        }
+        return result
+
+    def __iadd__(self, other: "CostCounters") -> "CostCounters":
+        if not isinstance(other, CostCounters):
+            return NotImplemented
+        for name in self._numeric_fields():
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0) + value
+        return self
+
+    # -- export ------------------------------------------------------------
+
+    def total_touched(self) -> int:
+        """Total tuples touched: scanned plus moved plus random accesses."""
+        return self.tuples_scanned + self.tuples_moved + self.random_accesses
+
+    def as_dict(self) -> dict:
+        """Export all counters (including extras) as a flat dictionary."""
+        result = {name: getattr(self, name) for name in self._numeric_fields()}
+        result.update(self.extra)
+        return result
+
+    def is_zero(self) -> bool:
+        """Return True when every counter (including extras) is zero."""
+        return all(value == 0 for value in self.as_dict().values())

@@ -1,0 +1,174 @@
+"""Per-query and per-workload statistics containers.
+
+These containers are produced by the engine (:mod:`repro.engine`) and by the
+adaptive-indexing benchmark harness (:mod:`repro.workloads.benchmark`).  They
+record, for every query of a workload, the wall-clock time, the logical cost
+counters, and the result cardinality — everything the experiments in
+EXPERIMENTS.md need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.cost.counters import CostCounters
+from repro.cost.model import CostModel, DEFAULT_MAIN_MEMORY_MODEL
+
+
+@dataclass
+class QueryStatistics:
+    """Statistics of a single executed query."""
+
+    query_index: int
+    elapsed_seconds: float
+    counters: CostCounters
+    result_count: int = 0
+    strategy: str = ""
+    description: str = ""
+
+    def logical_cost(self, model: CostModel = DEFAULT_MAIN_MEMORY_MODEL) -> float:
+        """Weighted logical cost under the given cost model."""
+        return model.cost(self.counters)
+
+    def as_dict(self) -> dict:
+        record = {
+            "query_index": self.query_index,
+            "elapsed_seconds": self.elapsed_seconds,
+            "result_count": self.result_count,
+            "strategy": self.strategy,
+            "description": self.description,
+        }
+        record.update(self.counters.as_dict())
+        return record
+
+
+@dataclass
+class WorkloadStatistics:
+    """Statistics of a full query sequence executed against one strategy."""
+
+    strategy: str = ""
+    queries: List[QueryStatistics] = field(default_factory=list)
+
+    def append(self, stats: QueryStatistics) -> None:
+        self.queries.append(stats)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(q.elapsed_seconds for q in self.queries)
+
+    @property
+    def per_query_seconds(self) -> List[float]:
+        return [q.elapsed_seconds for q in self.queries]
+
+    def cumulative_seconds(self) -> List[float]:
+        """Running sum of per-query wall-clock times."""
+        total = 0.0
+        cumulative = []
+        for query in self.queries:
+            total += query.elapsed_seconds
+            cumulative.append(total)
+        return cumulative
+
+    def per_query_cost(
+        self, model: CostModel = DEFAULT_MAIN_MEMORY_MODEL
+    ) -> List[float]:
+        """Per-query logical cost under ``model``."""
+        return [q.logical_cost(model) for q in self.queries]
+
+    def cumulative_cost(
+        self, model: CostModel = DEFAULT_MAIN_MEMORY_MODEL
+    ) -> List[float]:
+        """Running sum of per-query logical cost under ``model``."""
+        total = 0.0
+        cumulative = []
+        for query in self.queries:
+            total += query.logical_cost(model)
+            cumulative.append(total)
+        return cumulative
+
+    def total_counters(self) -> CostCounters:
+        """Sum of the logical counters over the whole workload."""
+        total = CostCounters()
+        for query in self.queries:
+            total += query.counters
+        return total
+
+    def first_query_cost(
+        self, model: CostModel = DEFAULT_MAIN_MEMORY_MODEL
+    ) -> Optional[float]:
+        """Logical cost of the first query (None for an empty workload).
+
+        This is metric (1) of the adaptive-indexing benchmark
+        (Graefe et al., TPCTC 2010): the initialization cost incurred by the
+        first query.
+        """
+        if not self.queries:
+            return None
+        return self.queries[0].logical_cost(model)
+
+    def convergence_query(
+        self,
+        reference_cost: float,
+        tolerance: float = 1.1,
+        model: CostModel = DEFAULT_MAIN_MEMORY_MODEL,
+        consecutive: int = 5,
+    ) -> Optional[int]:
+        """Index of the query after which cost stays within tolerance.
+
+        This is metric (2) of the adaptive-indexing benchmark: the number of
+        queries processed before a random query is answered at (near) full
+        index cost.  A strategy *converged* at query ``i`` when queries
+        ``i .. i+consecutive-1`` all cost at most ``tolerance *
+        reference_cost``.  Returns ``None`` when convergence is never
+        reached.
+        """
+        if reference_cost <= 0:
+            raise ValueError("reference_cost must be positive")
+        if consecutive < 1:
+            raise ValueError("consecutive must be >= 1")
+        costs = self.per_query_cost(model)
+        threshold = tolerance * reference_cost
+        run = 0
+        for index, cost in enumerate(costs):
+            if cost <= threshold:
+                run += 1
+                if run >= consecutive:
+                    return index - consecutive + 1
+            else:
+                run = 0
+        return None
+
+    def as_records(self) -> List[dict]:
+        """Export one dictionary per query (for tabular output)."""
+        return [q.as_dict() for q in self.queries]
+
+
+def merge_workload_statistics(
+    parts: Iterable[WorkloadStatistics], strategy: str = ""
+) -> WorkloadStatistics:
+    """Concatenate several workload statistics into one (re-indexing queries)."""
+    merged = WorkloadStatistics(strategy=strategy)
+    index = 0
+    for part in parts:
+        for query in part.queries:
+            merged.append(
+                QueryStatistics(
+                    query_index=index,
+                    elapsed_seconds=query.elapsed_seconds,
+                    counters=query.counters.copy(),
+                    result_count=query.result_count,
+                    strategy=strategy or query.strategy,
+                    description=query.description,
+                )
+            )
+            index += 1
+    return merged

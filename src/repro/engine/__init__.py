@@ -1,0 +1,25 @@
+"""Query engine facade.
+
+The engine ties the substrate together the way an "auto-tuning kernel"
+(tutorial, Section 2) would: a :class:`~repro.engine.database.Database`
+owns tables, each table's columns can be put under any indexing mode
+(scan-only, offline full index, online tuning, soft indexes, or any adaptive
+strategy), and queries are planned and executed through the same operators
+regardless of the mode — physical design differences stay invisible to the
+query author, exactly as adaptive indexing promises.
+"""
+
+from repro.engine.database import Database
+from repro.engine.query import Query, RangeSelection
+from repro.engine.planner import Planner, PlanStep
+from repro.engine.executor import Executor, QueryResult
+
+__all__ = [
+    "Database",
+    "Query",
+    "RangeSelection",
+    "Planner",
+    "PlanStep",
+    "Executor",
+    "QueryResult",
+]

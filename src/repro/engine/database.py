@@ -1,0 +1,304 @@
+"""The Database facade: tables, physical design modes, query execution.
+
+A :class:`Database` owns tables and, for each (table, column), an *indexing
+mode* describing the physical design used to answer selections on that
+column:
+
+``"scan"``
+    no index; every selection scans (the default);
+``"full-index"``
+    a full offline index, built when the mode is set (idle time);
+``"online"``
+    the online tuner (:class:`~repro.indexes.online_tuner.OnlineIndexTuner`)
+    monitors selections and builds a full index when the benefit threshold
+    is crossed;
+``"soft"``
+    soft indexes: recommendation during processing, non-incremental build
+    piggy-backed on a scan;
+any adaptive strategy name (``"cracking"``, ``"adaptive-merging"``,
+``"hybrid-crack-sort"``, ...)
+    the corresponding :class:`~repro.core.strategies.SearchStrategy` answers
+    and refines itself incrementally.
+
+Additionally a table can be put under **sideways cracking** for a selection
+attribute (:meth:`enable_sideways`), which takes over multi-column
+select/project queries on that attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.columnstore.column import Column
+from repro.columnstore.select import RangePredicate
+from repro.columnstore.storage import MemoryTracker, StorageBudget
+from repro.columnstore.table import Table
+from repro.core.cracking.sideways import SidewaysCracker
+from repro.core.strategies import SearchStrategy, available_strategies, create_strategy
+from repro.cost.counters import CostCounters
+from repro.cost.stats import QueryStatistics, WorkloadStatistics
+from repro.cost.timer import Timer
+from repro.engine.executor import Executor, QueryResult
+from repro.engine.planner import Plan, Planner
+from repro.engine.query import Query
+from repro.indexes.full_index import FullIndex
+from repro.indexes.online_tuner import OnlineIndexTuner
+from repro.indexes.soft_index import SoftIndexManager
+
+
+_MANAGED_MODES = ("scan", "full-index", "online", "soft")
+
+
+class Database:
+    """An in-memory column-store database with pluggable physical design."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        # (table, column) -> mode string
+        self._modes: Dict[Tuple[str, str], str] = {}
+        # (table, column) -> access-path object for that mode
+        self._access_paths: Dict[Tuple[str, str], object] = {}
+        # table -> head column -> SidewaysCracker
+        self._sideways: Dict[str, Dict[str, SidewaysCracker]] = {}
+        self.memory = MemoryTracker()
+        self.planner = Planner(self)
+        self.executor = Executor(self)
+        self.queries_executed = 0
+
+    # -- schema management --------------------------------------------------------
+
+    def create_table(
+        self, name: str, columns: Mapping[str, Union[Column, np.ndarray, Iterable]]
+    ) -> Table:
+        """Create and register a table from a mapping column-name -> values."""
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists")
+        table = Table(name, columns)
+        self._tables[name] = table
+        self.memory.set_usage(f"table:{name}", table.nbytes)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and all physical structures attached to it."""
+        if name not in self._tables:
+            raise KeyError(f"no table {name!r}")
+        del self._tables[name]
+        self._modes = {k: v for k, v in self._modes.items() if k[0] != name}
+        self._access_paths = {
+            k: v for k, v in self._access_paths.items() if k[0] != name
+        }
+        self._sideways.pop(name, None)
+        self.memory.remove(f"table:{name}")
+
+    def table(self, name: str) -> Table:
+        """Return the table named ``name``."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(
+                f"no table {name!r}; available: {sorted(self._tables)}"
+            ) from None
+
+    @property
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    # -- physical design ------------------------------------------------------------
+
+    def set_indexing(self, table: str, column: str, mode: str, **options) -> None:
+        """Choose the indexing mode for selections on ``table.column``."""
+        owning_table = self.table(table)
+        if column not in owning_table:
+            raise KeyError(f"no column {column!r} in table {table!r}")
+        known_adaptive = available_strategies()
+        if mode not in _MANAGED_MODES and mode not in known_adaptive:
+            raise ValueError(
+                f"unknown indexing mode {mode!r}; "
+                f"managed modes: {_MANAGED_MODES}, strategies: {known_adaptive}"
+            )
+        key = (table, column)
+        self._modes[key] = mode
+        base_column = owning_table.column(column)
+        if mode == "scan":
+            self._access_paths.pop(key, None)
+        elif mode == "full-index":
+            index = FullIndex(base_column, name=column)
+            self._access_paths[key] = index
+            self.memory.set_usage(f"index:{table}.{column}", index.nbytes)
+        elif mode == "online":
+            self._access_paths[key] = OnlineIndexTuner(
+                build_threshold_factor=options.get("build_threshold_factor", 1.0),
+                decay=options.get("decay", 0.995),
+                max_indexes=options.get("max_indexes"),
+            )
+        elif mode == "soft":
+            self._access_paths[key] = SoftIndexManager(
+                recommendation_threshold=options.get("recommendation_threshold", 3)
+            )
+        else:
+            strategy = create_strategy(mode, base_column, **options)
+            self._access_paths[key] = strategy
+
+    def indexing_mode(self, table: str, column: str) -> Optional[str]:
+        """Current indexing mode of ``table.column`` (None = never set = scan)."""
+        return self._modes.get((table, column))
+
+    def access_path(self, table: str, column: str):
+        """The physical access-path object for ``table.column`` (or None)."""
+        return self._access_paths.get((table, column))
+
+    def enable_sideways(
+        self,
+        table: str,
+        head_column: str,
+        budget: Optional[StorageBudget] = None,
+        **options,
+    ) -> SidewaysCracker:
+        """Enable sideways cracking for selections on ``table.head_column``."""
+        owning_table = self.table(table)
+        cracker = SidewaysCracker(
+            owning_table, head_column, budget=budget,
+            sort_threshold=options.get("sort_threshold", 0),
+        )
+        self._sideways.setdefault(table, {})[head_column] = cracker
+        return cracker
+
+    def has_sideways(self, table: str, column: str) -> bool:
+        """True when a sideways map set exists for ``table.column``."""
+        return column in self._sideways.get(table, {})
+
+    def sideways_cracker(self, table: str, column: str) -> SidewaysCracker:
+        return self._sideways[table][column]
+
+    # -- access-path dispatch (used by the executor) -------------------------------------
+
+    def index_select(
+        self,
+        table: str,
+        column: str,
+        low: Optional[float],
+        high: Optional[float],
+        counters: CostCounters,
+    ) -> np.ndarray:
+        """Answer a selection through the configured access path."""
+        mode = self.indexing_mode(table, column) or "scan"
+        base_column = self.table(table).column(column)
+        path = self._access_paths.get((table, column))
+        if mode == "scan" or path is None:
+            from repro.columnstore.select import scan_select
+
+            return scan_select(base_column, RangePredicate(low, high), counters)
+        if mode == "full-index":
+            return path.search(low, high, counters)
+        if mode in ("online", "soft"):
+            return path.select(base_column, RangePredicate(low, high), counters)
+        # adaptive strategy
+        return path.search(low, high, counters)
+
+    def sideways_select(
+        self,
+        table: str,
+        head_column: str,
+        low: Optional[float],
+        high: Optional[float],
+        query: Query,
+        counters: CostCounters,
+    ) -> Dict[str, np.ndarray]:
+        """Answer a (possibly multi-column) select/project via sideways cracking."""
+        cracker = self.sideways_cracker(table, head_column)
+        extra_predicates = {
+            s.column: (s.low, s.high)
+            for s in query.selections
+            if s.column != head_column
+        }
+        needed = list(
+            dict.fromkeys(
+                list(query.projections)
+                + [a.column for a in query.aggregates]
+                + list(extra_predicates)
+            )
+        )
+        needed = [name for name in needed if name != head_column] or needed
+        if extra_predicates:
+            return cracker.select_project_where(
+                low, high, extra_predicates, needed, counters
+            )
+        return cracker.select_project(low, high, needed or [head_column], counters)
+
+    # -- query execution -------------------------------------------------------------------
+
+    def plan(self, query: Query) -> Plan:
+        """Plan a query without executing it (EXPLAIN)."""
+        return self.planner.plan(query)
+
+    def execute(self, query: Query) -> QueryResult:
+        """Plan and execute a query, recording per-query statistics."""
+        counters = CostCounters()
+        timer = Timer()
+        plan = self.planner.plan(query)
+        with timer:
+            result = self.executor.execute(plan, counters)
+        result.elapsed_seconds = timer.elapsed
+        self.queries_executed += 1
+        return result
+
+    def run_workload(
+        self, queries: Iterable[Query], strategy_label: str = ""
+    ) -> WorkloadStatistics:
+        """Execute a sequence of queries, returning per-query statistics."""
+        statistics = WorkloadStatistics(strategy=strategy_label)
+        for index, query in enumerate(queries):
+            result = self.execute(query)
+            statistics.append(
+                QueryStatistics(
+                    query_index=index,
+                    elapsed_seconds=result.elapsed_seconds,
+                    counters=result.counters,
+                    result_count=result.row_count,
+                    strategy=strategy_label,
+                    description=query.description,
+                )
+            )
+        return statistics
+
+    # -- introspection --------------------------------------------------------------------
+
+    def physical_design_report(self) -> List[Dict[str, str]]:
+        """One record per configured access path (for documentation / examples)."""
+        report = []
+        for (table, column), mode in sorted(self._modes.items()):
+            path = self._access_paths.get((table, column))
+            description = ""
+            if isinstance(path, SearchStrategy):
+                description = path.structure_description
+            elif isinstance(path, FullIndex):
+                description = f"full index ({path.nbytes} bytes)"
+            elif isinstance(path, OnlineIndexTuner):
+                description = (
+                    f"online tuner ({len(path.indexes)} indexes built)"
+                )
+            elif isinstance(path, SoftIndexManager):
+                description = f"soft indexes ({len(path.indexes)} built)"
+            report.append(
+                {
+                    "table": table,
+                    "column": column,
+                    "mode": mode,
+                    "structure": description,
+                }
+            )
+        for table, crackers in sorted(self._sideways.items()):
+            for head, cracker in sorted(crackers.items()):
+                report.append(
+                    {
+                        "table": table,
+                        "column": head,
+                        "mode": "sideways-cracking",
+                        "structure": f"{len(cracker.maps)} cracker maps",
+                    }
+                )
+        return report

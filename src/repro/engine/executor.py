@@ -1,0 +1,129 @@
+"""Plan executor.
+
+Interprets the linear plans produced by the
+:class:`~repro.engine.planner.Planner` against the physical structures owned
+by the :class:`~repro.engine.database.Database`, recording all work on a
+single :class:`~repro.cost.counters.CostCounters` instance per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.columnstore.operators import aggregate as aggregate_values
+from repro.columnstore.reconstruct import late_reconstruct
+from repro.columnstore.select import RangePredicate, refine_select, scan_select
+from repro.cost.counters import CostCounters
+from repro.engine.planner import Plan, PlanStep
+
+
+@dataclass
+class QueryResult:
+    """Result of executing one query."""
+
+    positions: np.ndarray
+    columns: Dict[str, np.ndarray] = field(default_factory=dict)
+    aggregates: Dict[str, float] = field(default_factory=dict)
+    counters: CostCounters = field(default_factory=CostCounters)
+    elapsed_seconds: float = 0.0
+    plan_description: str = ""
+
+    @property
+    def row_count(self) -> int:
+        return len(self.positions)
+
+
+class Executor:
+    """Executes plans step by step against a database's physical design."""
+
+    def __init__(self, database) -> None:
+        self.database = database
+
+    def execute(self, plan: Plan, counters: Optional[CostCounters] = None) -> QueryResult:
+        """Run every plan step, threading the candidate position list through."""
+        counters = counters if counters is not None else CostCounters()
+        table = self.database.table(plan.query.table)
+        positions: Optional[np.ndarray] = None
+        columns: Dict[str, np.ndarray] = {}
+        aggregates: Dict[str, float] = {}
+        sideways_result: Optional[Dict[str, np.ndarray]] = None
+
+        def all_positions() -> np.ndarray:
+            if counters is not None:
+                counters.record_scan(table.row_count)
+            return np.arange(table.row_count, dtype=np.int64)
+
+        for step in plan.steps:
+            if step.operator == "scan_select":
+                positions = scan_select(
+                    table.column(step.column),
+                    RangePredicate(step.low, step.high),
+                    counters,
+                )
+            elif step.operator == "index_select":
+                positions = self.database.index_select(
+                    plan.query.table, step.column, step.low, step.high, counters
+                )
+            elif step.operator == "sideways_select":
+                sideways_result = self.database.sideways_select(
+                    plan.query.table,
+                    step.column,
+                    step.low,
+                    step.high,
+                    plan.query,
+                    counters,
+                )
+                positions = sideways_result.pop("__rowids__")
+                columns.update(sideways_result)
+            elif step.operator == "refine":
+                if positions is None:
+                    raise RuntimeError("refine step executed before any selection")
+                positions = refine_select(
+                    table.column(step.column),
+                    positions,
+                    RangePredicate(step.low, step.high),
+                    counters,
+                )
+            elif step.operator == "reconstruct":
+                if positions is None:
+                    # projection without any selection: all rows qualify
+                    positions = all_positions()
+                needed = [name for name in step.columns if name not in columns]
+                fetched = late_reconstruct(table, positions, needed, counters)
+                columns.update(fetched)
+            elif step.operator == "aggregate":
+                if positions is None:
+                    # aggregation without any selection: all rows qualify
+                    positions = all_positions()
+                if step.column in columns:
+                    values = columns[step.column]
+                else:
+                    values = late_reconstruct(
+                        table, positions, [step.column], counters
+                    )[step.column]
+                key = f"{step.function}({step.column})"
+                if step.function != "count" and len(values) == 0:
+                    aggregates[key] = float("nan")
+                else:
+                    aggregates[key] = aggregate_values(values, step.function, counters)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown plan operator {step.operator!r}")
+
+        if positions is None:
+            positions = np.arange(table.row_count, dtype=np.int64)
+            if counters is not None:
+                counters.record_scan(table.row_count)
+
+        # keep only the requested projections in the result columns
+        requested = set(plan.query.projections)
+        columns = {name: values for name, values in columns.items() if name in requested}
+        return QueryResult(
+            positions=positions,
+            columns=columns,
+            aggregates=aggregates,
+            counters=counters,
+            plan_description=plan.explain(),
+        )

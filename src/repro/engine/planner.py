@@ -1,0 +1,171 @@
+"""Query planner: choose access paths based on the current physical design.
+
+The planner's job mirrors what the tutorial calls the "optimizer rules"
+needed by an auto-tuning kernel: for each selection it picks the best
+available access path for that column *right now* —
+
+* an adaptive index (cracking, adaptive merging, a hybrid, ...),
+* a sideways-cracking map set (multi-column selections over one table),
+* a full offline index,
+* an online-tuning or soft-index managed path (which may decide to build), or
+* a plain scan —
+
+and orders the remaining work (predicate refinement, tuple reconstruction,
+aggregation) behind it.  The produced plan is a linear list of steps; the
+executor interprets them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine.query import Query, RangeSelection
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One step of a physical plan."""
+
+    operator: str  # index_select | sideways_select | scan_select | refine |
+    #               reconstruct | aggregate
+    table: str
+    column: str = ""
+    low: Optional[float] = None
+    high: Optional[float] = None
+    columns: tuple = ()
+    function: str = ""
+    access_path: str = ""  # strategy / mode handling an index_select
+
+
+@dataclass
+class Plan:
+    """An ordered list of plan steps plus bookkeeping for explain output."""
+
+    query: Query
+    steps: List[PlanStep] = field(default_factory=list)
+
+    def explain(self) -> str:
+        """Human-readable plan description (EXPLAIN-style)."""
+        lines = [f"plan for: {self.query.description or self.query.table}"]
+        for index, step in enumerate(self.steps):
+            detail = ""
+            if step.operator in ("index_select", "scan_select", "refine"):
+                detail = f" {step.column} in [{step.low}, {step.high})"
+                if step.access_path:
+                    detail += f" via {step.access_path}"
+            elif step.operator == "sideways_select":
+                detail = f" head={step.column}, attributes={list(step.columns)}"
+            elif step.operator == "reconstruct":
+                detail = f" columns={list(step.columns)}"
+            elif step.operator == "aggregate":
+                detail = f" {step.function}({step.column})"
+            lines.append(f"  {index}: {step.operator}{detail}")
+        return "\n".join(lines)
+
+
+class Planner:
+    """Plans queries against the physical design registered in a Database."""
+
+    def __init__(self, database) -> None:
+        self.database = database
+
+    # -- selection ordering -----------------------------------------------------------
+
+    def _selection_priority(self, table: str, selection: RangeSelection) -> int:
+        """Lower is better: indexed columns first, then scans."""
+        mode = self.database.indexing_mode(table, selection.column)
+        if mode in ("scan", None):
+            return 2
+        if mode in ("online", "soft"):
+            return 1
+        return 0
+
+    def plan(self, query: Query) -> Plan:
+        """Produce a plan for ``query`` against the current physical design."""
+        table = query.table
+        plan = Plan(query=query)
+        selections = list(query.selections)
+
+        # Sideways cracking handles the whole select-project in one step when
+        # a map set exists for the first selection column of this table.
+        if selections:
+            head_candidates = [
+                s for s in selections
+                if self.database.has_sideways(table, s.column)
+            ]
+            if head_candidates:
+                head = head_candidates[0]
+                other_columns = tuple(
+                    [s.column for s in selections if s is not head]
+                    + list(query.projections)
+                    + [a.column for a in query.aggregates]
+                )
+                plan.steps.append(
+                    PlanStep(
+                        operator="sideways_select",
+                        table=table,
+                        column=head.column,
+                        low=head.low,
+                        high=head.high,
+                        columns=other_columns,
+                        access_path="sideways-cracking",
+                    )
+                )
+                for aggregate in query.aggregates:
+                    plan.steps.append(
+                        PlanStep(
+                            operator="aggregate",
+                            table=table,
+                            column=aggregate.column,
+                            function=aggregate.function,
+                        )
+                    )
+                return plan
+
+        ordered = sorted(
+            selections, key=lambda s: self._selection_priority(table, s)
+        )
+        for index, selection in enumerate(ordered):
+            mode = self.database.indexing_mode(table, selection.column) or "scan"
+            if index == 0:
+                operator = "scan_select" if mode == "scan" else "index_select"
+                plan.steps.append(
+                    PlanStep(
+                        operator=operator,
+                        table=table,
+                        column=selection.column,
+                        low=selection.low,
+                        high=selection.high,
+                        access_path=mode,
+                    )
+                )
+            else:
+                plan.steps.append(
+                    PlanStep(
+                        operator="refine",
+                        table=table,
+                        column=selection.column,
+                        low=selection.low,
+                        high=selection.high,
+                    )
+                )
+
+        if query.projections:
+            plan.steps.append(
+                PlanStep(
+                    operator="reconstruct",
+                    table=table,
+                    columns=tuple(query.projections),
+                )
+            )
+        for aggregate in query.aggregates:
+            plan.steps.append(
+                PlanStep(
+                    operator="aggregate",
+                    table=table,
+                    column=aggregate.column,
+                    function=aggregate.function,
+                )
+            )
+        return plan

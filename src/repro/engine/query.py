@@ -1,0 +1,94 @@
+"""Declarative query descriptions.
+
+A :class:`Query` is a conjunctive range-select / project / aggregate over
+one table — the query shape used throughout the adaptive-indexing
+literature (and by the benchmark of Graefe et al.).  Queries carry no
+execution logic; the planner decides how to run them given the table's
+current indexing mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class RangeSelection:
+    """A half-open range predicate on one column: ``low <= column < high``."""
+
+    column: str
+    low: Optional[float] = None
+    high: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.low is not None and self.high is not None and self.high < self.low:
+            raise ValueError(
+                f"empty selection on {self.column!r}: high ({self.high}) < low ({self.low})"
+            )
+
+    @property
+    def bounds(self) -> Tuple[Optional[float], Optional[float]]:
+        return (self.low, self.high)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate over one projected column."""
+
+    column: str
+    function: str = "sum"  # count, sum, min, max, mean
+
+
+@dataclass
+class Query:
+    """A conjunctive select-project-aggregate query over one table."""
+
+    table: str
+    selections: List[RangeSelection] = field(default_factory=list)
+    projections: List[str] = field(default_factory=list)
+    aggregates: List[Aggregate] = field(default_factory=list)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.table:
+            raise ValueError("a query must name a table")
+        seen = set()
+        for selection in self.selections:
+            if selection.column in seen:
+                raise ValueError(
+                    f"duplicate selection on column {selection.column!r}; "
+                    "combine the bounds into one RangeSelection"
+                )
+            seen.add(selection.column)
+
+    @property
+    def selection_columns(self) -> List[str]:
+        return [selection.column for selection in self.selections]
+
+    @property
+    def referenced_columns(self) -> List[str]:
+        """All columns the query touches (selection + projection + aggregates)."""
+        names: List[str] = []
+        for selection in self.selections:
+            names.append(selection.column)
+        names.extend(self.projections)
+        names.extend(a.column for a in self.aggregates)
+        return list(dict.fromkeys(names))
+
+    @classmethod
+    def range_query(
+        cls,
+        table: str,
+        column: str,
+        low: Optional[float],
+        high: Optional[float],
+        projections: Optional[Sequence[str]] = None,
+    ) -> "Query":
+        """Convenience constructor for the canonical single-column range query."""
+        return cls(
+            table=table,
+            selections=[RangeSelection(column, low, high)],
+            projections=list(projections or []),
+            description=f"{table}.{column} in [{low}, {high})",
+        )

@@ -1,0 +1,299 @@
+"""A B-tree index.
+
+The tutorial's closing discussion asks how adaptive indexing can be adopted
+by traditional kernels built around B-trees; adaptive merging itself is
+formulated over *partitioned B-trees*.  This module provides an in-memory
+B-tree with bulk loading, point/range search, and incremental insertion, used
+as a substrate by the adaptive-merging implementation and as a standalone
+baseline index.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.columnstore.column import Column
+from repro.cost.counters import CostCounters
+
+
+class _Node:
+    """Internal or leaf node of the B-tree."""
+
+    __slots__ = ("keys", "children", "values", "is_leaf", "next_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.keys: List = []
+        self.children: List["_Node"] = []
+        self.values: List = []  # leaf-only: payloads aligned with keys
+        self.is_leaf = is_leaf
+        self.next_leaf: Optional["_Node"] = None
+
+
+class BTree:
+    """In-memory B+-tree mapping keys to payloads (row positions).
+
+    Supports duplicate keys.  Leaves are linked so range scans are a leaf
+    walk after a root-to-leaf descent.
+    """
+
+    def __init__(self, order: int = 64) -> None:
+        if order < 4:
+            raise ValueError("B-tree order must be at least 4")
+        self.order = order
+        self.root = _Node(is_leaf=True)
+        self.size = 0
+        self.height = 1
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls,
+        column: Union[Column, np.ndarray],
+        order: int = 64,
+        counters: Optional[CostCounters] = None,
+    ) -> "BTree":
+        """Build a B-tree over a column by sorting and packing leaves."""
+        values = column.values if isinstance(column, Column) else np.asarray(column)
+        n = len(values)
+        positions = np.argsort(values, kind="stable")
+        sorted_values = values[positions]
+        tree = cls(order=order)
+        tree._load_sorted(sorted_values.tolist(), positions.tolist())
+        if counters is not None:
+            counters.record_scan(n)
+            counters.record_comparisons(int(n * max(1.0, np.log2(max(n, 2)))))
+            counters.record_move(n)
+            counters.record_allocation(16 * n)
+            counters.record_pieces(1)
+        return tree
+
+    @classmethod
+    def from_sorted(
+        cls,
+        sorted_keys: Iterable,
+        payloads: Iterable,
+        order: int = 64,
+        counters: Optional[CostCounters] = None,
+    ) -> "BTree":
+        """Build a B-tree from already-sorted keys with aligned payloads."""
+        keys = list(sorted_keys)
+        values = list(payloads)
+        if len(keys) != len(values):
+            raise ValueError("keys and payloads must have equal length")
+        tree = cls(order=order)
+        tree._load_sorted(keys, values)
+        if counters is not None:
+            counters.record_scan(len(keys))
+            counters.record_move(len(keys))
+            counters.record_allocation(16 * len(keys))
+        return tree
+
+    def _load_sorted(self, keys: List, payloads: List) -> None:
+        """Pack sorted key/payload pairs into leaves and build internal levels."""
+        self.size = len(keys)
+        leaf_capacity = self.order
+        leaves: List[_Node] = []
+        for start in range(0, max(len(keys), 1), leaf_capacity):
+            leaf = _Node(is_leaf=True)
+            leaf.keys = keys[start : start + leaf_capacity]
+            leaf.values = payloads[start : start + leaf_capacity]
+            leaves.append(leaf)
+        if not leaves:
+            leaves = [_Node(is_leaf=True)]
+        for left, right in zip(leaves, leaves[1:]):
+            left.next_leaf = right
+
+        level = leaves
+        height = 1
+        while len(level) > 1:
+            parents: List[_Node] = []
+            for start in range(0, len(level), self.order):
+                group = level[start : start + self.order]
+                parent = _Node(is_leaf=False)
+                parent.children = group
+                parent.keys = [child.keys[0] if child.keys else None for child in group[1:]]
+                parents.append(parent)
+            level = parents
+            height += 1
+        self.root = level[0]
+        self.height = height
+
+    # -- search -----------------------------------------------------------------
+
+    def _descend(self, key, counters: Optional[CostCounters] = None) -> _Node:
+        """Walk from the root to the leftmost leaf that may contain ``key``.
+
+        Uses ``bisect_left`` so that, in the presence of duplicate keys that
+        span node boundaries, the descent lands on the first leaf holding the
+        key; the linked-leaf walk then covers the rest.
+        """
+        node = self.root
+        while not node.is_leaf:
+            index = bisect.bisect_left(node.keys, key)
+            if counters is not None:
+                counters.record_comparisons(max(1, int(np.ceil(np.log2(len(node.keys) + 1)))))
+                counters.record_random_access(1)
+            node = node.children[index]
+        return node
+
+    def search_point(self, key, counters: Optional[CostCounters] = None) -> List:
+        """Payloads of all entries with exactly ``key``."""
+        leaf = self._descend(key, counters)
+        results: List = []
+        node = leaf
+        while node is not None:
+            index = bisect.bisect_left(node.keys, key)
+            if counters is not None:
+                counters.record_comparisons(
+                    max(1, int(np.ceil(np.log2(len(node.keys) + 1))))
+                )
+            while index < len(node.keys) and node.keys[index] == key:
+                results.append(node.values[index])
+                index += 1
+            if index < len(node.keys):
+                # stopped on a key greater than the probe: no more matches
+                break
+            node = node.next_leaf
+            if node is not None and node.keys and node.keys[0] > key:
+                break
+        return results
+
+    def search_range(
+        self,
+        low: Optional[float],
+        high: Optional[float],
+        counters: Optional[CostCounters] = None,
+        include_low: bool = True,
+        include_high: bool = False,
+    ) -> np.ndarray:
+        """Payloads of all entries with key in the requested range."""
+        if self.size == 0:
+            return np.empty(0, dtype=np.int64)
+        start_key = low if low is not None else self.min_key()
+        leaf = self._descend(start_key, counters)
+        results: List = []
+        node = leaf
+        while node is not None:
+            for key, value in zip(node.keys, node.values):
+                if counters is not None:
+                    counters.record_comparisons(1)
+                if low is not None:
+                    if include_low and key < low:
+                        continue
+                    if not include_low and key <= low:
+                        continue
+                if high is not None:
+                    if include_high and key > high:
+                        node = None
+                        break
+                    if not include_high and key >= high:
+                        node = None
+                        break
+                results.append(value)
+            if node is None:
+                break
+            node = node.next_leaf
+            if counters is not None and node is not None:
+                counters.record_random_access(1)
+        if counters is not None:
+            counters.record_scan(len(results))
+        return np.asarray(results, dtype=np.int64)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, key, payload, counters: Optional[CostCounters] = None) -> None:
+        """Insert one key/payload pair (splitting nodes as needed)."""
+        path: List[Tuple[_Node, int]] = []
+        node = self.root
+        while not node.is_leaf:
+            index = bisect.bisect_right(node.keys, key)
+            path.append((node, index))
+            node = node.children[index]
+        index = bisect.bisect_right(node.keys, key)
+        node.keys.insert(index, key)
+        node.values.insert(index, payload)
+        self.size += 1
+        if counters is not None:
+            counters.record_comparisons(self.height)
+            counters.record_random_access(self.height)
+            counters.record_move(1)
+        self._split_if_needed(node, path)
+
+    def _split_if_needed(self, node: _Node, path: List[Tuple[_Node, int]]) -> None:
+        while len(node.keys) > self.order:
+            middle = len(node.keys) // 2
+            sibling = _Node(is_leaf=node.is_leaf)
+            if node.is_leaf:
+                sibling.keys = node.keys[middle:]
+                sibling.values = node.values[middle:]
+                node.keys = node.keys[:middle]
+                node.values = node.values[:middle]
+                sibling.next_leaf = node.next_leaf
+                node.next_leaf = sibling
+                separator = sibling.keys[0]
+            else:
+                separator = node.keys[middle]
+                sibling.keys = node.keys[middle + 1 :]
+                sibling.children = node.children[middle + 1 :]
+                node.keys = node.keys[:middle]
+                node.children = node.children[: middle + 1]
+            if path:
+                parent, child_index = path.pop()
+                parent.keys.insert(child_index, separator)
+                parent.children.insert(child_index + 1, sibling)
+                node = parent
+            else:
+                new_root = _Node(is_leaf=False)
+                new_root.keys = [separator]
+                new_root.children = [node, sibling]
+                self.root = new_root
+                self.height += 1
+                return
+
+    # -- inspection ---------------------------------------------------------------
+
+    def min_key(self):
+        """Smallest key in the tree (raises on empty tree)."""
+        if self.size == 0:
+            raise ValueError("empty B-tree has no minimum key")
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    def max_key(self):
+        """Largest key in the tree (raises on empty tree)."""
+        if self.size == 0:
+            raise ValueError("empty B-tree has no maximum key")
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1]
+
+    def items(self) -> Iterable[Tuple]:
+        """Iterate (key, payload) pairs in key order."""
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            for key, value in zip(node.keys, node.values):
+                yield key, value
+            node = node.next_leaf
+
+    def __len__(self) -> int:
+        return self.size
+
+    def validate(self) -> bool:
+        """Check structural invariants (sorted keys, linked leaves). Test helper."""
+        previous = None
+        count = 0
+        for key, _ in self.items():
+            if previous is not None and key < previous:
+                return False
+            previous = key
+            count += 1
+        return count == self.size

@@ -1,0 +1,137 @@
+"""What-if analysis: hypothetical indexes and workload cost estimation.
+
+Offline auto-tuning tools (the DB2 Design Advisor, SQL Server's Database
+Tuning Advisor, ...) evaluate *hypothetical* indexes: for a sample workload
+they ask the optimiser "what would this query cost if index X existed?",
+without actually building X.  The :class:`WhatIfAnalyzer` reproduces that
+behavioural envelope with the library's deterministic cost model: scan cost
+is linear in the column size, indexed cost is a pair of binary searches plus
+the qualifying tuples, and building an index costs a full sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.columnstore.bulk import binary_search_count
+from repro.cost.model import CostModel, DEFAULT_MAIN_MEMORY_MODEL
+
+
+@dataclass(frozen=True)
+class HypotheticalIndex:
+    """A candidate index on one column of one table (never materialised)."""
+
+    table: str
+    column: str
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.table, self.column)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"idx({self.table}.{self.column})"
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """A simplified workload entry: a range selection on one column.
+
+    ``selectivity`` is the estimated fraction of rows returned; ``weight``
+    is how many times this query (pattern) occurs in the sample workload.
+    """
+
+    table: str
+    column: str
+    selectivity: float = 0.01
+    weight: float = 1.0
+
+
+class WhatIfAnalyzer:
+    """Estimates query and index-build costs for hypothetical configurations."""
+
+    def __init__(
+        self,
+        table_sizes: Dict[str, int],
+        cost_model: CostModel = DEFAULT_MAIN_MEMORY_MODEL,
+    ) -> None:
+        self.table_sizes = dict(table_sizes)
+        self.cost_model = cost_model
+
+    # -- per-query estimates ----------------------------------------------------
+
+    def scan_cost(self, query: WorkloadQuery) -> float:
+        """Cost of answering ``query`` with a full column scan."""
+        rows = self._rows(query.table)
+        return self.cost_model.cost_of(tuples_scanned=rows, comparisons=rows)
+
+    def indexed_cost(self, query: WorkloadQuery) -> float:
+        """Cost of answering ``query`` with a full index on its column."""
+        rows = self._rows(query.table)
+        qualifying = int(rows * min(max(query.selectivity, 0.0), 1.0))
+        return self.cost_model.cost_of(
+            tuples_scanned=qualifying,
+            comparisons=2 * binary_search_count(rows),
+            random_accesses=2,
+        )
+
+    def query_cost(self, query: WorkloadQuery, indexes: Iterable[HypotheticalIndex]) -> float:
+        """Cost of ``query`` given a hypothetical index configuration."""
+        for index in indexes:
+            if index.table == query.table and index.column == query.column:
+                return self.indexed_cost(query)
+        return self.scan_cost(query)
+
+    def build_cost(self, index: HypotheticalIndex) -> float:
+        """Cost of materialising a hypothetical index (full sort of the column)."""
+        rows = self._rows(index.table)
+        log_rows = max(1.0, np.log2(max(rows, 2)))
+        return self.cost_model.cost_of(
+            tuples_scanned=rows,
+            comparisons=int(rows * log_rows),
+            tuples_moved=rows,
+        )
+
+    # -- workload-level estimates --------------------------------------------------
+
+    def workload_cost(
+        self,
+        workload: Sequence[WorkloadQuery],
+        indexes: Iterable[HypotheticalIndex],
+        include_build_cost: bool = False,
+    ) -> float:
+        """Total (weighted) cost of a workload under an index configuration."""
+        indexes = list(indexes)
+        total = sum(q.weight * self.query_cost(q, indexes) for q in workload)
+        if include_build_cost:
+            total += sum(self.build_cost(index) for index in indexes)
+        return total
+
+    def index_benefit(
+        self,
+        index: HypotheticalIndex,
+        workload: Sequence[WorkloadQuery],
+    ) -> float:
+        """Workload cost reduction obtained by adding ``index`` (ignoring build cost)."""
+        without = self.workload_cost(workload, [])
+        with_index = self.workload_cost(workload, [index])
+        return without - with_index
+
+    def candidate_indexes(self, workload: Sequence[WorkloadQuery]) -> List[HypotheticalIndex]:
+        """One candidate index per (table, column) referenced by the workload."""
+        seen = {}
+        for query in workload:
+            seen.setdefault((query.table, query.column), HypotheticalIndex(query.table, query.column))
+        return list(seen.values())
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _rows(self, table: str) -> int:
+        try:
+            return self.table_sizes[table]
+        except KeyError:
+            raise KeyError(
+                f"unknown table {table!r}; known tables: {sorted(self.table_sizes)}"
+            ) from None

@@ -1,0 +1,88 @@
+"""The two metrics of the adaptive-indexing benchmark (TPCTC 2010).
+
+"Two measures are crucial to characterize how quickly and efficiently a
+technique adapts index structures to a dynamic workload.  These are: (1) the
+initialization cost incurred by the first query and (2) the number of
+queries that must be processed before a random query benefits from the index
+structure without incurring any overhead." (EDBT 2012 tutorial, Section 2)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cost.model import CostModel, DEFAULT_MAIN_MEMORY_MODEL
+from repro.cost.stats import WorkloadStatistics
+
+
+def initialization_overhead(
+    statistics: WorkloadStatistics,
+    scan_cost: float,
+    model: CostModel = DEFAULT_MAIN_MEMORY_MODEL,
+) -> Optional[float]:
+    """Metric (1): first-query cost relative to a plain scan.
+
+    Returns ``first_query_cost / scan_cost``; a value of 1.0 means the first
+    query was as cheap as a scan (no initialization overhead at all), larger
+    values quantify how much the first query paid for future benefit.
+    ``None`` for an empty workload.
+    """
+    if scan_cost <= 0:
+        raise ValueError("scan_cost must be positive")
+    first = statistics.first_query_cost(model)
+    if first is None:
+        return None
+    return first / scan_cost
+
+
+def convergence_point(
+    statistics: WorkloadStatistics,
+    full_index_cost: float,
+    tolerance: float = 1.1,
+    consecutive: int = 5,
+    model: CostModel = DEFAULT_MAIN_MEMORY_MODEL,
+) -> Optional[int]:
+    """Metric (2): queries needed before queries run at (near) full-index cost.
+
+    Returns the 0-based index of the first query from which ``consecutive``
+    queries in a row cost at most ``tolerance`` times ``full_index_cost``,
+    or ``None`` when the workload never converges.
+    """
+    return statistics.convergence_query(
+        reference_cost=full_index_cost,
+        tolerance=tolerance,
+        model=model,
+        consecutive=consecutive,
+    )
+
+
+def cost_crossover(
+    cumulative_a: Sequence[float],
+    cumulative_b: Sequence[float],
+) -> Optional[int]:
+    """First query index where cumulative cost of A drops below B (None if never).
+
+    Used for the classic "after how many queries does adaptive indexing beat
+    scanning / up-front sorting cumulatively" readings.
+    """
+    for index, (a, b) in enumerate(zip(cumulative_a, cumulative_b)):
+        if a < b:
+            return index
+    return None
+
+
+def robustness_ratio(per_query_costs: Sequence[float]) -> float:
+    """Max-over-median per-query cost: how spiky a strategy's behaviour is.
+
+    1.0 means perfectly even per-query cost; large values mean some queries
+    paid far more than the typical query (the variance criticism of online
+    indexing and of aggressive merging).
+    """
+    costs: List[float] = [float(c) for c in per_query_costs]
+    if not costs:
+        raise ValueError("per_query_costs must be non-empty")
+    ordered = sorted(costs)
+    median = ordered[len(ordered) // 2]
+    if median == 0:
+        return float("inf") if max(costs) > 0 else 1.0
+    return max(costs) / median

@@ -1,0 +1,130 @@
+"""A small synthetic star-schema generator (TPC-H stand-in).
+
+The sideways-cracking experiments of SIGMOD 2009 run on TPC-H, whose dbgen
+tool is not available here.  This module generates a scaled-down synthetic
+star schema with the properties those experiments rely on:
+
+* a wide fact table (``lineorder``) with several numeric measure columns and
+  a few foreign keys, so multi-column selections plus projections exercise
+  tuple reconstruction;
+* value correlations between columns (dates correlate with order keys,
+  prices correlate with quantities), so selections on different columns have
+  different selectivities over the same rows;
+* small dimension tables for join experiments.
+
+The substitution is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.columnstore.table import Table
+from repro.engine.database import Database
+from repro.engine.query import Aggregate, Query, RangeSelection
+
+
+@dataclass(frozen=True)
+class TPCHLikeConfig:
+    """Scale parameters for the synthetic star schema."""
+
+    fact_rows: int = 100_000
+    customers: int = 1_000
+    parts: int = 2_000
+    date_range_days: int = 2_400  # ~ the 7 years of TPC-H dates
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.fact_rows < 1:
+            raise ValueError("fact_rows must be >= 1")
+        if self.customers < 1 or self.parts < 1:
+            raise ValueError("dimension sizes must be >= 1")
+
+
+def generate_tables(config: TPCHLikeConfig = TPCHLikeConfig()) -> Dict[str, Dict[str, np.ndarray]]:
+    """Generate the star schema as plain column dictionaries."""
+    rng = np.random.default_rng(config.seed)
+    n = config.fact_rows
+
+    orderkey = np.arange(n, dtype=np.int64)
+    # order date correlates with order key (orders arrive over time)
+    orderdate = (
+        orderkey * config.date_range_days // max(n, 1)
+        + rng.integers(-5, 6, size=n)
+    ).clip(0, config.date_range_days).astype(np.int64)
+    quantity = rng.integers(1, 51, size=n).astype(np.int64)
+    # price correlates with quantity plus noise
+    extendedprice = (quantity * rng.integers(900, 1100, size=n)).astype(np.int64)
+    discount = rng.integers(0, 11, size=n).astype(np.int64)  # percent
+    custkey = rng.integers(0, config.customers, size=n).astype(np.int64)
+    partkey = rng.integers(0, config.parts, size=n).astype(np.int64)
+    shipdate = (orderdate + rng.integers(1, 122, size=n)).astype(np.int64)
+
+    lineorder = {
+        "orderkey": orderkey,
+        "orderdate": orderdate,
+        "shipdate": shipdate,
+        "quantity": quantity,
+        "extendedprice": extendedprice,
+        "discount": discount,
+        "custkey": custkey,
+        "partkey": partkey,
+    }
+    customer = {
+        "custkey": np.arange(config.customers, dtype=np.int64),
+        "nation": rng.integers(0, 25, size=config.customers).astype(np.int64),
+        "segment": rng.integers(0, 5, size=config.customers).astype(np.int64),
+    }
+    part = {
+        "partkey": np.arange(config.parts, dtype=np.int64),
+        "brand": rng.integers(0, 25, size=config.parts).astype(np.int64),
+        "size": rng.integers(1, 51, size=config.parts).astype(np.int64),
+    }
+    return {"lineorder": lineorder, "customer": customer, "part": part}
+
+
+def build_database(config: TPCHLikeConfig = TPCHLikeConfig()) -> Database:
+    """Generate the schema and load it into a :class:`Database`."""
+    database = Database(name="tpch-like")
+    for table_name, columns in generate_tables(config).items():
+        database.create_table(table_name, columns)
+    return database
+
+
+def shipping_priority_queries(
+    config: TPCHLikeConfig = TPCHLikeConfig(),
+    query_count: int = 200,
+    seed: int = 7,
+) -> List[Query]:
+    """A TPC-H Q3/Q6-flavoured workload: date range + quantity/discount filters.
+
+    Each query selects a sliding date window on ``orderdate``, filters on
+    ``quantity`` and ``discount``, projects ``extendedprice`` and aggregates
+    its sum — the select/project/aggregate shape sideways cracking targets.
+    """
+    rng = np.random.default_rng(seed)
+    queries: List[Query] = []
+    window = max(config.date_range_days // 20, 1)
+    for _ in range(query_count):
+        start = int(rng.integers(0, max(config.date_range_days - window, 1)))
+        quantity_low = int(rng.integers(1, 40))
+        discount_low = int(rng.integers(0, 8))
+        queries.append(
+            Query(
+                table="lineorder",
+                selections=[
+                    RangeSelection("orderdate", start, start + window),
+                    RangeSelection("quantity", quantity_low, quantity_low + 10),
+                    RangeSelection("discount", discount_low, discount_low + 3),
+                ],
+                projections=["extendedprice"],
+                aggregates=[Aggregate("extendedprice", "sum")],
+                description=(
+                    f"orderdate in [{start}, {start + window}) and quantity/discount filters"
+                ),
+            )
+        )
+    return queries

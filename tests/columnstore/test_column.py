@@ -1,0 +1,102 @@
+"""Unit tests for the dense Column."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore.column import Column
+from repro.columnstore.types import INT64
+from repro.cost.counters import CostCounters
+
+
+class TestConstruction:
+    def test_basic_construction(self, small_values):
+        column = Column(small_values, name="key")
+        assert len(column) == len(small_values)
+        assert column.name == "key"
+        assert np.array_equal(column.values, small_values)
+
+    def test_construction_copies_input(self, small_values):
+        column = Column(small_values)
+        small_values[0] = -999
+        assert column.values[0] != -999
+
+    def test_rejects_two_dimensional_input(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            Column(np.zeros((3, 3)))
+
+    def test_empty_constructor(self):
+        column = Column.empty(name="e", dtype=INT64, capacity=10)
+        assert len(column) == 0
+        assert column.capacity >= 10
+
+    def test_nbytes_reflects_width(self):
+        column = Column(np.arange(10, dtype=np.int64))
+        assert column.nbytes == 80
+
+
+class TestMutation:
+    def test_append_scalar_and_array(self):
+        column = Column(np.array([1, 2, 3], dtype=np.int64))
+        column.append(4)
+        column.append(np.array([5, 6]))
+        assert np.array_equal(column.values, [1, 2, 3, 4, 5, 6])
+
+    def test_append_grows_geometrically(self):
+        column = Column(np.arange(4, dtype=np.int64))
+        for value in range(100):
+            column.append(value)
+        assert len(column) == 104
+        assert column.capacity >= 104
+
+    def test_append_records_counters(self):
+        counters = CostCounters()
+        column = Column(np.arange(4, dtype=np.int64))
+        column.append(np.arange(10), counters=counters)
+        assert counters.tuples_moved == 10
+        assert counters.bytes_allocated == 80
+
+    def test_delete_positions_compacts(self):
+        column = Column(np.array([10, 20, 30, 40, 50], dtype=np.int64))
+        column.delete_positions([1, 3])
+        assert np.array_equal(column.values, [10, 30, 50])
+
+    def test_delete_positions_out_of_range(self):
+        column = Column(np.array([1, 2], dtype=np.int64))
+        with pytest.raises(IndexError):
+            column.delete_positions([5])
+
+    def test_delete_empty_positions_is_noop(self):
+        column = Column(np.array([1, 2], dtype=np.int64))
+        column.delete_positions([])
+        assert len(column) == 2
+
+    def test_copy_is_independent(self):
+        column = Column(np.array([1, 2, 3], dtype=np.int64), name="orig")
+        clone = column.copy(name="clone")
+        clone.append(4)
+        assert len(column) == 3
+        assert clone.name == "clone"
+
+
+class TestStatistics:
+    def test_min_max(self):
+        column = Column(np.array([5, 1, 9], dtype=np.int64))
+        assert column.min() == 1
+        assert column.max() == 9
+
+    def test_min_max_empty_raises(self):
+        column = Column(np.empty(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            column.min()
+        with pytest.raises(ValueError):
+            column.max()
+
+    def test_distinct_count(self):
+        column = Column(np.array([1, 1, 2, 3, 3, 3], dtype=np.int64))
+        assert column.distinct_count() == 3
+        assert Column(np.empty(0, dtype=np.int64)).distinct_count() == 0
+
+    def test_is_sorted(self):
+        assert Column(np.array([1, 2, 2, 3], dtype=np.int64)).is_sorted()
+        assert not Column(np.array([3, 1], dtype=np.int64)).is_sorted()
+        assert Column(np.empty(0, dtype=np.int64)).is_sorted()

@@ -1,0 +1,104 @@
+"""Unit tests for select operators and tuple reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore.column import Column
+from repro.columnstore.reconstruct import (
+    early_reconstruct,
+    intersect_positions,
+    late_reconstruct,
+    positions_to_values,
+    union_positions,
+)
+from repro.columnstore.select import (
+    RangePredicate,
+    between,
+    count_select,
+    refine_select,
+    scan_select,
+)
+from repro.cost.counters import CostCounters
+
+
+class TestRangePredicate:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError, match="empty predicate"):
+            RangePredicate(low=10, high=5)
+
+    def test_matches_half_open(self):
+        predicate = RangePredicate(2, 4)
+        assert np.array_equal(
+            predicate.matches(np.array([1, 2, 3, 4])), [False, True, True, False]
+        )
+
+    def test_selectivity_estimate(self):
+        predicate = RangePredicate(0, 10)
+        assert predicate.selectivity_estimate(0, 100) == pytest.approx(0.1)
+        assert RangePredicate(None, None).selectivity_estimate(0, 100) == 1.0
+        assert RangePredicate(200, 300).selectivity_estimate(0, 100) == 0.0
+
+    def test_between_shorthand(self):
+        predicate = between(1, 2)
+        assert predicate.low == 1 and predicate.high == 2
+
+
+class TestSelects:
+    def test_scan_select_matches_reference(self, small_values, reference):
+        column = Column(small_values)
+        positions = scan_select(column, RangePredicate(20, 60))
+        assert set(positions.tolist()) == reference(small_values, 20, 60)
+
+    def test_scan_select_counts_cost(self, small_values):
+        counters = CostCounters()
+        scan_select(Column(small_values), RangePredicate(0, 10), counters)
+        assert counters.tuples_scanned == len(small_values)
+
+    def test_refine_select(self, small_values, reference):
+        column = Column(small_values)
+        candidates = scan_select(column, RangePredicate(20, 80))
+        refined = refine_select(column, candidates, RangePredicate(30, 40))
+        assert set(refined.tolist()) == reference(small_values, 30, 40)
+
+    def test_refine_select_random_access_cost(self, small_values):
+        column = Column(small_values)
+        counters = CostCounters()
+        refine_select(column, np.array([0, 1, 2]), RangePredicate(0, 50), counters)
+        assert counters.random_accesses == 3
+
+    def test_count_select(self, small_values, reference):
+        column = Column(small_values)
+        assert count_select(column, RangePredicate(10, 30)) == len(
+            reference(small_values, 10, 30)
+        )
+
+
+class TestReconstruction:
+    def test_late_reconstruct(self, sample_table):
+        positions = np.array([0, 5, 10])
+        result = late_reconstruct(sample_table, positions, ["a", "c"])
+        assert np.array_equal(result["a"], sample_table["a"].values[positions])
+        assert np.array_equal(result["c"], sample_table["c"].values[positions])
+
+    def test_late_reconstruct_counts_random_access(self, sample_table):
+        counters = CostCounters()
+        late_reconstruct(sample_table, np.arange(10), ["a", "b"], counters)
+        assert counters.random_accesses == 20
+
+    def test_early_reconstruct_shape(self, sample_table):
+        block = early_reconstruct(sample_table, ["a", "b", "d"])
+        assert block.shape == (sample_table.row_count, 3)
+
+    def test_early_reconstruct_no_columns(self, sample_table):
+        block = early_reconstruct(sample_table, [])
+        assert block.shape[1] == 0
+
+    def test_positions_to_values(self, sample_table):
+        values = positions_to_values(sample_table["a"], np.array([3, 1]))
+        assert np.array_equal(values, sample_table["a"].values[[3, 1]])
+
+    def test_intersect_and_union_positions(self):
+        left = np.array([5, 1, 3])
+        right = np.array([3, 5, 9])
+        assert np.array_equal(intersect_positions(left, right), [3, 5])
+        assert np.array_equal(union_positions(left, right), [1, 3, 5, 9])

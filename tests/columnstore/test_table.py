@@ -1,0 +1,85 @@
+"""Unit tests for Table."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore.column import Column
+from repro.columnstore.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table(
+        "t",
+        {
+            "a": np.array([1, 2, 3, 4], dtype=np.int64),
+            "b": np.array([10.0, 20.0, 30.0, 40.0]),
+        },
+    )
+
+
+class TestSchema:
+    def test_row_and_column_access(self, table):
+        assert table.row_count == 4
+        assert len(table) == 4
+        assert set(table.column_names) == {"a", "b"}
+        assert isinstance(table["a"], Column)
+
+    def test_add_column_checks_length(self, table):
+        with pytest.raises(ValueError, match="rows"):
+            table.add_column("c", np.array([1, 2]))
+
+    def test_add_duplicate_column_rejected(self, table):
+        with pytest.raises(ValueError, match="already exists"):
+            table.add_column("a", np.zeros(4))
+
+    def test_drop_column(self, table):
+        table.drop_column("b")
+        assert "b" not in table
+        with pytest.raises(KeyError):
+            table.drop_column("b")
+
+    def test_unknown_column_lookup(self, table):
+        with pytest.raises(KeyError, match="available"):
+            table.column("zzz")
+
+    def test_empty_table_row_count(self):
+        assert Table("empty").row_count == 0
+
+    def test_nbytes_sums_columns(self, table):
+        assert table.nbytes == table["a"].nbytes + table["b"].nbytes
+
+
+class TestRowOperations:
+    def test_append_rows(self, table):
+        table.append_rows({"a": [5, 6], "b": [50.0, 60.0]})
+        assert table.row_count == 6
+        assert table["a"][5] == 6
+
+    def test_append_rows_requires_all_columns(self, table):
+        with pytest.raises(ValueError, match="missing"):
+            table.append_rows({"a": [5]})
+
+    def test_append_rows_requires_equal_lengths(self, table):
+        with pytest.raises(ValueError, match="equal length"):
+            table.append_rows({"a": [5, 6], "b": [50.0]})
+
+    def test_delete_rows_keeps_alignment(self, table):
+        table.delete_rows([0, 2])
+        assert table.row_count == 2
+        assert np.array_equal(table["a"].values, [2, 4])
+        assert np.array_equal(table["b"].values, [20.0, 40.0])
+
+    def test_fetch_rows(self, table):
+        fetched = table.fetch_rows([1, 3], ["a"])
+        assert np.array_equal(fetched["a"], [2, 4])
+        assert "b" not in fetched
+
+    def test_fetch_rows_all_columns_by_default(self, table):
+        fetched = table.fetch_rows([0])
+        assert set(fetched) == {"a", "b"}
+
+    def test_to_dict_copies(self, table):
+        exported = table.to_dict()
+        exported["a"][0] = -1
+        assert table["a"][0] == 1

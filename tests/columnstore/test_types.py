@@ -1,0 +1,71 @@
+"""Unit tests for the column type descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore.types import (
+    FLOAT32,
+    FLOAT64,
+    INT32,
+    INT64,
+    SUPPORTED_TYPES,
+    dtype_by_name,
+    infer_dtype,
+)
+
+
+class TestDataType:
+    def test_widths(self):
+        assert INT32.width_bytes == 4
+        assert INT64.width_bytes == 8
+        assert FLOAT32.width_bytes == 4
+        assert FLOAT64.width_bytes == 8
+
+    def test_validate_array_passthrough(self):
+        data = np.arange(5, dtype=np.int64)
+        assert INT64.validate_array(data) is data
+
+    def test_validate_array_converts(self):
+        data = np.arange(5, dtype=np.int32)
+        converted = INT64.validate_array(data)
+        assert converted.dtype == np.int64
+
+    def test_validate_array_rejects_lossy_float_to_int(self):
+        with pytest.raises(TypeError, match="losslessly"):
+            INT64.validate_array(np.array([1.5, 2.5]))
+
+    def test_validate_array_accepts_whole_floats(self):
+        converted = INT64.validate_array(np.array([1.0, 2.0]))
+        assert converted.dtype == np.int64
+
+    def test_empty_and_zeros(self):
+        assert len(INT64.empty(7)) == 7
+        zeros = FLOAT64.zeros(3)
+        assert np.all(zeros == 0.0)
+
+
+class TestInference:
+    def test_infer_int64(self):
+        assert infer_dtype(np.array([1, 2, 3])) is INT64
+
+    def test_infer_float64(self):
+        assert infer_dtype(np.array([1.0, 2.0])) is FLOAT64
+
+    def test_infer_exact_dtypes(self):
+        assert infer_dtype(np.array([1], dtype=np.int32)) is INT32
+        assert infer_dtype(np.array([1.0], dtype=np.float32)) is FLOAT32
+
+    def test_infer_bool_maps_to_int32(self):
+        assert infer_dtype(np.array([True, False])) is INT32
+
+    def test_infer_rejects_strings(self):
+        with pytest.raises(TypeError, match="unsupported"):
+            infer_dtype(np.array(["a", "b"]))
+
+    def test_dtype_by_name(self):
+        assert dtype_by_name("int64") is INT64
+        with pytest.raises(ValueError, match="unknown data type"):
+            dtype_by_name("decimal")
+
+    def test_supported_types_registry(self):
+        assert INT64 in SUPPORTED_TYPES and FLOAT64 in SUPPORTED_TYPES

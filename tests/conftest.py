@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnstore.column import Column
+from repro.columnstore.table import Table
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_values(rng):
+    """A small integer array with duplicates (good for edge cases)."""
+    return rng.integers(0, 100, size=500).astype(np.int64)
+
+
+@pytest.fixture
+def medium_values(rng):
+    """A medium-sized integer array for behavioural tests."""
+    return rng.integers(0, 100_000, size=20_000).astype(np.int64)
+
+
+@pytest.fixture
+def float_values(rng):
+    """A float array for type-dispatch tests."""
+    return rng.uniform(0.0, 1000.0, size=2_000)
+
+
+@pytest.fixture
+def small_column(small_values):
+    return Column(small_values, name="key")
+
+
+@pytest.fixture
+def sample_table(rng):
+    """A four-column table for multi-column / sideways tests."""
+    size = 2_000
+    return Table(
+        "facts",
+        {
+            "a": rng.integers(0, 10_000, size=size).astype(np.int64),
+            "b": rng.integers(0, 1_000, size=size).astype(np.int64),
+            "c": rng.uniform(0.0, 1.0, size=size),
+            "d": rng.integers(0, 50, size=size).astype(np.int64),
+        },
+    )
+
+
+def reference_range_positions(values: np.ndarray, low, high) -> set:
+    """Scan-based reference answer for a half-open range query."""
+    values = np.asarray(values)
+    mask = np.ones(len(values), dtype=bool)
+    if low is not None:
+        mask &= values >= low
+    if high is not None:
+        mask &= values < high
+    return set(np.flatnonzero(mask).tolist())
+
+
+@pytest.fixture
+def reference():
+    """Expose the reference-answer helper as a fixture."""
+    return reference_range_positions

@@ -1,0 +1,109 @@
+"""Unit tests for the structural analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    StructureReport,
+    analyze,
+    analyze_adaptive_merging,
+    analyze_cracked_column,
+    analyze_hybrid,
+    piece_size_histogram,
+)
+from repro.core.cracking.cracked_column import CrackedColumn
+from repro.core.hybrids.hybrid_index import HybridIndex
+from repro.core.merging.adaptive_merge import AdaptiveMergingIndex
+from repro.core.strategies import create_strategy
+
+
+class TestCrackedColumnAnalysis:
+    def test_unmaterialised_column_is_one_piece(self, small_values):
+        report = analyze_cracked_column(CrackedColumn(small_values))
+        assert report.piece_count == 1
+        assert report.largest_piece == len(small_values)
+        assert report.sorted_fraction == 0.0
+        assert not report.is_converged()
+
+    def test_refinement_shows_in_the_report(self, medium_values):
+        cracked = CrackedColumn(medium_values)
+        rng = np.random.default_rng(0)
+        reports = []
+        for count in (10, 100, 300):
+            while cracked.queries_processed < count:
+                low = int(rng.integers(0, 95_000))
+                cracked.search(low, low + 2_000)
+            reports.append(analyze_cracked_column(cracked))
+        assert reports[0].piece_count < reports[1].piece_count < reports[2].piece_count
+        assert reports[0].largest_piece >= reports[1].largest_piece >= reports[2].largest_piece
+        assert all(r.row_count == len(medium_values) for r in reports)
+
+    def test_sorted_pieces_counted(self, small_values):
+        cracked = CrackedColumn(small_values, sort_threshold=len(small_values) + 1)
+        cracked.search(10, 50)  # sorts the whole (single) piece
+        report = analyze_cracked_column(cracked)
+        assert report.sorted_fraction == pytest.approx(1.0)
+        assert report.is_converged()
+
+    def test_as_dict_round_trip(self, small_values):
+        report = analyze_cracked_column(CrackedColumn(small_values))
+        exported = report.as_dict()
+        assert exported["kind"] == "cracking"
+        assert exported["row_count"] == len(small_values)
+
+
+class TestMergingAndHybridAnalysis:
+    def test_adaptive_merging_optimised_fraction_grows(self, medium_values):
+        index = AdaptiveMergingIndex(medium_values, run_size=2000)
+        index.search(0, 20_000)
+        first = analyze_adaptive_merging(index)
+        index.search(20_000, 60_000)
+        second = analyze_adaptive_merging(index)
+        assert 0 < first.optimised_fraction < second.optimised_fraction <= 1.0
+        assert first.sorted_fraction == 1.0
+
+    def test_hybrid_report(self, medium_values):
+        index = HybridIndex(medium_values, initial_mode="crack", final_mode="sort",
+                            partition_size=2000)
+        index.search(0, 30_000)
+        report = analyze_hybrid(index)
+        assert report.kind == "hybrid-crack-sort"
+        assert 0 < report.optimised_fraction < 1
+        assert report.piece_count > 1
+
+    def test_dispatch_unwraps_strategies(self, small_values):
+        strategy = create_strategy("cracking", small_values)
+        strategy.search(0, 50)
+        assert analyze(strategy).kind == "cracking"
+        merging = create_strategy("adaptive-merging", small_values)
+        merging.search(0, 50)
+        assert analyze(merging).kind == "adaptive-merging"
+        hybrid = create_strategy("hybrid-sort-sort", small_values)
+        hybrid.search(0, 50)
+        assert analyze(hybrid).kind == "hybrid-sort-sort"
+
+    def test_dispatch_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            analyze(object())
+
+
+class TestHistogram:
+    def test_histogram_counts_pieces(self, medium_values):
+        cracked = CrackedColumn(medium_values)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            low = int(rng.integers(0, 95_000))
+            cracked.search(low, low + 1_000)
+        histogram = piece_size_histogram(cracked, bins=5)
+        assert len(histogram) == 5
+        assert sum(count for _, count in histogram) == cracked.piece_count
+
+    def test_histogram_other_structures(self, small_values):
+        merging = AdaptiveMergingIndex(small_values, run_size=50)
+        merging.search(0, 10)
+        assert sum(c for _, c in piece_size_histogram(merging)) >= 1
+        hybrid = HybridIndex(small_values, partition_size=50)
+        hybrid.search(0, 10)
+        assert sum(c for _, c in piece_size_histogram(hybrid)) >= 1
+        with pytest.raises(TypeError):
+            piece_size_histogram(object())

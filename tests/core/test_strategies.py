@@ -1,0 +1,127 @@
+"""Unit tests for the strategy registry and the strategy wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    SearchStrategy,
+    available_strategies,
+    create_strategy,
+    register_strategy,
+)
+from repro.cost.counters import CostCounters
+
+EXPECTED_STRATEGIES = {
+    "scan",
+    "full-index",
+    "sort-first",
+    "cracking",
+    "cracking-sort-pieces",
+    "stochastic-cracking",
+    "adaptive-merging",
+    "hybrid-crack-crack",
+    "hybrid-crack-sort",
+    "hybrid-crack-radix",
+    "hybrid-sort-sort",
+    "hybrid-radix-radix",
+}
+
+
+class TestRegistry:
+    def test_all_expected_strategies_registered(self):
+        assert EXPECTED_STRATEGIES.issubset(set(available_strategies()))
+
+    def test_create_unknown_strategy(self, small_values):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            create_strategy("btree-of-doom", small_values)
+
+    def test_register_custom_strategy(self, small_values):
+        class EchoStrategy(SearchStrategy):
+            name = "echo"
+
+            def search(self, low, high, counters=None):
+                return np.empty(0, dtype=np.int64)
+
+        register_strategy("echo", EchoStrategy)
+        strategy = create_strategy("echo", small_values)
+        assert isinstance(strategy, EchoStrategy)
+        assert "echo" in available_strategies()
+
+    def test_register_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_strategy("", lambda column: None)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_STRATEGIES))
+class TestAllStrategies:
+    def test_results_match_reference(self, name, medium_values, reference):
+        strategy = create_strategy(name, medium_values)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            low = int(rng.integers(0, 90_000))
+            high = low + int(rng.integers(1, 20_000))
+            assert set(strategy.search(low, high).tolist()) == reference(
+                medium_values, low, high
+            ), f"{name} returned a wrong answer for [{low}, {high})"
+
+    def test_queries_processed_counted(self, name, small_values):
+        strategy = create_strategy(name, small_values)
+        strategy.search(0, 10)
+        strategy.search(20, 30)
+        assert strategy.queries_processed == 2
+
+    def test_structure_description_is_text(self, name, small_values):
+        strategy = create_strategy(name, small_values)
+        strategy.search(0, 50)
+        assert isinstance(strategy.structure_description, str)
+        assert strategy.structure_description
+
+    def test_nbytes_nonnegative(self, name, small_values):
+        strategy = create_strategy(name, small_values)
+        strategy.search(0, 50)
+        assert strategy.nbytes >= 0
+
+
+class TestCostShapes:
+    """The qualitative cost relationships the tutorial describes."""
+
+    def _first_query_cost(self, name, values, **options):
+        strategy = create_strategy(name, values, **options)
+        counters = CostCounters()
+        strategy.search(1000, 2000, counters)
+        return counters
+
+    def test_scan_has_no_initialization_overhead(self, medium_values):
+        scan = self._first_query_cost("scan", medium_values)
+        cracking = self._first_query_cost("cracking", medium_values)
+        sort_first = self._first_query_cost("sort-first", medium_values)
+        assert scan.tuples_moved == 0
+        # cracking pays a copy + one partition pass; far below a full sort
+        assert 0 < cracking.comparisons < sort_first.comparisons
+
+    def test_adaptive_merging_between_cracking_and_sort(self, medium_values):
+        cracking = self._first_query_cost("cracking", medium_values)
+        merging = self._first_query_cost("adaptive-merging", medium_values, run_size=2000)
+        sort_first = self._first_query_cost("sort-first", medium_values)
+        assert cracking.comparisons < merging.comparisons <= sort_first.comparisons * 1.1
+
+    def test_full_index_queries_are_cheap(self, medium_values):
+        full = create_strategy("full-index", medium_values)
+        counters = CostCounters()
+        full.search(1000, 2000, counters)
+        assert counters.comparisons < 100
+        # ... because the build cost was paid offline
+        assert full.build_counters.tuples_moved == len(medium_values)
+
+    def test_cracking_converges_toward_index_cost(self, medium_values):
+        strategy = create_strategy("cracking", medium_values)
+        rng = np.random.default_rng(1)
+        costs = []
+        for _ in range(300):
+            low = int(rng.integers(0, 95_000))
+            counters = CostCounters()
+            strategy.search(low, low + 2000, counters)
+            costs.append(counters.tuples_scanned + counters.tuples_moved)
+        # late queries touch little more than their own result
+        average_result = np.mean(costs[-30:])
+        assert average_result < len(medium_values) / 20

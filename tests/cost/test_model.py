@@ -1,0 +1,46 @@
+"""Unit tests for the cost model."""
+
+import pytest
+
+from repro.cost.counters import CostCounters
+from repro.cost.model import CostModel, DEFAULT_MAIN_MEMORY_MODEL, DISK_MODEL
+
+
+class TestCostModel:
+    def test_cost_weights_applied(self):
+        model = CostModel(
+            name="test",
+            scan_weight=1.0,
+            move_weight=2.0,
+            comparison_weight=0.5,
+            random_access_weight=10.0,
+        )
+        counters = CostCounters(
+            tuples_scanned=10, tuples_moved=4, comparisons=8, random_accesses=1
+        )
+        assert model.cost(counters) == pytest.approx(10 + 8 + 4 + 10)
+
+    def test_zero_counters_cost_zero(self):
+        assert DEFAULT_MAIN_MEMORY_MODEL.cost(CostCounters()) == 0.0
+
+    def test_cost_of_convenience(self):
+        cost = DEFAULT_MAIN_MEMORY_MODEL.cost_of(tuples_scanned=100)
+        assert cost == pytest.approx(100.0)
+
+    def test_cost_of_rejects_unknown_counter(self):
+        with pytest.raises(ValueError, match="unknown counter"):
+            DEFAULT_MAIN_MEMORY_MODEL.cost_of(bogus=1)
+
+    def test_disk_model_penalises_random_access(self):
+        random_heavy = CostCounters(random_accesses=100)
+        scan_heavy = CostCounters(tuples_scanned=100)
+        assert DISK_MODEL.cost(random_heavy) > 100 * DISK_MODEL.cost(scan_heavy) / 100
+        assert DISK_MODEL.cost(random_heavy) / DISK_MODEL.cost(scan_heavy) >= 100
+
+    def test_main_memory_model_random_access_cheaper_than_disk(self):
+        counters = CostCounters(random_accesses=50)
+        assert DEFAULT_MAIN_MEMORY_MODEL.cost(counters) < DISK_MODEL.cost(counters)
+
+    def test_models_are_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_MAIN_MEMORY_MODEL.scan_weight = 5.0

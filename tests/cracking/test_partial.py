@@ -1,0 +1,76 @@
+"""Unit tests for partial (storage-bounded) cracking."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore.storage import StorageBudget
+from repro.core.cracking.partial import PartialCrackedColumn
+from repro.cost.counters import CostCounters
+
+
+class TestCorrectness:
+    def test_results_match_reference(self, medium_values, reference):
+        column = PartialCrackedColumn(medium_values, fragments=8)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            low = int(rng.integers(0, 90_000))
+            high = low + int(rng.integers(1, 20_000))
+            assert set(column.search(low, high).tolist()) == reference(
+                medium_values, low, high
+            )
+        column.check_invariants()
+
+    def test_unbounded_queries(self, small_values, reference):
+        column = PartialCrackedColumn(small_values, fragments=4)
+        assert set(column.search(None, None).tolist()) == set(range(len(small_values)))
+        assert set(column.search(None, 50).tolist()) == reference(small_values, None, 50)
+        assert set(column.search(50, None).tolist()) == reference(small_values, 50, None)
+
+    def test_rejects_empty_column_and_bad_fragments(self):
+        with pytest.raises(ValueError):
+            PartialCrackedColumn(np.empty(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            PartialCrackedColumn(np.array([1, 2]), fragments=0)
+
+
+class TestPartialMaterialisation:
+    def test_only_touched_fragments_materialised(self, medium_values):
+        column = PartialCrackedColumn(medium_values, fragments=10)
+        assert column.materialised_fragments == 0
+        domain = medium_values.max() - medium_values.min()
+        narrow = medium_values.min() + domain // 20  # inside the first fragment
+        column.search(medium_values.min(), narrow)
+        assert column.materialised_fragments <= 2
+        assert column.nbytes < 3 * medium_values.nbytes  # far from a full copy set
+
+    def test_budget_forces_eviction(self, medium_values):
+        full_copy_bytes = medium_values.nbytes * 3  # values + 2x rowids per fragment set
+        budget = StorageBudget(limit_bytes=full_copy_bytes // 4)
+        column = PartialCrackedColumn(medium_values, budget=budget, fragments=8)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            low = int(rng.integers(0, 90_000))
+            column.search(low, low + 10_000)
+        assert column.budget.used_bytes <= budget.limit_bytes
+        assert column.evictions > 0
+        column.check_invariants()
+
+    def test_tiny_budget_falls_back_to_scans_but_stays_correct(
+        self, medium_values, reference
+    ):
+        budget = StorageBudget(limit_bytes=16)  # nothing fits
+        column = PartialCrackedColumn(medium_values, budget=budget, fragments=4)
+        assert set(column.search(1000, 5000).tolist()) == reference(
+            medium_values, 1000, 5000
+        )
+        assert column.fallback_scans > 0
+        assert column.materialised_fragments == 0
+
+    def test_repeated_queries_on_hot_fragment_get_cheap(self, medium_values):
+        column = PartialCrackedColumn(medium_values, fragments=8)
+        costs = []
+        for _ in range(20):
+            counters = CostCounters()
+            column.search(10_000, 12_000, counters)
+            costs.append(counters.tuples_scanned + counters.tuples_moved)
+        assert costs[-1] < costs[0] / 5

@@ -1,0 +1,166 @@
+"""Unit and integration tests for the Database facade and executor."""
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.query import Aggregate, Query, RangeSelection
+
+
+@pytest.fixture
+def database(rng):
+    db = Database("test")
+    size = 5000
+    db.create_table(
+        "facts",
+        {
+            "a": rng.integers(0, 10_000, size=size).astype(np.int64),
+            "b": rng.integers(0, 1_000, size=size).astype(np.int64),
+            "c": rng.uniform(0, 100, size=size),
+        },
+    )
+    return db
+
+
+def reference_positions(db, low, high, column="a", table="facts"):
+    values = db.table(table)[column].values
+    return set(np.flatnonzero((values >= low) & (values < high)).tolist())
+
+
+class TestSchema:
+    def test_create_and_drop_table(self, database, rng):
+        database.create_table("dim", {"k": rng.integers(0, 10, size=5)})
+        assert "dim" in database.table_names
+        database.drop_table("dim")
+        assert "dim" not in database.table_names
+        with pytest.raises(KeyError):
+            database.drop_table("dim")
+
+    def test_duplicate_table_rejected(self, database, rng):
+        with pytest.raises(ValueError):
+            database.create_table("facts", {"a": rng.integers(0, 10, size=5)})
+
+    def test_unknown_table_lookup(self, database):
+        with pytest.raises(KeyError, match="available"):
+            database.table("nope")
+
+    def test_memory_tracker_records_tables(self, database):
+        assert database.memory.total_bytes >= database.table("facts").nbytes
+
+
+class TestIndexingModes:
+    def test_set_indexing_validation(self, database):
+        with pytest.raises(KeyError):
+            database.set_indexing("facts", "zzz", "cracking")
+        with pytest.raises(ValueError, match="unknown indexing mode"):
+            database.set_indexing("facts", "a", "quantum")
+
+    @pytest.mark.parametrize(
+        "mode",
+        ["scan", "full-index", "online", "soft", "cracking", "adaptive-merging",
+         "hybrid-crack-sort"],
+    )
+    def test_every_mode_answers_correctly(self, database, mode):
+        database.set_indexing("facts", "a", mode)
+        expected = reference_positions(database, 1000, 3000)
+        for _ in range(5):  # repeat so online/soft modes get to build
+            result = database.execute(Query.range_query("facts", "a", 1000, 3000))
+            assert set(result.positions.tolist()) == expected
+
+    def test_indexing_mode_reported(self, database):
+        database.set_indexing("facts", "a", "cracking")
+        assert database.indexing_mode("facts", "a") == "cracking"
+        assert database.indexing_mode("facts", "b") is None
+        report = database.physical_design_report()
+        assert any(r["mode"] == "cracking" and r["column"] == "a" for r in report)
+
+    def test_scan_mode_clears_access_path(self, database):
+        database.set_indexing("facts", "a", "cracking")
+        database.set_indexing("facts", "a", "scan")
+        assert database.access_path("facts", "a") is None
+
+
+class TestExecution:
+    def test_multi_column_selection(self, database):
+        query = Query(
+            table="facts",
+            selections=[RangeSelection("a", 1000, 6000), RangeSelection("b", 100, 400)],
+        )
+        result = database.execute(query)
+        a = database.table("facts")["a"].values
+        b = database.table("facts")["b"].values
+        expected = set(
+            np.flatnonzero((a >= 1000) & (a < 6000) & (b >= 100) & (b < 400)).tolist()
+        )
+        assert set(result.positions.tolist()) == expected
+
+    def test_projection_and_aggregate(self, database):
+        query = Query(
+            table="facts",
+            selections=[RangeSelection("a", 0, 5000)],
+            projections=["c"],
+            aggregates=[Aggregate("c", "sum"), Aggregate("c", "count")],
+        )
+        result = database.execute(query)
+        positions = sorted(result.positions.tolist())
+        expected_values = database.table("facts")["c"].values[positions]
+        assert result.aggregates["sum(c)"] == pytest.approx(expected_values.sum())
+        assert result.aggregates["count(c)"] == len(positions)
+        assert set(result.columns) == {"c"}
+
+    def test_aggregate_on_empty_result(self, database):
+        query = Query(
+            table="facts",
+            selections=[RangeSelection("a", 100_000, 200_000)],
+            aggregates=[Aggregate("c", "sum"), Aggregate("c", "count")],
+        )
+        result = database.execute(query)
+        assert result.row_count == 0
+        assert np.isnan(result.aggregates["sum(c)"])
+        assert result.aggregates["count(c)"] == 0
+
+    def test_no_selection_returns_all_rows(self, database):
+        result = database.execute(Query(table="facts", projections=["a"]))
+        assert result.row_count == database.table("facts").row_count
+
+    def test_execute_records_counters_and_time(self, database):
+        result = database.execute(Query.range_query("facts", "a", 0, 1000))
+        assert result.counters.tuples_scanned > 0
+        assert result.elapsed_seconds >= 0
+        assert database.queries_executed == 1
+
+    def test_sideways_execution_matches_scan(self, database):
+        expected = database.execute(
+            Query(
+                table="facts",
+                selections=[RangeSelection("a", 1000, 4000), RangeSelection("b", 0, 500)],
+                projections=["c"],
+            )
+        )
+        database.enable_sideways("facts", "a")
+        sideways = database.execute(
+            Query(
+                table="facts",
+                selections=[RangeSelection("a", 1000, 4000), RangeSelection("b", 0, 500)],
+                projections=["c"],
+            )
+        )
+        assert set(sideways.positions.tolist()) == set(expected.positions.tolist())
+        assert sorted(sideways.columns["c"].tolist()) == pytest.approx(
+            sorted(expected.columns["c"].tolist())
+        )
+
+    def test_run_workload_collects_statistics(self, database):
+        database.set_indexing("facts", "a", "cracking")
+        queries = [Query.range_query("facts", "a", low, low + 500) for low in range(0, 5000, 500)]
+        stats = database.run_workload(queries, strategy_label="cracking")
+        assert len(stats) == len(queries)
+        assert stats.total_seconds > 0
+        assert stats.strategy == "cracking"
+
+    def test_adaptive_mode_gets_cheaper_with_repetition(self, database):
+        database.set_indexing("facts", "a", "cracking")
+        queries = [Query.range_query("facts", "a", 2000, 2500) for _ in range(10)]
+        stats = database.run_workload(queries)
+        costs = [q.counters.tuples_scanned + q.counters.tuples_moved for q in stats]
+        assert costs[-1] < costs[0]

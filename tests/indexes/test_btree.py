@@ -1,0 +1,122 @@
+"""Unit tests for the B-tree."""
+
+import numpy as np
+import pytest
+
+from repro.cost.counters import CostCounters
+from repro.indexes.btree import BTree
+
+
+class TestConstruction:
+    def test_rejects_small_order(self):
+        with pytest.raises(ValueError):
+            BTree(order=2)
+
+    def test_bulk_load_and_validate(self, small_values):
+        tree = BTree.bulk_load(small_values, order=8)
+        assert len(tree) == len(small_values)
+        assert tree.validate()
+
+    def test_bulk_load_counts_cost(self, small_values):
+        counters = CostCounters()
+        BTree.bulk_load(small_values, counters=counters)
+        assert counters.tuples_scanned == len(small_values)
+        assert counters.tuples_moved == len(small_values)
+
+    def test_from_sorted_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            BTree.from_sorted([1, 2], [0])
+
+    def test_empty_tree(self):
+        tree = BTree()
+        assert len(tree) == 0
+        assert tree.validate()
+        with pytest.raises(ValueError):
+            tree.min_key()
+        with pytest.raises(ValueError):
+            tree.max_key()
+        assert len(tree.search_range(0, 10)) == 0
+
+
+class TestSearch:
+    def test_point_search(self, small_values):
+        tree = BTree.bulk_load(small_values, order=16)
+        probe = int(small_values[0])
+        expected = set(np.flatnonzero(small_values == probe).tolist())
+        assert set(tree.search_point(probe)) == expected
+
+    def test_point_search_missing_key(self):
+        tree = BTree.bulk_load(np.array([1, 5, 9]), order=4)
+        assert tree.search_point(7) == []
+
+    def test_range_search_matches_reference(self, small_values, reference):
+        tree = BTree.bulk_load(small_values, order=8)
+        for low, high in [(10, 30), (0, 100), (95, 99), (50, 50)]:
+            assert set(tree.search_range(low, high).tolist()) == reference(
+                small_values, low, high
+            )
+
+    def test_range_search_unbounded(self, small_values, reference):
+        tree = BTree.bulk_load(small_values, order=8)
+        assert set(tree.search_range(None, 50).tolist()) == reference(
+            small_values, None, 50
+        )
+        assert set(tree.search_range(50, None).tolist()) == reference(
+            small_values, 50, None
+        )
+
+    def test_range_search_inclusive_bounds(self):
+        tree = BTree.bulk_load(np.array([1, 2, 3, 4]), order=4)
+        payloads = tree.search_range(2, 3, include_high=True)
+        values = np.array([1, 2, 3, 4])[payloads]
+        assert set(values.tolist()) == {2, 3}
+
+    def test_min_max_keys(self, small_values):
+        tree = BTree.bulk_load(small_values, order=8)
+        assert tree.min_key() == small_values.min()
+        assert tree.max_key() == small_values.max()
+
+    def test_items_in_order(self, small_values):
+        tree = BTree.bulk_load(small_values, order=8)
+        keys = [key for key, _ in tree.items()]
+        assert keys == sorted(small_values.tolist())
+
+
+class TestInsertion:
+    def test_incremental_inserts_stay_sorted(self, rng):
+        tree = BTree(order=8)
+        values = rng.integers(0, 1000, size=500)
+        for position, value in enumerate(values):
+            tree.insert(int(value), position)
+        assert len(tree) == 500
+        assert tree.validate()
+        assert tree.height > 1
+
+    def test_insert_into_bulk_loaded_tree(self, small_values, reference):
+        tree = BTree.bulk_load(small_values, order=8)
+        tree.insert(-5, 10_000)
+        tree.insert(10_000, 10_001)
+        assert tree.min_key() == -5
+        assert tree.max_key() == 10_000
+        assert tree.validate()
+
+    def test_duplicate_keys_supported(self):
+        tree = BTree(order=4)
+        for index in range(20):
+            tree.insert(7, index)
+        assert len(tree.search_point(7)) == 20
+
+    def test_insert_counts_cost(self):
+        tree = BTree(order=4)
+        counters = CostCounters()
+        tree.insert(1, 0, counters)
+        assert counters.tuples_moved == 1
+
+    def test_tuple_keys_supported(self):
+        """Partitioned B-trees key on (partition, value) tuples."""
+        tree = BTree(order=4)
+        tree.insert((1, 5.0), 0)
+        tree.insert((0, 7.0), 1)
+        tree.insert((1, 2.0), 2)
+        assert [key for key, _ in tree.items()] == [(0, 7.0), (1, 2.0), (1, 5.0)]
+        assert set(tree.search_range((1, -np.inf), (1, np.inf)).tolist()) == {0, 2}

@@ -1,0 +1,202 @@
+"""Unit tests for what-if analysis, the offline tuner, online tuner and soft indexes."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore.column import Column
+from repro.columnstore.select import RangePredicate
+from repro.cost.counters import CostCounters
+from repro.indexes.offline_tuner import OfflineTuner
+from repro.indexes.online_tuner import OnlineIndexTuner
+from repro.indexes.soft_index import SoftIndexManager
+from repro.indexes.whatif import HypotheticalIndex, WhatIfAnalyzer, WorkloadQuery
+
+
+@pytest.fixture
+def analyzer():
+    return WhatIfAnalyzer({"orders": 100_000, "tiny": 100})
+
+
+class TestWhatIfAnalyzer:
+    def test_indexed_cheaper_than_scan(self, analyzer):
+        query = WorkloadQuery("orders", "price", selectivity=0.01)
+        assert analyzer.indexed_cost(query) < analyzer.scan_cost(query)
+
+    def test_query_cost_uses_matching_index_only(self, analyzer):
+        query = WorkloadQuery("orders", "price", selectivity=0.01)
+        other = HypotheticalIndex("orders", "date")
+        matching = HypotheticalIndex("orders", "price")
+        assert analyzer.query_cost(query, [other]) == analyzer.scan_cost(query)
+        assert analyzer.query_cost(query, [matching]) == analyzer.indexed_cost(query)
+
+    def test_build_cost_grows_with_table(self, analyzer):
+        big = analyzer.build_cost(HypotheticalIndex("orders", "price"))
+        small = analyzer.build_cost(HypotheticalIndex("tiny", "price"))
+        assert big > small
+
+    def test_workload_cost_with_build(self, analyzer):
+        workload = [WorkloadQuery("orders", "price", 0.01, weight=10)]
+        index = HypotheticalIndex("orders", "price")
+        without_build = analyzer.workload_cost(workload, [index])
+        with_build = analyzer.workload_cost(workload, [index], include_build_cost=True)
+        assert with_build > without_build
+
+    def test_index_benefit_positive_for_selective_queries(self, analyzer):
+        workload = [WorkloadQuery("orders", "price", 0.001, weight=100)]
+        assert analyzer.index_benefit(HypotheticalIndex("orders", "price"), workload) > 0
+
+    def test_candidate_indexes_deduplicated(self, analyzer):
+        workload = [
+            WorkloadQuery("orders", "price"),
+            WorkloadQuery("orders", "price"),
+            WorkloadQuery("orders", "date"),
+        ]
+        candidates = analyzer.candidate_indexes(workload)
+        assert len(candidates) == 2
+
+    def test_unknown_table_raises(self, analyzer):
+        with pytest.raises(KeyError):
+            analyzer.scan_cost(WorkloadQuery("missing", "x"))
+
+
+class TestOfflineTuner:
+    def test_recommends_hot_column(self, analyzer):
+        tuner = OfflineTuner(analyzer)
+        workload = [
+            WorkloadQuery("orders", "price", 0.001, weight=1000),
+            WorkloadQuery("orders", "comment", 0.5, weight=1),
+        ]
+        recommendation = tuner.recommend(workload)
+        assert recommendation.covers("orders", "price")
+        assert recommendation.estimated_benefit > 0
+
+    def test_respects_storage_budget(self, analyzer):
+        tuner = OfflineTuner(analyzer, bytes_per_row=16)
+        workload = [
+            WorkloadQuery("orders", "a", 0.001, weight=100),
+            WorkloadQuery("orders", "b", 0.001, weight=100),
+        ]
+        # budget for exactly one index over the 100k-row table
+        recommendation = tuner.recommend(workload, storage_budget_bytes=100_000 * 16)
+        assert len(recommendation.indexes) == 1
+        assert recommendation.estimated_storage_bytes <= 100_000 * 16
+
+    def test_respects_max_indexes(self, analyzer):
+        tuner = OfflineTuner(analyzer)
+        workload = [
+            WorkloadQuery("orders", name, 0.001, weight=10) for name in "abcd"
+        ]
+        recommendation = tuner.recommend(workload, max_indexes=2)
+        assert len(recommendation.indexes) == 2
+
+    def test_min_benefit_filters_marginal_indexes(self, analyzer):
+        tuner = OfflineTuner(analyzer)
+        workload = [WorkloadQuery("orders", "x", selectivity=1.0, weight=1)]
+        # an index on a fully unselective, rarely-run query brings only a
+        # marginal benefit; requiring a substantial one rejects it
+        threshold = 2 * analyzer.scan_cost(workload[0])
+        recommendation = tuner.recommend(workload, min_benefit=threshold)
+        assert recommendation.indexes == []
+
+
+class TestOnlineTuner:
+    def _column(self, rng, n=5_000):
+        return Column(rng.integers(0, 10_000, size=n), name="key")
+
+    def test_builds_index_after_enough_queries(self, rng):
+        column = self._column(rng)
+        tuner = OnlineIndexTuner(build_threshold_factor=1.0)
+        predicate = RangePredicate(100, 200)
+        queries_before_build = None
+        for query_number in range(1, 200):
+            tuner.select(column, predicate)
+            if tuner.has_index("key"):
+                queries_before_build = query_number
+                break
+        assert queries_before_build is not None, "online tuner never built the index"
+        assert queries_before_build > 1  # not immediate: it must observe first
+
+    def test_results_correct_before_and_after_build(self, rng, reference):
+        column = self._column(rng)
+        expected = reference(column.values, 100, 200)
+        tuner = OnlineIndexTuner(build_threshold_factor=1.0)
+        for _ in range(100):
+            positions = tuner.select(column, RangePredicate(100, 200))
+            assert set(positions.tolist()) == expected
+
+    def test_triggering_query_pays_build_cost(self, rng):
+        column = self._column(rng)
+        tuner = OnlineIndexTuner(build_threshold_factor=1.0)
+        costs = []
+        for _ in range(100):
+            counters = CostCounters()
+            tuner.select(column, RangePredicate(100, 200), counters)
+            costs.append(counters.tuples_moved)
+            if tuner.has_index("key"):
+                break
+        assert costs[-1] >= len(column)  # the build moved the whole column
+
+    def test_higher_threshold_builds_later(self, rng):
+        column = self._column(rng)
+        eager = OnlineIndexTuner(build_threshold_factor=1.0)
+        lazy = OnlineIndexTuner(build_threshold_factor=5.0)
+        eager_build = lazy_build = None
+        for query_number in range(1, 500):
+            eager.select(column, RangePredicate(100, 200))
+            lazy.select(column, RangePredicate(100, 200))
+            if eager_build is None and eager.has_index("key"):
+                eager_build = query_number
+            if lazy_build is None and lazy.has_index("key"):
+                lazy_build = query_number
+            if eager_build and lazy_build:
+                break
+        assert eager_build is not None and lazy_build is not None
+        assert eager_build < lazy_build
+
+    def test_max_indexes_drops_least_useful(self, rng):
+        column_a = Column(rng.integers(0, 1000, size=2000), name="a")
+        column_b = Column(rng.integers(0, 1000, size=2000), name="b")
+        tuner = OnlineIndexTuner(build_threshold_factor=0.1, max_indexes=1)
+        for _ in range(50):
+            tuner.select(column_a, RangePredicate(0, 10))
+        for _ in range(50):
+            tuner.select(column_b, RangePredicate(0, 10))
+        assert len(tuner.indexes) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            OnlineIndexTuner(build_threshold_factor=0)
+        with pytest.raises(ValueError):
+            OnlineIndexTuner(decay=1.5)
+
+
+class TestSoftIndexes:
+    def test_builds_after_recommendation_threshold(self, rng, reference):
+        column = Column(rng.integers(0, 1000, size=3000), name="key")
+        manager = SoftIndexManager(recommendation_threshold=3)
+        expected = reference(column.values, 50, 150)
+        for query_number in range(1, 10):
+            positions = manager.select(column, RangePredicate(50, 150))
+            assert set(positions.tolist()) == expected
+            if manager.has_index("key"):
+                break
+        assert manager.has_index("key")
+        assert query_number == 3  # built exactly when the threshold was reached
+
+    def test_build_charged_to_carrying_query(self, rng):
+        column = Column(rng.integers(0, 1000, size=3000), name="key")
+        manager = SoftIndexManager(recommendation_threshold=2)
+        costs = []
+        for _ in range(4):
+            counters = CostCounters()
+            manager.select(column, RangePredicate(0, 100), counters)
+            costs.append(counters.tuples_moved + counters.comparisons)
+        # the query that carried the build is far more expensive than the others
+        assert max(costs[:2]) > 0
+        assert costs[1] > 5 * costs[0]
+        # once built, queries are cheap again
+        assert costs[3] < costs[1] / 5
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SoftIndexManager(recommendation_threshold=0)

@@ -1,0 +1,88 @@
+"""Unit tests for the disjoint interval set."""
+
+import pytest
+
+from repro.core.merging.intervals import IntervalSet
+
+
+class TestAdd:
+    def test_add_and_iterate(self):
+        intervals = IntervalSet()
+        intervals.add(10, 20)
+        intervals.add(30, 40)
+        assert intervals.intervals == [(10, 20), (30, 40)]
+        assert len(intervals) == 2
+        assert not intervals.is_empty()
+
+    def test_add_merges_overlapping(self):
+        intervals = IntervalSet()
+        intervals.add(10, 20)
+        intervals.add(15, 30)
+        assert intervals.intervals == [(10, 30)]
+
+    def test_add_merges_adjacent(self):
+        intervals = IntervalSet()
+        intervals.add(10, 20)
+        intervals.add(20, 30)
+        assert intervals.intervals == [(10, 30)]
+
+    def test_add_bridging_interval_collapses_several(self):
+        intervals = IntervalSet()
+        intervals.add(0, 10)
+        intervals.add(20, 30)
+        intervals.add(40, 50)
+        intervals.add(5, 45)
+        assert intervals.intervals == [(0, 50)]
+
+    def test_add_keeps_sorted_order(self):
+        intervals = IntervalSet()
+        intervals.add(40, 50)
+        intervals.add(0, 10)
+        intervals.add(20, 30)
+        assert intervals.intervals == [(0, 10), (20, 30), (40, 50)]
+        intervals.check_invariants()
+
+    def test_zero_width_ignored_and_invalid_rejected(self):
+        intervals = IntervalSet()
+        intervals.add(5, 5)
+        assert intervals.is_empty()
+        with pytest.raises(ValueError):
+            intervals.add(10, 5)
+
+    def test_total_length(self):
+        intervals = IntervalSet()
+        intervals.add(0, 10)
+        intervals.add(20, 25)
+        assert intervals.total_length() == 15
+
+
+class TestQueries:
+    def test_covers(self):
+        intervals = IntervalSet()
+        intervals.add(10, 30)
+        assert intervals.covers(15, 25)
+        assert intervals.covers(10, 30)
+        assert not intervals.covers(5, 15)
+        assert not intervals.covers(25, 35)
+        assert intervals.covers(7, 7)  # empty range is always covered
+
+    def test_contains_point(self):
+        intervals = IntervalSet()
+        intervals.add(10, 20)
+        assert intervals.contains_point(10)
+        assert intervals.contains_point(19.5)
+        assert not intervals.contains_point(20)
+
+    def test_uncovered_gaps(self):
+        intervals = IntervalSet()
+        intervals.add(10, 20)
+        intervals.add(30, 40)
+        assert intervals.uncovered(0, 50) == [(0, 10), (20, 30), (40, 50)]
+        assert intervals.uncovered(12, 18) == []
+        assert intervals.uncovered(15, 35) == [(20, 30)]
+        assert intervals.uncovered(40, 60) == [(40, 60)] or intervals.uncovered(40, 60) == [(40, 60)]
+
+    def test_uncovered_of_empty_set_is_whole_range(self):
+        intervals = IntervalSet()
+        assert intervals.uncovered(3, 9) == [(3, 9)]
+        assert intervals.uncovered(9, 3) == []

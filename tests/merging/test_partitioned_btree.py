@@ -1,0 +1,66 @@
+"""Unit tests for the partitioned B-tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.merging.partitioned_btree import PartitionedBTree
+
+
+@pytest.fixture
+def loaded_tree(rng):
+    tree = PartitionedBTree(order=16)
+    for partition_id in range(1, 4):
+        values = np.sort(rng.integers(0, 1000, size=100))
+        rowids = np.arange(100) + partition_id * 1000
+        tree.load_partition(partition_id, values, rowids)
+    return tree
+
+
+class TestLoading:
+    def test_partition_count_and_len(self, loaded_tree):
+        assert loaded_tree.partition_count == 3
+        assert len(loaded_tree) == 300
+        assert loaded_tree.partition_size(1) == 100
+        assert loaded_tree.partition_size(99) == 0
+
+    def test_rejects_bad_input(self):
+        tree = PartitionedBTree()
+        with pytest.raises(ValueError):
+            tree.load_partition(-1, np.array([1.0]), np.array([0]))
+        with pytest.raises(ValueError):
+            tree.load_partition(0, np.array([1.0, 2.0]), np.array([0]))
+
+
+class TestSearchAndMerge:
+    def test_search_single_partition(self, loaded_tree):
+        rowids = loaded_tree.search_partition_range(1, 0, 1000)
+        assert len(rowids) == 100
+        assert all(1000 <= r < 2000 for r in rowids)
+
+    def test_search_all_partitions(self, loaded_tree):
+        rowids = loaded_tree.search_all_partitions(None, None)
+        assert len(rowids) == 300
+
+    def test_move_range_to_final(self, loaded_tree):
+        moved = loaded_tree.move_range_to_final(200, 400)
+        assert moved > 0
+        assert loaded_tree.partition_size(0) == moved
+        # the moved records are now found in the final partition
+        final_rowids = loaded_tree.search_partition_range(0, 200, 400)
+        assert len(final_rowids) == moved
+        # and are gone from the sources for that range
+        for partition_id in range(1, 4):
+            assert len(loaded_tree.search_partition_range(partition_id, 200, 400)) == 0
+        # total entries preserved
+        assert len(loaded_tree) == 300
+
+    def test_move_range_idempotent(self, loaded_tree):
+        first = loaded_tree.move_range_to_final(200, 400)
+        second = loaded_tree.move_range_to_final(200, 400)
+        assert second == 0
+        assert loaded_tree.partition_size(0) == first
+
+    def test_move_everything_collapses_to_one_partition(self, loaded_tree):
+        loaded_tree.move_range_to_final(None, None)
+        assert loaded_tree.partition_size(0) == 300
+        assert loaded_tree.partition_count == 1

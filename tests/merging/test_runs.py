@@ -1,0 +1,77 @@
+"""Unit tests for sorted run generation and extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.merging.runs import SortedRun, create_runs
+from repro.cost.counters import CostCounters
+
+
+class TestCreateRuns:
+    def test_runs_cover_column_and_are_sorted(self, medium_values):
+        runs = create_runs(medium_values, run_size=1000)
+        assert sum(len(run) for run in runs) == len(medium_values)
+        assert all(run.is_sorted() for run in runs)
+        # rowids map back to original values
+        for run in runs:
+            assert np.array_equal(medium_values[run.rowids], run.values)
+
+    def test_default_run_size_sqrt(self, medium_values):
+        runs = create_runs(medium_values)
+        expected_runs = int(np.ceil(len(medium_values) / np.sqrt(len(medium_values))))
+        assert abs(len(runs) - expected_runs) <= 1
+
+    def test_empty_column(self):
+        assert create_runs(np.empty(0, dtype=np.int64)) == []
+
+    def test_invalid_run_size(self, small_values):
+        with pytest.raises(ValueError):
+            create_runs(small_values, run_size=0)
+
+    def test_run_generation_cost_single_pass(self, medium_values):
+        counters = CostCounters()
+        create_runs(medium_values, run_size=1000, counters=counters)
+        n = len(medium_values)
+        assert counters.tuples_scanned == n
+        assert counters.tuples_moved == n
+        # per-run sorts: n log(run_size), clearly below a full n log n sort
+        assert counters.comparisons < n * np.log2(n)
+        assert counters.comparisons >= n * np.log2(1000) * 0.9
+
+
+class TestSortedRun:
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            SortedRun(values=np.array([1, 2]), rowids=np.array([0]))
+
+    def test_key_range(self):
+        run = SortedRun(values=np.array([1, 5, 9]), rowids=np.array([0, 1, 2]))
+        assert run.key_range() == (1, 9)
+        with pytest.raises(ValueError):
+            SortedRun(np.empty(0), np.empty(0, dtype=np.int64)).key_range()
+
+    def test_extract_range_removes_and_returns(self):
+        run = SortedRun(values=np.array([1, 3, 5, 7, 9]), rowids=np.arange(5))
+        values, rowids = run.extract_range(3, 8)
+        assert np.array_equal(values, [3, 5, 7])
+        assert np.array_equal(rowids, [1, 2, 3])
+        assert np.array_equal(run.values, [1, 9])
+        assert run.is_sorted()
+
+    def test_extract_range_empty_intersection(self):
+        run = SortedRun(values=np.array([1, 2, 3]), rowids=np.arange(3))
+        values, rowids = run.extract_range(10, 20)
+        assert len(values) == 0
+        assert len(run) == 3
+
+    def test_extract_unbounded(self):
+        run = SortedRun(values=np.array([1, 2, 3]), rowids=np.arange(3))
+        values, _ = run.extract_range(None, None)
+        assert np.array_equal(values, [1, 2, 3])
+        assert len(run) == 0
+
+    def test_peek_range_count(self):
+        run = SortedRun(values=np.array([1, 3, 5, 7]), rowids=np.arange(4))
+        assert run.peek_range_count(2, 6) == 2
+        assert run.peek_range_count(None, None) == 4
+        assert len(run) == 4  # peek does not remove

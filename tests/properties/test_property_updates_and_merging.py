@@ -1,0 +1,122 @@
+"""Property-based tests for updates, intervals and adaptive merging."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cracking.updates import UpdatableCrackedColumn
+from repro.core.merging.adaptive_merge import AdaptiveMergingIndex
+from repro.core.merging.intervals import IntervalSet
+
+
+class TestUpdatableColumnProperties:
+    operations = st.lists(
+        st.one_of(
+            st.tuples(st.just("insert"), st.integers(0, 200)),
+            st.tuples(st.just("delete"), st.integers(0, 400)),
+            st.tuples(st.just("query"), st.tuples(st.integers(0, 200), st.integers(0, 200))),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+
+    @given(
+        base=st.lists(st.integers(0, 200), min_size=1, max_size=150).map(
+            lambda xs: np.asarray(xs, dtype=np.int64)
+        ),
+        ops=operations,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_visible_rows_always_match_model(self, base, ops):
+        """Any interleaving of inserts, deletes and queries stays consistent."""
+        column = UpdatableCrackedColumn(base)
+        model = {int(i): int(v) for i, v in enumerate(base)}
+        next_id = len(base)
+        for kind, payload in ops:
+            if kind == "insert":
+                rowid = column.insert(payload)
+                assert rowid == next_id
+                model[rowid] = payload
+                next_id += 1
+            elif kind == "delete":
+                if payload in model:
+                    column.delete(payload)
+                    del model[payload]
+            else:
+                low, high = min(payload), max(payload)
+                got = set(column.search(low, high).tolist())
+                expected = {r for r, v in model.items() if low <= v < high}
+                assert got == expected
+        column.check_invariants()
+        assert sorted(column.visible_values().tolist()) == sorted(model.values())
+
+
+class TestIntervalSetProperties:
+    intervals_strategy = st.lists(
+        st.tuples(st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)).map(
+            lambda pair: (min(pair), max(pair))
+        ),
+        min_size=1,
+        max_size=20,
+    )
+
+    @given(intervals=intervals_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_add_keeps_disjoint_sorted(self, intervals):
+        interval_set = IntervalSet()
+        for low, high in intervals:
+            interval_set.add(low, high)
+            interval_set.check_invariants()
+
+    @given(intervals=intervals_strategy, probe=st.floats(0, 100, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_membership_matches_naive_model(self, intervals, probe):
+        interval_set = IntervalSet()
+        for low, high in intervals:
+            interval_set.add(low, high)
+        naive = any(low <= probe < high for low, high in intervals)
+        assert interval_set.contains_point(probe) == naive
+
+    @given(intervals=intervals_strategy,
+           query=st.tuples(st.floats(0, 100, allow_nan=False),
+                           st.floats(0, 100, allow_nan=False)).map(
+               lambda pair: (min(pair), max(pair))))
+    @settings(max_examples=80, deadline=None)
+    def test_uncovered_gaps_partition_the_query(self, intervals, query):
+        """Covered parts plus uncovered gaps tile the query range exactly."""
+        interval_set = IntervalSet()
+        for low, high in intervals:
+            interval_set.add(low, high)
+        query_low, query_high = query
+        gaps = interval_set.uncovered(query_low, query_high)
+        # gaps are inside the query, disjoint, and no gap point is covered
+        previous_end = query_low
+        for gap_low, gap_high in gaps:
+            assert query_low <= gap_low <= gap_high <= query_high
+            assert gap_low >= previous_end
+            previous_end = gap_high
+            midpoint = (gap_low + gap_high) / 2
+            if gap_high > gap_low:
+                assert not interval_set.contains_point(midpoint)
+
+
+class TestAdaptiveMergingProperties:
+    @given(
+        values=st.lists(st.integers(0, 300), min_size=1, max_size=200).map(
+            lambda xs: np.asarray(xs, dtype=np.int64)
+        ),
+        queries=st.lists(
+            st.tuples(st.integers(-10, 310), st.integers(-10, 310)).map(
+                lambda pair: (min(pair), max(pair))
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        run_size=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merging_matches_scan_and_preserves_content(self, values, queries, run_size):
+        index = AdaptiveMergingIndex(values, run_size=run_size)
+        for low, high in queries:
+            expected = set(np.flatnonzero((values >= low) & (values < high)).tolist())
+            assert set(index.search(low, high).tolist()) == expected
+            index.check_invariants()

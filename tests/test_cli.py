@@ -1,0 +1,80 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.strategies import available_strategies
+
+
+class TestStrategiesCommand:
+    def test_lists_all_strategies(self, capsys):
+        assert main(["strategies"]) == 0
+        output = capsys.readouterr().out.splitlines()
+        assert set(available_strategies()).issubset(set(output))
+
+
+class TestCompareCommand:
+    def test_text_output(self, capsys):
+        code = main([
+            "compare", "--rows", "5000", "--queries", "30",
+            "--strategies", "scan,cracking", "--pattern", "random",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scan" in output and "cracking" in output
+        assert "first-query/scan" in output
+
+    def test_markdown_output(self, capsys):
+        code = main([
+            "compare", "--rows", "5000", "--queries", "20",
+            "--strategies", "cracking", "--format", "markdown",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out.startswith("| strategy")
+
+    def test_csv_output(self, capsys):
+        code = main([
+            "compare", "--rows", "5000", "--queries", "20",
+            "--strategies", "cracking", "--format", "csv",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out.startswith("strategy,")
+
+    def test_series_csv_written(self, tmp_path, capsys):
+        path = tmp_path / "series.csv"
+        code = main([
+            "compare", "--rows", "5000", "--queries", "20",
+            "--strategies", "scan,cracking", "--series-csv", str(path),
+        ])
+        assert code == 0
+        assert path.exists()
+        header = path.read_text().splitlines()[0]
+        assert header == "query,cracking,scan"
+
+    def test_unknown_strategy_is_an_error(self, capsys):
+        code = main([
+            "compare", "--rows", "1000", "--queries", "5",
+            "--strategies", "quantum-index",
+        ])
+        assert code == 2
+        assert "unknown strategies" in capsys.readouterr().err
+
+    def test_patterns_accepted(self, capsys):
+        for pattern in ("skewed", "sequential", "periodic", "piecewise"):
+            code = main([
+                "compare", "--rows", "3000", "--queries", "15",
+                "--strategies", "cracking", "--pattern", pattern,
+            ])
+            assert code == 0
+
+
+class TestDemoAndDefaults:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--rows", "5000", "--queries", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "database cracking over" in output
+        assert "structure:" in output
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()

@@ -1,0 +1,117 @@
+"""Unit tests for the benchmark metrics and the benchmark harness."""
+
+import numpy as np
+import pytest
+
+from repro.cost.counters import CostCounters
+from repro.cost.model import CostModel
+from repro.cost.stats import QueryStatistics, WorkloadStatistics
+from repro.workloads.benchmark import AdaptiveIndexingBenchmark
+from repro.workloads.generators import WorkloadSpec, random_workload
+from repro.workloads.metrics import (
+    convergence_point,
+    cost_crossover,
+    initialization_overhead,
+    robustness_ratio,
+)
+
+UNIT_MODEL = CostModel(name="unit", scan_weight=1.0, move_weight=0.0,
+                       comparison_weight=0.0, random_access_weight=0.0)
+
+
+def stats_from_costs(costs):
+    workload = WorkloadStatistics(strategy="x")
+    for index, cost in enumerate(costs):
+        workload.append(
+            QueryStatistics(
+                query_index=index,
+                elapsed_seconds=0.0,
+                counters=CostCounters(tuples_scanned=cost),
+            )
+        )
+    return workload
+
+
+class TestMetrics:
+    def test_initialization_overhead(self):
+        workload = stats_from_costs([300, 100, 100])
+        assert initialization_overhead(workload, scan_cost=100, model=UNIT_MODEL) == 3.0
+        assert initialization_overhead(WorkloadStatistics(), 100, UNIT_MODEL) is None
+        with pytest.raises(ValueError):
+            initialization_overhead(workload, scan_cost=0)
+
+    def test_convergence_point(self):
+        workload = stats_from_costs([100, 50, 20, 11, 10, 10, 10, 10, 10])
+        assert convergence_point(workload, full_index_cost=10, tolerance=1.1,
+                                 consecutive=3, model=UNIT_MODEL) == 3
+
+    def test_cost_crossover(self):
+        assert cost_crossover([10, 20, 30], [15, 22, 40]) == 0
+        assert cost_crossover([20, 30, 35], [10, 25, 40]) == 2
+        assert cost_crossover([20, 30], [10, 15]) is None
+
+    def test_robustness_ratio(self):
+        assert robustness_ratio([10, 10, 10]) == 1.0
+        assert robustness_ratio([10, 10, 100]) == 10.0
+        assert robustness_ratio([0, 0, 5]) == float("inf")
+        with pytest.raises(ValueError):
+            robustness_ratio([])
+
+
+class TestBenchmarkHarness:
+    @pytest.fixture(scope="class")
+    def harness(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 50_000, size=20_000)
+        spec = WorkloadSpec(domain_low=0, domain_high=50_000, query_count=120,
+                            selectivity=0.02, seed=1)
+        return AdaptiveIndexingBenchmark(values, random_workload(spec))
+
+    def test_requires_queries(self):
+        with pytest.raises(ValueError):
+            AdaptiveIndexingBenchmark(np.arange(10), [])
+
+    def test_reference_costs_sensible(self, harness):
+        assert harness.scan_cost > harness.full_index_cost
+
+    def test_run_strategy_produces_full_series(self, harness):
+        run = harness.run_strategy("cracking")
+        assert len(run.statistics) == 120
+        assert run.total_cost > 0
+        assert run.initialization_overhead is not None
+        assert run.summary_row()["strategy"] == "cracking"
+
+    def test_run_many_strategies(self, harness):
+        result = harness.run(["scan", "cracking", "sort-first"])
+        assert set(result.runs) == {"scan", "cracking", "sort-first"}
+        table = result.summary_table()
+        assert len(table) == 3
+        series = result.per_query_costs()
+        assert all(len(v) == 120 for v in series.values())
+        cumulative = result.cumulative_costs()
+        assert all(len(v) == 120 for v in cumulative.values())
+
+    def test_benchmark_shape_scan_never_converges(self, harness):
+        result = harness.run(["scan", "cracking", "sort-first"])
+        assert result.runs["scan"].convergence_query is None
+        # sort-first pays everything on query 0 and is converged right after
+        assert result.runs["sort-first"].convergence_query in (0, 1)
+        # cracking does not reach strict full-index cost within 120 queries,
+        # but its steady-state per-query cost is already far below a scan
+        cracking_tail = np.mean(
+            result.runs["cracking"].statistics.per_query_cost()[-20:]
+        )
+        assert cracking_tail < harness.scan_cost / 10
+
+    def test_benchmark_shape_initialization_ordering(self, harness):
+        """Scan ~1x, cracking a small multiple, sort-first the largest."""
+        result = harness.run(["scan", "cracking", "sort-first"])
+        scan = result.runs["scan"].initialization_overhead
+        cracking = result.runs["cracking"].initialization_overhead
+        sort_first = result.runs["sort-first"].initialization_overhead
+        assert scan == pytest.approx(1.0, rel=0.3)
+        assert scan < cracking < sort_first
+
+    def test_strategy_options_forwarded(self, harness):
+        run = harness.run_strategy("adaptive-merging", run_size=500)
+        assert run.total_cost > 0
