@@ -64,6 +64,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--seed", type=int, default=0, help="random seed")
     compare.add_argument(
+        "--partitions", type=int, default=4,
+        help="shard count for the partitioned-cracking strategy",
+    )
+    compare.add_argument(
+        "--parallel", action="store_true",
+        help="fan partitioned-cracking sub-selections out over a thread pool",
+    )
+    compare.add_argument(
         "--format", default="text", choices=["text", "markdown", "csv"],
         help="output format for the summary table",
     )
@@ -94,6 +102,9 @@ def _command_compare(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.partitions < 1:
+        print("--partitions must be >= 1", file=sys.stderr)
+        return 2
     values = generate_column_data(args.rows, 0, 1_000_000, seed=args.seed)
     spec = WorkloadSpec(
         domain_low=0,
@@ -104,7 +115,13 @@ def _command_compare(args: argparse.Namespace) -> int:
     )
     queries = make_workload(args.pattern, spec)
     harness = AdaptiveIndexingBenchmark(values, queries)
-    result = harness.run(strategies)
+    options = {
+        "partitioned-cracking": {
+            "partitions": args.partitions,
+            "parallel": args.parallel,
+        }
+    }
+    result = harness.run(strategies, options=options)
 
     if args.format == "markdown":
         print(render_markdown_table(result))

@@ -11,12 +11,16 @@ query execution*.
   (partitioned B-tree style);
 * :mod:`repro.core.hybrids` — the hybrid algorithms of Idreos et al.
   (PVLDB 2011) that blend cracking-style and merging-style reorganisation;
+* :mod:`repro.core.partitioned` — partitioned (and optionally parallel)
+  cracking: contiguous shards cracked independently, with thread-pool
+  fan-out for queries spanning several shards;
 * :mod:`repro.core.strategies` — a uniform registry so that baselines and
   adaptive strategies are interchangeable in the engine and the benchmark;
 * :mod:`repro.core.adaptive_index` — the user-facing facade.
 """
 
 from repro.core.adaptive_index import AdaptiveIndex
+from repro.core.partitioned import PartitionedCrackedColumn
 from repro.core.strategies import (
     SearchStrategy,
     available_strategies,
@@ -26,6 +30,7 @@ from repro.core.strategies import (
 
 __all__ = [
     "AdaptiveIndex",
+    "PartitionedCrackedColumn",
     "SearchStrategy",
     "available_strategies",
     "create_strategy",

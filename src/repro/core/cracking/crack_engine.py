@@ -145,12 +145,16 @@ def crack_range(
         if same_piece and not low_piece.sorted and not (
             0 < sort_threshold and low_piece.size <= sort_threshold
         ):
+            # charge the piece lookup before the physical partition (as
+            # crack_value does) so mid-query counter snapshots attribute the
+            # navigation cost to navigation, not to data movement
+            if counters is not None:
+                counters.record_comparisons(binary_search_count(index.piece_count))
             split_low, split_high = partition_three_way(
                 values, low_piece.start, low_piece.end, low, high, counters,
                 payload=payload,
             )
             if counters is not None:
-                counters.record_comparisons(binary_search_count(index.piece_count))
                 counters.record_pieces(2)
             index.add_boundary(low, split_low)
             index.add_boundary(high, split_high)

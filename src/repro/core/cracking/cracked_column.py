@@ -161,6 +161,7 @@ class CrackedColumn:
         counters: Optional[CostCounters] = None,
     ) -> int:
         """Number of qualifying rows (cracks as a side effect)."""
+        self.queries_processed += 1
         if not self.materialised:
             self._materialise(counters)
         start, end = crack_range(

@@ -1,0 +1,385 @@
+"""Partitioned (and optionally parallel) database cracking.
+
+Cracking is inherently partitionable: a crack only ever touches the single
+piece containing the pivot, so sharding a column into ``P`` contiguous
+partitions — each owning its own cracker column and cracker index — turns a
+range selection into at most ``P`` completely independent sub-selections.
+:class:`PartitionedCrackedColumn` exploits this twice:
+
+* **pruning** — each partition learns its value bounds (min/max) when it is
+  first touched, so later queries crack only the partitions whose value
+  range overlaps the predicate; cold regions of the key domain are never
+  reorganised, exactly as in whole-column cracking, and cold *partitions*
+  are not even visited;
+* **parallelism** — the per-partition sub-selections fan out across a
+  :class:`concurrent.futures.ThreadPoolExecutor`.  The numpy partitioning
+  kernels release the GIL, so the fan-out yields real speed-ups on
+  multi-core machines.  Each worker records its work on a private
+  :class:`~repro.cost.counters.CostCounters` instance; the per-partition
+  counters are merged into the caller's counters after the fan-out, so
+  logical cost accounting is independent of the execution mode.
+
+Search results are positions into the *base* column (partition-local row
+identifiers shifted by the partition offset), which makes the partitioned
+column a drop-in replacement for
+:class:`~repro.core.cracking.cracked_column.CrackedColumn`: the answer to
+any query is the same set of positions, whatever ``partitions`` is.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.columnstore.column import Column
+from repro.core.cracking.cracked_column import CrackedColumn
+from repro.core.cracking.cracker_index import Piece
+from repro.cost.counters import CostCounters
+
+__all__ = ["ColumnPartition", "PartitionedCrackedColumn", "partition_bounds"]
+
+
+def partition_bounds(size: int, partitions: int) -> List[Tuple[int, int]]:
+    """Half-open ``[start, end)`` row ranges of ``partitions`` contiguous shards.
+
+    Sizes differ by at most one (the first ``size % partitions`` shards get
+    the extra row).  ``partitions`` is clamped to ``[1, max(1, size)]`` so an
+    empty or tiny column still yields a valid partitioning.
+    """
+    if partitions < 1:
+        raise ValueError("partitions must be >= 1")
+    count = max(1, min(partitions, size)) if size > 0 else 1
+    base, remainder = divmod(size, count)
+    bounds = []
+    start = 0
+    for index in range(count):
+        end = start + base + (1 if index < remainder else 0)
+        bounds.append((start, end))
+        start = end
+    return bounds
+
+
+class ColumnPartition:
+    """One contiguous shard of a partitioned cracked column.
+
+    Owns a private :class:`CrackedColumn` over ``base[start:end]`` whose row
+    identifiers are partition-local; :meth:`search` shifts them by ``start``
+    so callers always see positions into the base column.  The partition's
+    value bounds (min/max of its slice) are computed the first time the
+    partition is visited and charged to that query's counters, mirroring how
+    the lazy cracker-column copy charges the first query.
+    """
+
+    __slots__ = ("start", "end", "cracked", "_base_slice", "min_value", "max_value",
+                 "_bounds_known")
+
+    def __init__(self, base_slice: np.ndarray, start: int, sort_threshold: int = 0,
+                 name: str = "") -> None:
+        self.start = int(start)
+        self.end = int(start) + len(base_slice)
+        self._base_slice = base_slice
+        self.cracked = CrackedColumn(
+            base_slice, sort_threshold=sort_threshold, lazy_copy=True, name=name
+        )
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+        self._bounds_known = False
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def _ensure_bounds(self, counters: Optional[CostCounters]) -> None:
+        """Learn the partition's value range (one scan, charged once)."""
+        if self._bounds_known:
+            return
+        if len(self._base_slice):
+            self.min_value = float(self._base_slice.min())
+            self.max_value = float(self._base_slice.max())
+            if counters is not None:
+                counters.record_scan(len(self._base_slice))
+                counters.record_comparisons(2 * len(self._base_slice))
+        self._bounds_known = True
+
+    def overlaps(self, low: Optional[float], high: Optional[float],
+                 counters: Optional[CostCounters]) -> bool:
+        """True when ``[low, high)`` can contain values of this partition."""
+        if len(self._base_slice) == 0:
+            return False
+        self._ensure_bounds(counters)
+        if low is not None and self.max_value < low:
+            return False
+        if high is not None and self.min_value >= high:
+            return False
+        return True
+
+    def search(self, low: Optional[float], high: Optional[float],
+               counters: Optional[CostCounters]) -> np.ndarray:
+        """Base-column positions of qualifying rows inside this partition."""
+        local = self.cracked.search(low, high, counters)
+        return local + self.start if self.start else local
+
+    def search_values(self, low: Optional[float], high: Optional[float],
+                      counters: Optional[CostCounters]) -> np.ndarray:
+        return self.cracked.search_values(low, high, counters)
+
+    def count(self, low: Optional[float], high: Optional[float],
+              counters: Optional[CostCounters]) -> int:
+        return self.cracked.count(low, high, counters)
+
+
+class PartitionedCrackedColumn:
+    """A column sharded into contiguous partitions, each cracked independently.
+
+    Parameters
+    ----------
+    column:
+        Base column (or raw array); each partition keeps a lazy private copy
+        of its slice, charged to the first query that touches it.
+    partitions:
+        Number of contiguous shards (clamped to the column size; >= 1).
+    parallel:
+        When True, queries overlapping more than one partition fan out over a
+        thread pool; each worker gets private counters that are merged into
+        the caller's counters afterwards.  Answers are identical either way.
+    sort_threshold:
+        Forwarded to every partition's :class:`CrackedColumn`.
+    max_workers:
+        Thread-pool size (defaults to the partition count).
+    """
+
+    def __init__(
+        self,
+        column: Union[Column, np.ndarray],
+        partitions: int = 4,
+        parallel: bool = False,
+        sort_threshold: int = 0,
+        max_workers: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        base = column.values if isinstance(column, Column) else np.asarray(column)
+        if base.ndim != 1:
+            raise ValueError("partitioned cracked columns are one-dimensional")
+        self.name = name or (column.name if isinstance(column, Column) else "")
+        self._base = base
+        self.parallel = bool(parallel)
+        self.sort_threshold = int(sort_threshold)
+        self.queries_processed = 0
+        self._partitions: List[ColumnPartition] = [
+            ColumnPartition(base[start:end], start, sort_threshold=sort_threshold,
+                            name=f"{self.name}[{start}:{end}]" if self.name else "")
+            for start, end in partition_bounds(len(base), partitions)
+        ]
+        self._max_workers = max_workers or len(self._partitions)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # -- basic properties -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    @property
+    def partition_count(self) -> int:
+        return len(self._partitions)
+
+    @property
+    def partitions(self) -> List[ColumnPartition]:
+        """The partitions, left to right (for inspection and tests)."""
+        return list(self._partitions)
+
+    @property
+    def piece_count(self) -> int:
+        """Total pieces across all partition cracker indexes."""
+        return sum(p.cracked.piece_count for p in self._partitions)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of auxiliary storage held across all partitions."""
+        return sum(p.cracked.nbytes for p in self._partitions)
+
+    @property
+    def materialised(self) -> bool:
+        """True once at least one partition holds its cracker-column copy."""
+        return any(p.cracked.materialised for p in self._partitions)
+
+    def pieces(self) -> List[Piece]:
+        """All pieces across partitions, positions shifted to base coordinates."""
+        result: List[Piece] = []
+        for partition in self._partitions:
+            for piece in partition.cracked.pieces():
+                result.append(
+                    Piece(
+                        start=piece.start + partition.start,
+                        end=piece.end + partition.start,
+                        low=piece.low,
+                        high=piece.high,
+                        sorted=piece.sorted,
+                    )
+                )
+        return result
+
+    # -- parallel fan-out machinery -------------------------------------------
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-partition",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the thread pool (idempotent; a later query re-creates it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "PartitionedCrackedColumn":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _fan_out(
+        self,
+        targets: Sequence[ColumnPartition],
+        operation: str,
+        low: Optional[float],
+        high: Optional[float],
+        counters: Optional[CostCounters],
+        parallel: Optional[bool],
+    ) -> List[object]:
+        """Run ``operation`` on every target partition, sequentially or in parallel.
+
+        Per-partition results are returned in partition order.  In parallel
+        mode each worker writes to its own counters; the private counters are
+        merged into ``counters`` once all workers finish, so concurrent
+        workers never share a mutable counter instance.
+        """
+        use_parallel = self.parallel if parallel is None else bool(parallel)
+        if not use_parallel or len(targets) <= 1:
+            return [getattr(t, operation)(low, high, counters) for t in targets]
+        locals_counters = [CostCounters() if counters is not None else None
+                           for _ in targets]
+        pool = self._executor()
+        futures = [
+            pool.submit(getattr(target, operation), low, high, private)
+            for target, private in zip(targets, locals_counters)
+        ]
+        results = [future.result() for future in futures]
+        if counters is not None:
+            for private in locals_counters:
+                counters += private
+        return results
+
+    # -- the adaptive select operator -----------------------------------------
+
+    def search(
+        self,
+        low: Optional[float],
+        high: Optional[float],
+        counters: Optional[CostCounters] = None,
+        parallel: Optional[bool] = None,
+    ) -> np.ndarray:
+        """Positions (into the base column) of rows with ``low <= value < high``.
+
+        Cracks only the partitions whose value range overlaps the predicate,
+        each as a side effect of its own sub-selection.  Positions are
+        returned in partition order (ascending partition, cracker order
+        within each partition); the *set* of positions is identical to what a
+        whole-column :class:`CrackedColumn` would return.
+        """
+        self.queries_processed += 1
+        targets = [p for p in self._partitions if p.overlaps(low, high, counters)]
+        if not targets:
+            return np.empty(0, dtype=np.int64)
+        chunks = self._fan_out(targets, "search", low, high, counters, parallel)
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.concatenate(chunks)
+
+    def search_values(
+        self,
+        low: Optional[float],
+        high: Optional[float],
+        counters: Optional[CostCounters] = None,
+        parallel: Optional[bool] = None,
+    ) -> np.ndarray:
+        """Qualifying *values* rather than base positions (cracks as a side effect)."""
+        self.queries_processed += 1
+        targets = [p for p in self._partitions if p.overlaps(low, high, counters)]
+        if not targets:
+            return np.empty(0, dtype=self._base.dtype)
+        chunks = self._fan_out(targets, "search_values", low, high, counters, parallel)
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.concatenate(chunks)
+
+    def count(
+        self,
+        low: Optional[float],
+        high: Optional[float],
+        counters: Optional[CostCounters] = None,
+        parallel: Optional[bool] = None,
+    ) -> int:
+        """Number of qualifying rows (cracks as a side effect)."""
+        self.queries_processed += 1
+        targets = [p for p in self._partitions if p.overlaps(low, high, counters)]
+        if not targets:
+            return 0
+        return int(sum(self._fan_out(targets, "count", low, high, counters, parallel)))
+
+    # -- maintenance / inspection ----------------------------------------------
+
+    def is_fully_sorted(self) -> bool:
+        """True when every partition is materialised and fully sorted internally."""
+        return all(p.cracked.is_fully_sorted() for p in self._partitions)
+
+    def check_invariants(self) -> None:
+        """Per-partition invariants plus global multiset/rowid alignment."""
+        for partition in self._partitions:
+            partition.cracked.check_invariants()
+        # partitions tile the base column exactly
+        expected_start = 0
+        for partition in self._partitions:
+            assert partition.start == expected_start, (
+                f"partition starts at {partition.start}, expected {expected_start}"
+            )
+            expected_start = partition.end
+        assert expected_start == len(self._base)
+        materialised = [p for p in self._partitions if p.cracked.materialised]
+        if not materialised:
+            return
+        # global rowid alignment: every materialised partition's rowids map
+        # its cracker values back to the base column at the global offset
+        for partition in materialised:
+            global_rowids = partition.cracked.rowids + partition.start
+            assert np.array_equal(
+                partition.cracked.values, self._base[global_rowids]
+            ), f"partition [{partition.start}:{partition.end}) misaligned with base"
+        if len(materialised) == len(self._partitions):
+            all_rowids = np.concatenate(
+                [p.cracked.rowids + p.start for p in self._partitions]
+            )
+            assert np.array_equal(
+                np.sort(all_rowids), np.arange(len(self._base))
+            ), "global rowids are not a permutation of the base positions"
+            all_values = np.concatenate([p.cracked.values for p in self._partitions])
+            assert np.array_equal(
+                np.sort(all_values), np.sort(self._base)
+            ), "global multiset of values not preserved"
+
+    @property
+    def structure_description(self) -> str:
+        cracked = sum(1 for p in self._partitions if p.cracked.materialised)
+        return (
+            f"partitioned cracking: {self.partition_count} partitions "
+            f"({cracked} touched), {self.piece_count} pieces"
+        )

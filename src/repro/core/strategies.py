@@ -22,6 +22,7 @@ from repro.columnstore.select import RangePredicate, scan_select
 from repro.core.cracking.cracked_column import CrackedColumn
 from repro.core.cracking.stochastic import StochasticCrackedColumn
 from repro.core.hybrids.hybrid_index import HybridIndex
+from repro.core.partitioned import PartitionedCrackedColumn
 from repro.core.merging.adaptive_merge import AdaptiveMergingIndex
 from repro.cost.counters import CostCounters
 from repro.indexes.full_index import FullIndex
@@ -163,6 +164,40 @@ class CrackingSortedPiecesStrategy(CrackingStrategy):
     def __init__(self, column, **options):
         options.setdefault("sort_threshold", 128)
         super().__init__(column, **options)
+
+
+class PartitionedCrackingStrategy(SearchStrategy):
+    """Partitioned (optionally parallel) selection cracking.
+
+    Options: ``partitions`` (shard count, default 4), ``parallel`` (fan the
+    per-partition sub-selections out over a thread pool, default False),
+    ``sort_threshold`` and ``max_workers`` — see
+    :class:`~repro.core.partitioned.PartitionedCrackedColumn`.
+    """
+
+    name = "partitioned-cracking"
+
+    def __init__(self, column, **options):
+        super().__init__(column, **options)
+        self.cracked = PartitionedCrackedColumn(
+            column,
+            partitions=options.get("partitions", 4),
+            parallel=options.get("parallel", False),
+            sort_threshold=options.get("sort_threshold", 0),
+            max_workers=options.get("max_workers"),
+        )
+
+    def search(self, low, high, counters=None):
+        self.queries_processed += 1
+        return self.cracked.search(low, high, counters)
+
+    @property
+    def nbytes(self) -> int:
+        return self.cracked.nbytes
+
+    @property
+    def structure_description(self) -> str:
+        return self.cracked.structure_description
 
 
 class StochasticCrackingStrategy(SearchStrategy):
@@ -326,6 +361,7 @@ for _cls in (
     SortFirstStrategy,
     CrackingStrategy,
     CrackingSortedPiecesStrategy,
+    PartitionedCrackingStrategy,
     StochasticCrackingStrategy,
     AdaptiveMergingStrategy,
     HybridCrackCrackStrategy,

@@ -27,8 +27,9 @@ select/project queries on that attribute.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -87,6 +88,9 @@ class Database:
         if name not in self._tables:
             raise KeyError(f"no table {name!r}")
         del self._tables[name]
+        for dropped_table, dropped_column in list(self._access_paths):
+            if dropped_table == name:
+                self.memory.remove(f"index:{dropped_table}.{dropped_column}")
         self._modes = {k: v for k, v in self._modes.items() if k[0] != name}
         self._access_paths = {
             k: v for k, v in self._access_paths.items() if k[0] != name
@@ -123,6 +127,9 @@ class Database:
         key = (table, column)
         self._modes[key] = mode
         base_column = owning_table.column(column)
+        # a previous mode may have recorded index memory for this column;
+        # forget it before (possibly) recording the new mode's usage
+        self.memory.remove(f"index:{table}.{column}")
         if mode == "scan":
             self._access_paths.pop(key, None)
         elif mode == "full-index":
@@ -237,14 +244,59 @@ class Database:
 
     def execute(self, query: Query) -> QueryResult:
         """Plan and execute a query, recording per-query statistics."""
+        result = self._execute_single(query)
+        self.queries_executed += 1
+        return result
+
+    def _execute_single(self, query: Query) -> QueryResult:
+        """Plan and execute one query without touching shared bookkeeping."""
         counters = CostCounters()
         timer = Timer()
         plan = self.planner.plan(query)
         with timer:
             result = self.executor.execute(plan, counters)
         result.elapsed_seconds = timer.elapsed
-        self.queries_executed += 1
         return result
+
+    def execute_many(
+        self,
+        queries: Sequence[Query],
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> List[QueryResult]:
+        """Execute a batch of queries, each with its own :class:`CostCounters`.
+
+        Results are returned in submission order.  With ``parallel=True`` the
+        batch fans out over a thread pool, but queries that touch the *same
+        table* stay on one worker and run in submission order: adaptive
+        access paths (cracking et al.) physically reorganise themselves
+        during a selection, so two concurrent queries over one table could
+        race on the same cracker column.  Queries over different tables share
+        no physical structures and run fully concurrently.
+        """
+        queries = list(queries)
+        if not parallel or len(queries) <= 1:
+            return [self.execute(query) for query in queries]
+
+        groups: Dict[str, List[int]] = {}
+        for position, query in enumerate(queries):
+            groups.setdefault(query.table, []).append(position)
+
+        results: List[Optional[QueryResult]] = [None] * len(queries)
+
+        def run_group(positions: List[int]) -> None:
+            for position in positions:
+                results[position] = self._execute_single(queries[position])
+
+        workers = max_workers or len(groups)
+        with ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="repro-batch"
+        ) as pool:
+            futures = [pool.submit(run_group, g) for g in groups.values()]
+            for future in futures:
+                future.result()
+        self.queries_executed += len(queries)
+        return results
 
     def run_workload(
         self, queries: Iterable[Query], strategy_label: str = ""

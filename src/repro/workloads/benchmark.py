@@ -10,7 +10,7 @@ convergence point) plus total cost — everything the experiment scripts under
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -143,10 +143,18 @@ class AdaptiveIndexingBenchmark:
 
     # -- running -----------------------------------------------------------------------
 
-    def run_strategy(self, name: str, **options) -> StrategyRunResult:
-        """Run the full query sequence against a fresh instance of one strategy."""
+    def run_strategy(
+        self, name: str, label: Optional[str] = None, **options
+    ) -> StrategyRunResult:
+        """Run the full query sequence against a fresh instance of one strategy.
+
+        ``label`` names the run in the result (defaults to ``name``); distinct
+        labels let the same strategy be compared at several configurations,
+        e.g. partitioned cracking at different partition counts.
+        """
+        label = label or name
         strategy = create_strategy(name, self.values, **options)
-        statistics = WorkloadStatistics(strategy=name)
+        statistics = WorkloadStatistics(strategy=label)
         total_timer = Timer()
         with total_timer:
             for index, query in enumerate(self.queries):
@@ -160,13 +168,13 @@ class AdaptiveIndexingBenchmark:
                         elapsed_seconds=timer.elapsed,
                         counters=counters,
                         result_count=len(positions),
-                        strategy=name,
+                        strategy=label,
                         description=f"[{query.low}, {query.high})",
                     )
                 )
         per_query = statistics.per_query_cost(self.cost_model)
         return StrategyRunResult(
-            strategy=name,
+            strategy=label,
             statistics=statistics,
             initialization_overhead=initialization_overhead(
                 statistics, self._scan_cost, self.cost_model
@@ -199,4 +207,24 @@ class AdaptiveIndexingBenchmark:
         )
         for name in strategies:
             result.runs[name] = self.run_strategy(name, **options.get(name, {}))
+        return result
+
+    def run_labeled(
+        self, variants: Mapping[str, Tuple[str, dict]]
+    ) -> BenchmarkResult:
+        """Run labelled strategy variants: ``label -> (strategy name, options)``.
+
+        Unlike :meth:`run`, the same strategy may appear several times under
+        different labels (and option sets) in one result.
+        """
+        result = BenchmarkResult(
+            column_size=len(self.values),
+            query_count=len(self.queries),
+            scan_cost=self._scan_cost,
+            full_index_cost=self._full_index_cost,
+        )
+        for label, (name, variant_options) in variants.items():
+            result.runs[label] = self.run_strategy(
+                name, label=label, **dict(variant_options)
+            )
         return result

@@ -1,0 +1,221 @@
+"""Unit tests for the partitioned parallel cracking subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.columnstore.column import Column
+from repro.core.cracking.cracked_column import CrackedColumn
+from repro.core.partitioned import (
+    PartitionedCrackedColumn,
+    partition_bounds,
+)
+from repro.core.strategies import available_strategies, create_strategy
+from repro.cost.counters import CostCounters
+
+
+def reference(values, low, high):
+    mask = np.ones(len(values), dtype=bool)
+    if low is not None:
+        mask &= values >= low
+    if high is not None:
+        mask &= values < high
+    return set(np.flatnonzero(mask).tolist())
+
+
+class TestPartitionBounds:
+    def test_even_split(self):
+        assert partition_bounds(100, 4) == [(0, 25), (25, 50), (50, 75), (75, 100)]
+
+    def test_remainder_spread_over_first_shards(self):
+        bounds = partition_bounds(10, 3)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+        sizes = [end - start for start, end in bounds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partitions_clamped_to_size(self):
+        assert partition_bounds(3, 8) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_empty_column_single_partition(self):
+        assert partition_bounds(0, 4) == [(0, 0)]
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            partition_bounds(10, 0)
+
+
+class TestPartitionedCrackedColumn:
+    def test_search_matches_reference(self, rng):
+        values = rng.integers(0, 1000, size=2000).astype(np.int64)
+        column = PartitionedCrackedColumn(values, partitions=4)
+        for _ in range(30):
+            low = int(rng.integers(0, 900))
+            positions = column.search(low, low + 100)
+            assert set(positions.tolist()) == reference(values, low, low + 100)
+        column.check_invariants()
+
+    def test_matches_whole_column_cracking(self, rng):
+        values = rng.integers(0, 1000, size=1500).astype(np.int64)
+        whole = CrackedColumn(values)
+        partitioned = PartitionedCrackedColumn(values, partitions=5)
+        for _ in range(25):
+            low = int(rng.integers(0, 950))
+            expected = whole.search(low, low + 50)
+            actual = partitioned.search(low, low + 50)
+            assert np.array_equal(np.sort(actual), np.sort(expected))
+
+    def test_unbounded_queries(self, rng):
+        values = rng.integers(0, 100, size=500).astype(np.int64)
+        column = PartitionedCrackedColumn(values, partitions=3)
+        assert set(column.search(None, None).tolist()) == set(range(500))
+        assert set(column.search(None, 50).tolist()) == reference(values, None, 50)
+        assert set(column.search(50, None).tolist()) == reference(values, 50, None)
+        column.check_invariants()
+
+    def test_empty_column(self):
+        column = PartitionedCrackedColumn(np.array([], dtype=np.int64), partitions=4)
+        assert column.partition_count == 1
+        assert len(column.search(0, 10)) == 0
+        assert column.count(0, 10) == 0
+        column.check_invariants()
+
+    def test_accepts_column_objects(self, rng):
+        values = rng.integers(0, 100, size=200).astype(np.int64)
+        column = PartitionedCrackedColumn(Column(values, name="k"), partitions=2)
+        assert column.name == "k"
+        assert set(column.search(10, 40).tolist()) == reference(values, 10, 40)
+
+    def test_partition_count_clamped(self):
+        column = PartitionedCrackedColumn(np.arange(3, dtype=np.int64), partitions=10)
+        assert column.partition_count == 3
+
+    def test_count_and_search_values(self, rng):
+        values = rng.integers(0, 500, size=800).astype(np.int64)
+        column = PartitionedCrackedColumn(values, partitions=4)
+        expected = reference(values, 100, 300)
+        assert column.count(100, 300) == len(expected)
+        got = column.search_values(100, 300)
+        assert sorted(got.tolist()) == sorted(values[list(expected)].tolist())
+
+    def test_queries_processed_counts_every_operator(self, rng):
+        values = rng.integers(0, 100, size=300).astype(np.int64)
+        column = PartitionedCrackedColumn(values, partitions=3)
+        column.search(0, 10)
+        column.search_values(10, 20)
+        column.count(20, 30)
+        assert column.queries_processed == 3
+
+    def test_value_pruning_skips_cold_partitions(self):
+        # clustered data: each positional shard owns a distinct value range,
+        # so a narrow query materialises only the shard it falls into
+        values = np.arange(1000, dtype=np.int64)
+        column = PartitionedCrackedColumn(values, partitions=4)
+        column.search(10, 20)
+        materialised = [p.cracked.materialised for p in column.partitions]
+        assert materialised == [True, False, False, False]
+        column.check_invariants()
+
+    def test_pruned_partition_costs_no_movement(self):
+        values = np.arange(1000, dtype=np.int64)
+        column = PartitionedCrackedColumn(values, partitions=4)
+        column.search(10, 20, CostCounters())
+        counters = CostCounters()
+        # second query in the same shard: the other shards' bounds are
+        # already known, so only the hot shard is touched
+        column.search(30, 40, counters)
+        assert counters.tuples_scanned <= 2 * 250 + 20
+        column.check_invariants()
+
+    def test_parallel_answers_match_sequential(self, rng):
+        values = rng.integers(0, 1000, size=2000).astype(np.int64)
+        sequential = PartitionedCrackedColumn(values, partitions=8, parallel=False)
+        with PartitionedCrackedColumn(values, partitions=8, parallel=True) as parallel:
+            for _ in range(20):
+                low = int(rng.integers(0, 900))
+                expected = sequential.search(low, low + 100)
+                actual = parallel.search(low, low + 100)
+                assert np.array_equal(np.sort(actual), np.sort(expected))
+            parallel.check_invariants()
+        sequential.check_invariants()
+
+    def test_parallel_counters_match_sequential(self, rng):
+        values = rng.integers(0, 1000, size=2000).astype(np.int64)
+        sequential = PartitionedCrackedColumn(values, partitions=4, parallel=False)
+        with PartitionedCrackedColumn(values, partitions=4, parallel=True) as parallel:
+            seq_counters = CostCounters()
+            par_counters = CostCounters()
+            for low in (100, 400, 700, 250):
+                sequential.search(low, low + 80, seq_counters)
+                parallel.search(low, low + 80, par_counters)
+            assert par_counters.as_dict() == seq_counters.as_dict()
+
+    def test_per_call_parallel_override(self, rng):
+        values = rng.integers(0, 1000, size=1000).astype(np.int64)
+        with PartitionedCrackedColumn(values, partitions=4, parallel=False) as column:
+            expected = reference(values, 200, 400)
+            assert set(column.search(200, 400, parallel=True).tolist()) == expected
+
+    def test_nbytes_and_pieces_aggregate_partitions(self, rng):
+        values = rng.integers(0, 1000, size=1000).astype(np.int64)
+        column = PartitionedCrackedColumn(values, partitions=4)
+        assert column.nbytes == 0  # lazy: nothing materialised yet
+        column.search(200, 800)
+        assert column.nbytes > 0
+        assert column.piece_count >= column.partition_count
+        pieces = column.pieces()
+        assert pieces[0].start == 0
+        assert pieces[-1].end == len(values)
+
+    def test_is_fully_sorted_after_exhaustive_cracking(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 50, size=300).astype(np.int64)
+        column = PartitionedCrackedColumn(values, partitions=3)
+        for low in range(0, 50):
+            column.search(low, low + 1)
+        column.check_invariants()
+        assert column.is_fully_sorted()
+
+    def test_not_fully_sorted_while_partitions_remain_cold(self):
+        # matching the CrackedColumn contract: unmaterialised state is not
+        # "sorted", so cold (pruned) partitions keep the answer False
+        values = np.arange(1000, dtype=np.int64)
+        column = PartitionedCrackedColumn(values, partitions=4)
+        for low in range(0, 250, 10):
+            column.search(low, low + 10)
+        assert not column.is_fully_sorted()
+
+    def test_structure_description(self, rng):
+        values = rng.integers(0, 1000, size=400).astype(np.int64)
+        column = PartitionedCrackedColumn(values, partitions=4)
+        column.search(0, 1000)
+        description = column.structure_description
+        assert "4 partitions" in description
+
+
+class TestPartitionedCrackingStrategy:
+    def test_registered(self):
+        assert "partitioned-cracking" in available_strategies()
+
+    def test_search_matches_reference_search(self, rng):
+        values = rng.integers(0, 1000, size=1200).astype(np.int64)
+        strategy = create_strategy("partitioned-cracking", values, partitions=4)
+        for _ in range(15):
+            low = int(rng.integers(0, 900))
+            got = strategy.search(low, low + 75)
+            expected = strategy.reference_search(low, low + 75)
+            assert np.array_equal(np.sort(got), np.sort(expected))
+        assert strategy.queries_processed == 15
+        assert strategy.nbytes > 0
+        assert "partitions" in strategy.structure_description
+
+    def test_options_forwarded(self, rng):
+        values = rng.integers(0, 1000, size=600).astype(np.int64)
+        strategy = create_strategy(
+            "partitioned-cracking", values, partitions=6, parallel=True,
+            sort_threshold=32,
+        )
+        assert strategy.cracked.partition_count == 6
+        assert strategy.cracked.parallel is True
+        assert strategy.cracked.sort_threshold == 32
+        expected = reference(values, 100, 200)
+        assert set(strategy.search(100, 200).tolist()) == expected
+        strategy.cracked.close()

@@ -136,3 +136,58 @@ class TestCrackRange:
             costs.append(counters.tuples_scanned + counters.tuples_moved)
         # later queries touch far less data than the first one
         assert np.mean(costs[-10:]) < np.mean(costs[:3]) / 5
+
+
+class EventOrderCounters(CostCounters):
+    """Counters that additionally log the order of recording calls."""
+
+    def __init__(self):
+        super().__init__()
+        self.events = []
+
+    def record_comparisons(self, count):
+        self.events.append("comparisons")
+        super().record_comparisons(count)
+
+    def record_move(self, count):
+        self.events.append("move")
+        super().record_move(count)
+
+    def record_scan(self, count):
+        self.events.append("scan")
+        super().record_scan(count)
+
+    def record_pieces(self, count=1):
+        self.events.append("pieces")
+        super().record_pieces(count)
+
+
+class TestCrackInThreeAccounting:
+    def test_lookup_charged_before_partitioning(self, rng):
+        """Regression: the crack-in-three branch used to charge the piece
+        lookup only after partition_three_way, so a mid-query counter
+        snapshot attributed navigation cost to data movement."""
+        values, rowids, index = make_column(rng)
+        counters = EventOrderCounters()
+        # both bounds inside the single initial piece -> crack-in-three
+        crack_range(values, rowids, index, 100, 200, counters)
+        assert index.piece_count == 3
+        assert counters.pieces_created == 2
+        movement_events = [
+            i for i, e in enumerate(counters.events) if e in ("move", "scan")
+        ]
+        first_lookup = counters.events.index("comparisons")
+        assert movement_events, "three-way partition must record movement"
+        assert first_lookup < movement_events[0], (
+            "piece-lookup comparisons must be charged before the physical "
+            f"partition (events: {counters.events})"
+        )
+
+    def test_crack_in_three_total_charges_unchanged(self, rng):
+        """Moving the charge must not change the totals."""
+        values_a, rowids_a, index_a = make_column(rng)
+        counters = CostCounters()
+        crack_range(values_a, rowids_a, index_a, 100, 200, counters)
+        assert counters.pieces_created == 2
+        assert counters.comparisons > 0
+        assert counters.tuples_moved > 0

@@ -141,3 +141,27 @@ class TestAdaptiveBehaviour:
             cracked.search(low, low + 1)
         cracked.check_invariants()
         assert cracked.is_fully_sorted()
+
+
+class TestCountAccounting:
+    def test_count_increments_queries_processed(self, small_values):
+        """Regression: count() used to skip the queries_processed counter."""
+        cracked = CrackedColumn(small_values)
+        assert cracked.queries_processed == 0
+        cracked.count(0, 10)
+        assert cracked.queries_processed == 1
+        cracked.search(0, 10)
+        cracked.search_values(0, 10)
+        cracked.count(5, 15)
+        assert cracked.queries_processed == 4
+
+    def test_count_matches_search_length(self, medium_values):
+        counting = CrackedColumn(medium_values)
+        searching = CrackedColumn(medium_values)
+        rng = np.random.default_rng(17)
+        for _ in range(20):
+            low = int(rng.integers(0, 90_000))
+            assert counting.count(low, low + 1_000) == len(
+                searching.search(low, low + 1_000)
+            )
+        assert counting.queries_processed == searching.queries_processed

@@ -164,3 +164,125 @@ class TestExecution:
         stats = database.run_workload(queries)
         costs = [q.counters.tuples_scanned + q.counters.tuples_moved for q in stats]
         assert costs[-1] < costs[0]
+
+
+class TestMemoryAccounting:
+    """Regression tests: index memory entries must not outlive their index."""
+
+    def test_drop_table_removes_index_memory(self, database):
+        database.set_indexing("facts", "a", "full-index")
+        database.set_indexing("facts", "b", "full-index")
+        assert "index:facts.a" in database.memory.breakdown()
+        assert "index:facts.b" in database.memory.breakdown()
+        database.drop_table("facts")
+        breakdown = database.memory.breakdown()
+        assert "index:facts.a" not in breakdown
+        assert "index:facts.b" not in breakdown
+        assert "table:facts" not in breakdown
+        assert database.memory.total_bytes == 0
+
+    def test_mode_switch_away_from_full_index_removes_memory(self, database):
+        database.set_indexing("facts", "a", "full-index")
+        assert "index:facts.a" in database.memory.breakdown()
+        database.set_indexing("facts", "a", "cracking")
+        assert "index:facts.a" not in database.memory.breakdown()
+
+    def test_mode_switch_to_scan_removes_memory(self, database):
+        database.set_indexing("facts", "a", "full-index")
+        database.set_indexing("facts", "a", "scan")
+        assert "index:facts.a" not in database.memory.breakdown()
+
+    def test_switching_back_to_full_index_records_again(self, database):
+        database.set_indexing("facts", "a", "full-index")
+        recorded = database.memory.breakdown()["index:facts.a"]
+        database.set_indexing("facts", "a", "cracking")
+        database.set_indexing("facts", "a", "full-index")
+        assert database.memory.breakdown()["index:facts.a"] == recorded
+
+
+class TestPartitionedMode:
+    def test_partitioned_cracking_selectable(self, database):
+        database.set_indexing("facts", "a", "partitioned-cracking", partitions=4)
+        expected = reference_positions(database, 1000, 3000)
+        for _ in range(3):
+            result = database.execute(Query.range_query("facts", "a", 1000, 3000))
+            assert set(result.positions.tolist()) == expected
+        path = database.access_path("facts", "a")
+        assert path.cracked.partition_count == 4
+        report = database.physical_design_report()
+        assert any(
+            r["mode"] == "partitioned-cracking" and "partitions" in r["structure"]
+            for r in report
+        )
+
+    def test_partitioned_parallel_matches_reference(self, database):
+        database.set_indexing(
+            "facts", "a", "partitioned-cracking", partitions=8, parallel=True
+        )
+        for low in (0, 2000, 4000, 6000):
+            expected = reference_positions(database, low, low + 1500)
+            result = database.execute(
+                Query.range_query("facts", "a", low, low + 1500)
+            )
+            assert set(result.positions.tolist()) == expected
+
+
+class TestExecuteMany:
+    def test_sequential_batch_matches_reference(self, database):
+        database.set_indexing("facts", "a", "cracking")
+        queries = [
+            Query.range_query("facts", "a", low, low + 800)
+            for low in range(0, 8000, 800)
+        ]
+        results = database.execute_many(queries)
+        assert len(results) == len(queries)
+        for query, result in zip(queries, results):
+            low, high = query.selections[0].bounds
+            assert set(result.positions.tolist()) == reference_positions(
+                database, low, high
+            )
+        assert database.queries_executed == len(queries)
+
+    def test_parallel_batch_preserves_order_and_counters(self, database, rng):
+        database.create_table(
+            "dim", {"k": rng.integers(0, 1000, size=2000).astype(np.int64)}
+        )
+        database.set_indexing("facts", "a", "cracking")
+        database.set_indexing("dim", "k", "cracking")
+        queries = []
+        for step in range(8):
+            queries.append(Query.range_query("facts", "a", step * 1000, step * 1000 + 900))
+            queries.append(Query.range_query("dim", "k", step * 100, step * 100 + 90))
+        results = database.execute_many(queries, parallel=True)
+        assert len(results) == len(queries)
+        for query, result in zip(queries, results):
+            low, high = query.selections[0].bounds
+            expected = reference_positions(
+                database, low, high, column=query.selections[0].column,
+                table=query.table,
+            )
+            assert set(result.positions.tolist()) == expected
+            assert result.counters is not None
+        # per-query counters are distinct instances
+        counter_ids = {id(result.counters) for result in results}
+        assert len(counter_ids) == len(results)
+        assert database.queries_executed == len(queries)
+
+    def test_parallel_same_table_is_safe(self, database):
+        # all queries hit one cracked column; they must stay ordered on one
+        # worker and keep producing exact answers
+        database.set_indexing("facts", "a", "cracking")
+        queries = [
+            Query.range_query("facts", "a", low, low + 500)
+            for low in range(0, 9000, 300)
+        ]
+        results = database.execute_many(queries, parallel=True, max_workers=4)
+        for query, result in zip(queries, results):
+            low, high = query.selections[0].bounds
+            assert set(result.positions.tolist()) == reference_positions(
+                database, low, high
+            )
+
+    def test_empty_batch(self, database):
+        assert database.execute_many([]) == []
+        assert database.execute_many([], parallel=True) == []
