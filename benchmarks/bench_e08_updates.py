@@ -12,7 +12,7 @@ carrying pending updates longer.
 import numpy as np
 import pytest
 
-from bench_common import make_column, make_spec
+from bench_common import SCALE, make_column, make_spec
 from repro.core.cracking.updates import UpdatableCrackedColumn
 from repro.cost.counters import CostCounters
 from repro.cost.model import DEFAULT_MAIN_MEMORY_MODEL
@@ -21,13 +21,16 @@ from repro.workloads.updates import mixed_update_workload
 
 UPDATE_RATIOS = [0.0, 0.01, 0.1, 1.0]
 
+COLUMN_SIZE = max(5_000, int(50_000 * SCALE))
+QUERY_COUNT = max(60, int(300 * SCALE))
+
 
 def run_stream(values, updates_per_query, policy="ripple"):
     """Run a mixed query/update stream; return per-query logical costs."""
     spec = WorkloadSpec(
         domain_low=0.0,
         domain_high=1_000_000.0,
-        query_count=300,
+        query_count=QUERY_COUNT,
         selectivity=0.01,
         seed=8,
     )
@@ -51,7 +54,7 @@ def run_stream(values, updates_per_query, policy="ripple"):
 
 
 def run_experiment():
-    values = make_column(size=50_000)
+    values = make_column(size=COLUMN_SIZE)
     results = {}
     for ratio in UPDATE_RATIOS:
         costs, column = run_stream(values, ratio)
@@ -89,7 +92,7 @@ def test_e08_interleaved_updates(benchmark):
 @pytest.mark.benchmark(group="e08-updates")
 def test_e08_gradual_policy_smooths_spikes(benchmark):
     def run():
-        values = make_column(size=50_000)
+        values = make_column(size=COLUMN_SIZE)
         ripple_costs, _ = run_stream(values, updates_per_query=1.0, policy="ripple")
         gradual_costs, _ = run_stream(values, updates_per_query=1.0, policy="gradual")
         return ripple_costs, gradual_costs

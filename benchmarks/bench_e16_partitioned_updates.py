@@ -1,0 +1,173 @@
+"""E16 — partitioned updatable cracking: update throughput and cost vs shards.
+
+Source: updates "in the same adaptive philosophy" (SIGMOD 2007) composed
+with partitioned parallel cracking (PR 1).  Every partition owns private
+pending insert/delete queues merged on demand by ripple movements, so an
+update only ever touches one partition and a merge only ripples through that
+partition's pieces.  Expected shape: every configuration — any partition
+count, sequential or parallel, ripple or gradual — returns exactly the same
+rowid sets; per-query cost stays adaptive (far below a scan); more
+partitions shorten the ripple distance per merge (pieces per partition
+shrink) so update-heavy streams don't slow down as shards are added; the
+gradual policy bounds merge work per query by ``merge_batch`` per touched
+partition.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from bench_common import SCALE, make_column
+from repro.core.cracking.updates import UpdatableCrackedColumn
+from repro.core.partitioned import PartitionedUpdatableCrackedColumn
+from repro.cost.counters import CostCounters
+from repro.cost.model import DEFAULT_MAIN_MEMORY_MODEL
+from repro.workloads.generators import WorkloadSpec
+from repro.workloads.updates import mixed_update_workload
+
+PARTITION_COUNTS = [1, 2, 4, 8]
+MERGE_BATCH = 16
+
+COLUMN_SIZE = max(2_000, int(50_000 * SCALE))
+QUERY_COUNT = max(30, int(200 * SCALE))
+UPDATES_PER_QUERY = 2.0
+
+
+def make_stream():
+    spec = WorkloadSpec(
+        domain_low=0.0,
+        domain_high=1_000_000.0,
+        query_count=QUERY_COUNT,
+        selectivity=0.01,
+        seed=16,
+    )
+    return mixed_update_workload(spec, updates_per_query=UPDATES_PER_QUERY)
+
+
+def make_variant(values, label):
+    """Instantiate the updatable column a variant label describes."""
+    if label.startswith("updatable"):
+        policy = "gradual" if label.endswith("gradual") else "ripple"
+        return UpdatableCrackedColumn(values, policy=policy, merge_batch=MERGE_BATCH)
+    parts = label.split("-")
+    partitions = int(parts[1])
+    return PartitionedUpdatableCrackedColumn(
+        values,
+        partitions=partitions,
+        parallel="parallel" in parts,
+        policy="gradual" if "gradual" in parts else "ripple",
+        merge_batch=MERGE_BATCH,
+    )
+
+
+def run_stream(values, stream, label):
+    """Run the mixed stream; returns per-query costs, answers and timings."""
+    column = make_variant(values, label)
+    live_rowids = list(range(len(values)))
+    rng = np.random.default_rng(16)
+    per_query_costs = []
+    answers = []
+    merges_per_query = []
+    update_seconds = 0.0
+    query_seconds = 0.0
+    update_count = 0
+    for operation in stream:
+        if operation.kind == "insert":
+            started = time.perf_counter()
+            live_rowids.append(column.insert(operation.value))
+            update_seconds += time.perf_counter() - started
+            update_count += 1
+        elif operation.kind == "delete":
+            if live_rowids:
+                victim = live_rowids.pop(int(rng.integers(0, len(live_rowids))))
+                started = time.perf_counter()
+                column.delete(victim)
+                update_seconds += time.perf_counter() - started
+                update_count += 1
+        else:
+            counters = CostCounters()
+            merges_before = column.merges_performed
+            started = time.perf_counter()
+            result = column.search(operation.query.low, operation.query.high, counters)
+            query_seconds += time.perf_counter() - started
+            per_query_costs.append(DEFAULT_MAIN_MEMORY_MODEL.cost(counters))
+            merges_per_query.append(column.merges_performed - merges_before)
+            answers.append(np.sort(result))
+    if hasattr(column, "close"):
+        column.close()
+    return {
+        "column": column,
+        "per_query": per_query_costs,
+        "answers": answers,
+        "merges_per_query": merges_per_query,
+        "update_seconds": update_seconds,
+        "query_seconds": query_seconds,
+        "update_count": update_count,
+    }
+
+
+def run_experiment():
+    values = make_column(size=COLUMN_SIZE)
+    stream = make_stream()
+    labels = ["updatable", "updatable-gradual"]
+    labels += [f"partitioned-{count}" for count in PARTITION_COUNTS]
+    labels += ["partitioned-8-parallel", "partitioned-8-gradual"]
+    return values, {label: run_stream(values, stream, label) for label in labels}
+
+
+@pytest.mark.benchmark(group="e16-partitioned-updates")
+def test_e16_partitioned_updates(benchmark):
+    values, results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print(
+        f"\n=== E16: partitioned updatable cracking "
+        f"({COLUMN_SIZE:,} rows, {QUERY_COUNT} queries, "
+        f"{UPDATES_PER_QUERY:.0f} updates/query) ==="
+    )
+    header = (
+        f"{'variant':>24s} {'updates/s':>12s} {'total cost':>14s} "
+        f"{'tail mean':>12s} {'merges':>8s}"
+    )
+    print(header)
+    for label, row in results.items():
+        throughput = row["update_count"] / max(row["update_seconds"], 1e-9)
+        tail = float(np.mean(row["per_query"][-max(1, QUERY_COUNT // 10):]))
+        print(
+            f"{label:>24s} {throughput:>12,.0f} "
+            f"{float(np.sum(row['per_query'])):>14,.0f} {tail:>12,.0f} "
+            f"{row['column'].merges_performed:>8d}"
+        )
+
+    # every configuration answers the same mixed stream with exactly the
+    # same rowid sets (global rowids make partitioning invisible)
+    reference = results["updatable"]["answers"]
+    for label, row in results.items():
+        assert len(row["answers"]) == len(reference)
+        for index, (got, expected) in enumerate(zip(row["answers"], reference)):
+            assert np.array_equal(got, expected), (
+                f"{label} diverged from the unpartitioned answer on query {index}"
+            )
+
+    # updates stay adaptive: per-query tail cost far below a scan
+    scan_cost = 3.0 * COLUMN_SIZE
+    for label, row in results.items():
+        tail = float(np.mean(row["per_query"][-max(1, QUERY_COUNT // 10):]))
+        assert tail < scan_cost / 5, f"{label} tail cost degenerated to scans"
+
+    # gradual policy: merge work per query bounded by the shared budget
+    # (merge_batch per touched partition for the partitioned column)
+    assert max(results["updatable-gradual"]["merges_per_query"]) <= MERGE_BATCH
+    assert max(results["partitioned-8-gradual"]["merges_per_query"]) <= 8 * MERGE_BATCH
+
+    # parallel fan-out does identical logical work
+    assert results["partitioned-8-parallel"]["per_query"] == pytest.approx(
+        results["partitioned-8"]["per_query"], rel=1e-9
+    )
+
+
+if __name__ == "__main__":
+    values, results = run_experiment()
+    for label, row in results.items():
+        throughput = row["update_count"] / max(row["update_seconds"], 1e-9)
+        print(f"{label:>24s}: {throughput:,.0f} updates/s, "
+              f"total cost {float(np.sum(row['per_query'])):,.0f}")

@@ -9,7 +9,11 @@ writing any Python:
     run the adaptive-indexing benchmark over a synthetic column and workload
     for a set of strategies and print (or export) the summary;
 ``python -m repro demo``
-    a tiny guided run of database cracking showing per-query cost collapse.
+    a tiny guided run of database cracking showing per-query cost collapse;
+``python -m repro updates``
+    drive a mixed query/insert/delete workload through the Database DML
+    (insert_row/delete_row) for any indexing strategy and report update
+    throughput and per-query cost.
 """
 
 from __future__ import annotations
@@ -65,11 +69,19 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=0, help="random seed")
     compare.add_argument(
         "--partitions", type=int, default=4,
-        help="shard count for the partitioned-cracking strategy",
+        help="shard count for the partitioned strategies",
     )
     compare.add_argument(
         "--parallel", action="store_true",
-        help="fan partitioned-cracking sub-selections out over a thread pool",
+        help="fan partitioned sub-selections out over a thread pool",
+    )
+    compare.add_argument(
+        "--policy", default="ripple", choices=["ripple", "gradual"],
+        help="pending-update merge policy for the updatable strategies",
+    )
+    compare.add_argument(
+        "--merge-batch", type=int, default=16,
+        help="gradual-policy merge budget for the updatable strategies",
     )
     compare.add_argument(
         "--format", default="text", choices=["text", "markdown", "csv"],
@@ -83,6 +95,39 @@ def _build_parser() -> argparse.ArgumentParser:
     demo = subparsers.add_parser("demo", help="tiny guided database-cracking demo")
     demo.add_argument("--rows", type=int, default=200_000)
     demo.add_argument("--queries", type=int, default=200)
+
+    updates = subparsers.add_parser(
+        "updates",
+        help="run a mixed query/insert/delete workload through the Database DML",
+    )
+    updates.add_argument("--rows", type=int, default=100_000, help="initial table size")
+    updates.add_argument("--queries", type=int, default=200, help="number of range queries")
+    updates.add_argument(
+        "--updates-per-query", type=float, default=1.0,
+        help="expected inserts+deletes between consecutive queries",
+    )
+    updates.add_argument("--selectivity", type=float, default=0.01, help="query selectivity")
+    updates.add_argument(
+        "--strategy", default="updatable-cracking",
+        help="indexing mode for the key column (any registered strategy, or scan)",
+    )
+    updates.add_argument(
+        "--policy", default="ripple", choices=["ripple", "gradual"],
+        help="pending-update merge policy for the updatable strategies",
+    )
+    updates.add_argument(
+        "--merge-batch", type=int, default=16,
+        help="gradual-policy merge budget for the updatable strategies",
+    )
+    updates.add_argument(
+        "--partitions", type=int, default=4,
+        help="shard count for the partitioned strategies",
+    )
+    updates.add_argument(
+        "--parallel", action="store_true",
+        help="fan partitioned sub-selections out over a thread pool",
+    )
+    updates.add_argument("--seed", type=int, default=0, help="random seed")
     return parser
 
 
@@ -105,6 +150,9 @@ def _command_compare(args: argparse.Namespace) -> int:
     if args.partitions < 1:
         print("--partitions must be >= 1", file=sys.stderr)
         return 2
+    if args.merge_batch < 1:
+        print("--merge-batch must be >= 1", file=sys.stderr)
+        return 2
     values = generate_column_data(args.rows, 0, 1_000_000, seed=args.seed)
     spec = WorkloadSpec(
         domain_low=0,
@@ -119,7 +167,17 @@ def _command_compare(args: argparse.Namespace) -> int:
         "partitioned-cracking": {
             "partitions": args.partitions,
             "parallel": args.parallel,
-        }
+        },
+        "updatable-cracking": {
+            "policy": args.policy,
+            "merge_batch": args.merge_batch,
+        },
+        "partitioned-updatable-cracking": {
+            "partitions": args.partitions,
+            "parallel": args.parallel,
+            "policy": args.policy,
+            "merge_batch": args.merge_batch,
+        },
     }
     result = harness.run(strategies, options=options)
 
@@ -166,6 +224,103 @@ def _command_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_updates(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.cost.model import DEFAULT_MAIN_MEMORY_MODEL
+    from repro.engine.database import Database
+    from repro.engine.query import Query
+    from repro.workloads.updates import mixed_update_workload
+
+    if args.strategy != "scan" and args.strategy not in available_strategies():
+        print(
+            f"unknown strategy {args.strategy!r}; "
+            f"available: {', '.join(available_strategies())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.rows < 1 or args.queries < 1:
+        print("--rows and --queries must be >= 1", file=sys.stderr)
+        return 2
+    if args.updates_per_query < 0:
+        print("--updates-per-query must be non-negative", file=sys.stderr)
+        return 2
+    if args.partitions < 1:
+        print("--partitions must be >= 1", file=sys.stderr)
+        return 2
+    if args.merge_batch < 1:
+        print("--merge-batch must be >= 1", file=sys.stderr)
+        return 2
+    values = generate_column_data(args.rows, 0, 1_000_000, seed=args.seed)
+    database = Database("updates-demo")
+    database.create_table("data", {"key": values})
+    if args.strategy != "scan":
+        options = {}
+        if args.strategy in ("updatable-cracking", "partitioned-updatable-cracking"):
+            options.update(policy=args.policy, merge_batch=args.merge_batch)
+        if args.strategy in ("partitioned-cracking", "partitioned-updatable-cracking"):
+            options.update(partitions=args.partitions, parallel=args.parallel)
+        database.set_indexing("data", "key", args.strategy, **options)
+
+    spec = WorkloadSpec(
+        domain_low=0.0,
+        domain_high=1_000_000.0,
+        query_count=args.queries,
+        selectivity=args.selectivity,
+        seed=args.seed + 1,
+    )
+    stream = mixed_update_workload(spec, updates_per_query=args.updates_per_query)
+    rng = np.random.default_rng(args.seed + 2)
+    live_rowids = list(range(args.rows))
+    query_costs: List[float] = []
+    update_seconds = 0.0
+    query_seconds = 0.0
+    update_count = 0
+    for operation in stream:
+        if operation.kind == "insert":
+            started = time.perf_counter()
+            live_rowids.append(database.insert_row("data", {"key": operation.value}))
+            update_seconds += time.perf_counter() - started
+            update_count += 1
+        elif operation.kind == "delete":
+            if live_rowids:
+                victim = live_rowids.pop(int(rng.integers(0, len(live_rowids))))
+                started = time.perf_counter()
+                database.delete_row("data", victim)
+                update_seconds += time.perf_counter() - started
+                update_count += 1
+        else:
+            query = operation.query
+            started = time.perf_counter()
+            result = database.execute(
+                Query.range_query("data", "key", query.low, query.high)
+            )
+            query_seconds += time.perf_counter() - started
+            query_costs.append(DEFAULT_MAIN_MEMORY_MODEL.cost(result.counters))
+
+    mean_cost = float(np.mean(query_costs)) if query_costs else 0.0
+    tail = query_costs[-max(1, len(query_costs) // 10):]
+    print(
+        f"table: {args.rows:,} rows | strategy: {args.strategy} | "
+        f"{len(query_costs)} queries, {update_count} updates "
+        f"({args.updates_per_query:.2f} updates/query)"
+    )
+    if update_count:
+        print(
+            f"update throughput : {update_count / max(update_seconds, 1e-9):>12,.0f} updates/s "
+            f"({update_seconds * 1e3:.1f} ms total)"
+        )
+    print(
+        f"query cost        : mean {mean_cost:>12,.0f}, "
+        f"tail mean {float(np.mean(tail)):>12,.0f} "
+        f"(scan would be {3 * database.visible_row_count('data'):>12,.0f})"
+    )
+    print(f"query wall-clock  : {query_seconds * 1e3:.1f} ms total")
+    for record in database.physical_design_report():
+        print(f"physical design   : {record['mode']} — {record['structure']}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (returns the process exit code)."""
     parser = _build_parser()
@@ -176,6 +331,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_compare(args)
     if args.command == "demo":
         return _command_demo(args)
+    if args.command == "updates":
+        return _command_updates(args)
     parser.print_help()
     return 1
 

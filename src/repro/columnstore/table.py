@@ -109,6 +109,13 @@ class Table:
         lengths = {len(a) for a in arrays.values()}
         if len(lengths) != 1:
             raise ValueError(f"all appended columns must have equal length, got {lengths}")
+        # validate every value against its column's dtype *before* mutating
+        # anything, so a failed conversion cannot leave columns with unequal
+        # lengths (the append below must be all-or-nothing)
+        arrays = {
+            name: self._columns[name].dtype.validate_array(array)
+            for name, array in arrays.items()
+        }
         for name, array in arrays.items():
             self._columns[name].append(array, counters=counters)
 

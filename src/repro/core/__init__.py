@@ -20,7 +20,10 @@ query execution*.
 """
 
 from repro.core.adaptive_index import AdaptiveIndex
-from repro.core.partitioned import PartitionedCrackedColumn
+from repro.core.partitioned import (
+    PartitionedCrackedColumn,
+    PartitionedUpdatableCrackedColumn,
+)
 from repro.core.strategies import (
     SearchStrategy,
     available_strategies,
@@ -31,6 +34,7 @@ from repro.core.strategies import (
 __all__ = [
     "AdaptiveIndex",
     "PartitionedCrackedColumn",
+    "PartitionedUpdatableCrackedColumn",
     "SearchStrategy",
     "available_strategies",
     "create_strategy",

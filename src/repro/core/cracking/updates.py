@@ -12,9 +12,15 @@ Two merging policies are provided:
 
 * ``"ripple"`` — merge every qualifying pending update before answering
   (the default, complete-merge policy);
-* ``"gradual"`` — merge at most ``merge_batch`` pending updates per query
-  and answer the remainder directly from the pending structures, spreading
-  the maintenance cost over more queries.
+* ``"gradual"`` — merge at most ``merge_batch`` pending updates *in total*
+  per query — inserts and deletes share the one budget, inserts served
+  first — and answer the remainder directly from the pending structures,
+  spreading the maintenance cost over more queries.
+
+Cost accounting follows the convention established for the cracking
+kernels: whenever the pending structures are non-empty, a query is charged
+one comparison per pending entry for deciding which updates qualify — the
+scan happens whether or not anything qualifies.
 """
 
 from __future__ import annotations
@@ -32,10 +38,17 @@ from repro.cost.counters import CostCounters
 class UpdatableCrackedColumn:
     """A cracked column that accepts inserts and deletes between queries.
 
-    Row identifiers: rows of the original column keep their position as
-    identifier; rows inserted later receive fresh identifiers starting at
-    ``len(original column)``.  :meth:`search` returns identifiers of all
-    *visible* qualifying rows (original minus deleted plus inserted).
+    Row identifiers: rows of the original column keep their position
+    (shifted by ``rowid_base``) as identifier; rows inserted later receive
+    fresh identifiers starting at ``rowid_base + len(original column)``, or
+    an identifier supplied by the caller.  :meth:`search` returns
+    identifiers of all *visible* qualifying rows (original minus deleted
+    plus inserted).
+
+    ``rowid_base`` lets a partitioned owner number each shard's original
+    rows in global (base-column) coordinates, so per-partition answers need
+    no shifting and externally assigned insert identifiers stay globally
+    unique.
     """
 
     def __init__(
@@ -44,31 +57,39 @@ class UpdatableCrackedColumn:
         policy: str = "ripple",
         merge_batch: int = 16,
         sort_threshold: int = 0,
+        rowid_base: int = 0,
         name: str = "",
     ) -> None:
         if policy not in ("ripple", "gradual"):
             raise ValueError(f"unknown update policy {policy!r}")
+        if merge_batch < 1:
+            raise ValueError("merge_batch must be >= 1")
         base = column.values if isinstance(column, Column) else np.asarray(column)
         self.name = name or (column.name if isinstance(column, Column) else "")
         self.policy = policy
         self.merge_batch = int(merge_batch)
         self.sort_threshold = int(sort_threshold)
+        self.rowid_base = int(rowid_base)
 
         self._initial_size = len(base)
-        self._next_rowid = len(base)
+        self._next_rowid = self.rowid_base + len(base)
         # cracker column storage with spare capacity for ripple inserts
         capacity = max(16, int(len(base) * 1.2))
         self._values = np.empty(capacity, dtype=np.asarray(base).dtype
                                 if np.asarray(base).dtype.kind in "if" else np.float64)
         self._values[: len(base)] = base
         self._rowids = np.empty(capacity, dtype=np.int64)
-        self._rowids[: len(base)] = np.arange(len(base), dtype=np.int64)
+        self._rowids[: len(base)] = np.arange(
+            self.rowid_base, self.rowid_base + len(base), dtype=np.int64
+        )
         self._length = len(base)
         self.index = CrackerIndex(len(base))
 
         # pending structures
         self._pending_insert_values: List[float] = []
         self._pending_insert_rowids: List[int] = []
+        # mirror of _pending_insert_rowids for O(1) membership tests
+        self._pending_insert_rowid_set: set = set()
         self._pending_delete_rowids: Dict[int, float] = {}
         # values of rows inserted at any point (needed to delete them later)
         self._inserted_values: Dict[int, float] = {}
@@ -90,8 +111,8 @@ class UpdatableCrackedColumn:
 
     def __len__(self) -> int:
         """Number of currently visible rows (merged + pending inserts)."""
-        return self._length + len(self._pending_insert_values) - len(
-            [r for r in self._pending_delete_rowids if self._is_merged(r)]
+        return self._length + len(self._pending_insert_values) - sum(
+            1 for r in self._pending_delete_rowids if self._is_merged(r)
         )
 
     @property
@@ -106,19 +127,38 @@ class UpdatableCrackedColumn:
     def piece_count(self) -> int:
         return self.index.piece_count
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes of auxiliary storage (cracker column, rowids, pending queues)."""
+        pending = (len(self._pending_insert_values) + len(self._pending_delete_rowids)
+                   + len(self._inserted_values)) * 16
+        return int(self._values.nbytes + self._rowids.nbytes + pending)
+
+    def _is_original(self, rowid: int) -> bool:
+        """True when ``rowid`` identifies a row of the original column."""
+        return self.rowid_base <= rowid < self.rowid_base + self._initial_size
+
     def _is_merged(self, rowid: int) -> bool:
         """True when ``rowid`` currently lives in the cracker column."""
-        if rowid < self._initial_size:
+        if self._is_original(rowid):
             return True
-        return rowid in self._inserted_values and rowid not in set(
-            self._pending_insert_rowids
-        )
+        return (rowid in self._inserted_values
+                and rowid not in self._pending_insert_rowid_set)
+
+    def knows_rowid(self, rowid: int) -> bool:
+        """True when ``rowid`` belongs to this column (original or a live insert).
+
+        Used by the partitioned owner to route deletes of inserted rows;
+        rowids of fully removed rows (cancelled pending inserts, merged
+        deletes) are unknown again.
+        """
+        return self._is_original(rowid) or rowid in self._inserted_values
 
     def value_of(self, rowid: int) -> float:
         """Current value of a visible row (original or inserted)."""
         if rowid in self._pending_delete_rowids:
             raise KeyError(f"row {rowid} has been deleted")
-        if rowid < self._initial_size:
+        if self._is_original(rowid):
             position = np.flatnonzero(self.rowids == rowid)
             if len(position) == 0:
                 raise KeyError(f"row {rowid} not found")
@@ -130,16 +170,33 @@ class UpdatableCrackedColumn:
 
     # -- updates -----------------------------------------------------------------
 
-    def insert(self, value: float, counters: Optional[CostCounters] = None) -> int:
-        """Queue the insertion of ``value``; returns its new row identifier."""
+    def check_insertable(self, value: float) -> None:
+        """Raise TypeError when ``value`` cannot be stored in this column."""
         if np.issubdtype(self._values.dtype, np.integer) and float(value) != int(value):
             raise TypeError(
                 f"cannot insert non-integer value {value!r} into an integer column"
             )
-        rowid = self._next_rowid
-        self._next_rowid += 1
+
+    def insert(self, value: float, counters: Optional[CostCounters] = None,
+               rowid: Optional[int] = None) -> int:
+        """Queue the insertion of ``value``; returns its new row identifier.
+
+        ``rowid`` lets an external owner (the partitioned column) assign
+        globally unique identifiers; it must be fresh and outside the
+        original row range.
+        """
+        self.check_insertable(value)
+        if rowid is None:
+            rowid = self._next_rowid
+            self._next_rowid += 1
+        else:
+            rowid = int(rowid)
+            if self._is_original(rowid) or rowid in self._inserted_values:
+                raise ValueError(f"row identifier {rowid} is already in use")
+            self._next_rowid = max(self._next_rowid, rowid + 1)
         self._pending_insert_values.append(float(value))
         self._pending_insert_rowids.append(rowid)
+        self._pending_insert_rowid_set.add(rowid)
         self._inserted_values[rowid] = float(value)
         if counters is not None:
             counters.record_move(1)
@@ -149,13 +206,14 @@ class UpdatableCrackedColumn:
         """Queue the deletion of the row identified by ``rowid``."""
         if rowid in self._pending_delete_rowids:
             return
-        if rowid >= self._initial_size and rowid not in self._inserted_values:
+        if not self._is_original(rowid) and rowid not in self._inserted_values:
             raise KeyError(f"unknown row identifier {rowid}")
         # deleting a still-pending insert simply cancels it
-        if rowid in self._inserted_values and rowid in set(self._pending_insert_rowids):
+        if rowid in self._pending_insert_rowid_set:
             position = self._pending_insert_rowids.index(rowid)
             self._pending_insert_rowids.pop(position)
             self._pending_insert_values.pop(position)
+            self._pending_insert_rowid_set.discard(rowid)
             del self._inserted_values[rowid]
             return
         value = (
@@ -176,7 +234,12 @@ class UpdatableCrackedColumn:
 
     def update(self, rowid: int, new_value: float,
                counters: Optional[CostCounters] = None) -> int:
-        """Update = delete old row + insert new value; returns the new rowid."""
+        """Update = delete old row + insert new value; returns the new rowid.
+
+        The new value is validated before the delete is queued, so a
+        rejected value leaves the old row untouched.
+        """
+        self.check_insertable(new_value)
         self.delete(rowid, counters)
         return self.insert(new_value, counters)
 
@@ -199,7 +262,6 @@ class UpdatableCrackedColumn:
         """Physically place one value into its piece via ripple shifts."""
         self._ensure_capacity(1)
         target_index = self.index.piece_index_for_value(value)
-        target = self.index.piece_at_index(target_index)
         # content of target piece and of every piece after it will change order
         self.index.mark_pieces_unsorted_from(target_index)
         # walk boundaries after the target piece from right to left, moving
@@ -289,41 +351,55 @@ class UpdatableCrackedColumn:
         Returns ``(unmerged_insert_indices, unmerged_delete_rowids)`` — the
         qualifying pending updates that were *not* merged (only non-empty
         under the gradual policy) so the caller can still answer correctly.
+
+        Under the gradual policy one ``merge_batch`` budget is shared by
+        inserts and deletes (inserts are served first), so at most
+        ``merge_batch`` pending updates in total are merged per query.
         """
+        pending_total = (
+            len(self._pending_insert_values) + len(self._pending_delete_rowids)
+        )
+        if counters is not None and pending_total:
+            # deciding what qualifies scans every pending entry, whether or
+            # not anything ends up qualifying
+            counters.record_comparisons(pending_total)
         insert_indices, delete_rowids = self._qualifying_pending(low, high)
-        if counters is not None and (insert_indices or delete_rowids):
-            counters.record_comparisons(
-                len(self._pending_insert_values) + len(self._pending_delete_rowids)
-            )
 
         budget = None
         if self.policy == "gradual":
             budget = self.merge_batch
 
         merged_insert_indices = []
-        for count, pending_index in enumerate(insert_indices):
-            if budget is not None and count >= budget:
+        for pending_index in insert_indices:
+            if budget is not None and budget <= 0:
                 break
             value = self._pending_insert_values[pending_index]
             rowid = self._pending_insert_rowids[pending_index]
             self._ripple_insert_one(value, rowid, counters)
             merged_insert_indices.append(pending_index)
             self.merges_performed += 1
+            if budget is not None:
+                budget -= 1
         for pending_index in sorted(merged_insert_indices, reverse=True):
             self._pending_insert_values.pop(pending_index)
-            self._pending_insert_rowids.pop(pending_index)
+            rowid = self._pending_insert_rowids.pop(pending_index)
+            self._pending_insert_rowid_set.discard(rowid)
 
         remaining_deletes = []
-        merged_deletes = 0
         for rowid in delete_rowids:
-            if budget is not None and merged_deletes >= budget:
+            if budget is not None and budget <= 0:
                 remaining_deletes.append(rowid)
                 continue
             value = self._pending_delete_rowids[rowid]
             if self._ripple_delete_one(rowid, value, counters):
                 del self._pending_delete_rowids[rowid]
-                merged_deletes += 1
+                # a merged delete of an inserted row removes the row for
+                # good: forget its value so the rowid becomes unknown (and
+                # the bookkeeping doesn't grow with every insert ever made)
+                self._inserted_values.pop(rowid, None)
                 self.merges_performed += 1
+                if budget is not None:
+                    budget -= 1
             else:
                 remaining_deletes.append(rowid)
 

@@ -24,10 +24,24 @@ identifiers shifted by the partition offset), which makes the partitioned
 column a drop-in replacement for
 :class:`~repro.core.cracking.cracked_column.CrackedColumn`: the answer to
 any query is the same set of positions, whatever ``partitions`` is.
+
+:class:`PartitionedUpdatableCrackedColumn` extends the scheme to mixed
+query/update workloads: every partition owns a private
+:class:`~repro.core.cracking.updates.UpdatableCrackedColumn` (with its own
+pending insert/delete queues, merged on demand by ripple movements), updates
+are routed to the owning partition — deletes by a binary search on the
+partition row ranges, inserts by the partition value bounds — and the
+partition bounds are widened whenever an insert lands outside them, so
+bounds pruning never hides a pending update.  Row identifiers are assigned
+globally (original rows keep their base position, inserted rows receive
+fresh identifiers starting at the base length), so the partitioned column
+returns exactly the rowid sets an unpartitioned
+:class:`~repro.core.cracking.updates.UpdatableCrackedColumn` would return.
 """
 
 from __future__ import annotations
 
+import bisect
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -36,9 +50,16 @@ import numpy as np
 from repro.columnstore.column import Column
 from repro.core.cracking.cracked_column import CrackedColumn
 from repro.core.cracking.cracker_index import Piece
+from repro.core.cracking.updates import UpdatableCrackedColumn
 from repro.cost.counters import CostCounters
 
-__all__ = ["ColumnPartition", "PartitionedCrackedColumn", "partition_bounds"]
+__all__ = [
+    "ColumnPartition",
+    "PartitionedCrackedColumn",
+    "PartitionedUpdatableCrackedColumn",
+    "UpdatableColumnPartition",
+    "partition_bounds",
+]
 
 
 def partition_bounds(size: int, partitions: int) -> List[Tuple[int, int]]:
@@ -129,7 +150,78 @@ class ColumnPartition:
         return self.cracked.count(low, high, counters)
 
 
-class PartitionedCrackedColumn:
+class _PartitionedFanOut:
+    """Shared thread-pool fan-out machinery of the partitioned columns.
+
+    Subclasses populate ``self._partitions`` and set ``self.parallel`` /
+    ``self._max_workers``; :meth:`_fan_out` then runs one operation over a
+    set of target partitions, sequentially or concurrently, with private
+    per-worker counters merged back into the caller's counters.
+    """
+
+    parallel: bool = False
+    _max_workers: Optional[int] = None
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-partition",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the thread pool (idempotent; a later query re-creates it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _fan_out(
+        self,
+        targets: Sequence[object],
+        operation: str,
+        low: Optional[float],
+        high: Optional[float],
+        counters: Optional[CostCounters],
+        parallel: Optional[bool],
+    ) -> List[object]:
+        """Run ``operation`` on every target partition, sequentially or in parallel.
+
+        Per-partition results are returned in partition order.  In parallel
+        mode each worker writes to its own counters; the private counters are
+        merged into ``counters`` once all workers finish, so concurrent
+        workers never share a mutable counter instance.
+        """
+        use_parallel = self.parallel if parallel is None else bool(parallel)
+        if not use_parallel or len(targets) <= 1:
+            return [getattr(t, operation)(low, high, counters) for t in targets]
+        locals_counters = [CostCounters() if counters is not None else None
+                           for _ in targets]
+        pool = self._executor()
+        futures = [
+            pool.submit(getattr(target, operation), low, high, private)
+            for target, private in zip(targets, locals_counters)
+        ]
+        results = [future.result() for future in futures]
+        if counters is not None:
+            for private in locals_counters:
+                counters += private
+        return results
+
+
+class PartitionedCrackedColumn(_PartitionedFanOut):
     """A column sharded into contiguous partitions, each cracked independently.
 
     Parameters
@@ -218,66 +310,6 @@ class PartitionedCrackedColumn:
                     )
                 )
         return result
-
-    # -- parallel fan-out machinery -------------------------------------------
-
-    def _executor(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self._max_workers,
-                thread_name_prefix="repro-partition",
-            )
-        return self._pool
-
-    def close(self) -> None:
-        """Shut down the thread pool (idempotent; a later query re-creates it)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-
-    def __enter__(self) -> "PartitionedCrackedColumn":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
-        try:
-            self.close()
-        except Exception:
-            pass
-
-    def _fan_out(
-        self,
-        targets: Sequence[ColumnPartition],
-        operation: str,
-        low: Optional[float],
-        high: Optional[float],
-        counters: Optional[CostCounters],
-        parallel: Optional[bool],
-    ) -> List[object]:
-        """Run ``operation`` on every target partition, sequentially or in parallel.
-
-        Per-partition results are returned in partition order.  In parallel
-        mode each worker writes to its own counters; the private counters are
-        merged into ``counters`` once all workers finish, so concurrent
-        workers never share a mutable counter instance.
-        """
-        use_parallel = self.parallel if parallel is None else bool(parallel)
-        if not use_parallel or len(targets) <= 1:
-            return [getattr(t, operation)(low, high, counters) for t in targets]
-        locals_counters = [CostCounters() if counters is not None else None
-                           for _ in targets]
-        pool = self._executor()
-        futures = [
-            pool.submit(getattr(target, operation), low, high, private)
-            for target, private in zip(targets, locals_counters)
-        ]
-        results = [future.result() for future in futures]
-        if counters is not None:
-            for private in locals_counters:
-                counters += private
-        return results
 
     # -- the adaptive select operator -----------------------------------------
 
@@ -382,4 +414,339 @@ class PartitionedCrackedColumn:
         return (
             f"partitioned cracking: {self.partition_count} partitions "
             f"({cracked} touched), {self.piece_count} pieces"
+        )
+
+
+class UpdatableColumnPartition:
+    """One contiguous shard of a partitioned *updatable* cracked column.
+
+    Owns a private :class:`UpdatableCrackedColumn` over ``base[start:end]``
+    numbered in global coordinates (``rowid_base=start``), so its answers
+    need no shifting.  The partition keeps conservative value bounds: the
+    min/max of the base slice (learned lazily, charged to the first touching
+    query, as in :class:`ColumnPartition`) widened by every value ever
+    inserted into the partition.  Bounds are never narrowed — deleting the
+    extreme value leaves them stale-wide, which only costs a spurious visit,
+    never a missed row.
+    """
+
+    __slots__ = ("start", "end", "updatable", "_base_slice", "min_value",
+                 "max_value", "_bounds_known", "_extra_min", "_extra_max")
+
+    def __init__(self, base_slice: np.ndarray, start: int, policy: str = "ripple",
+                 merge_batch: int = 16, sort_threshold: int = 0,
+                 name: str = "") -> None:
+        self.start = int(start)
+        self.end = int(start) + len(base_slice)
+        self._base_slice = base_slice
+        self.updatable = UpdatableCrackedColumn(
+            base_slice, policy=policy, merge_batch=merge_batch,
+            sort_threshold=sort_threshold, rowid_base=start, name=name,
+        )
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+        self._bounds_known = False
+        self._extra_min: Optional[float] = None
+        self._extra_max: Optional[float] = None
+
+    def __len__(self) -> int:
+        """Number of currently visible rows in this partition."""
+        return len(self.updatable)
+
+    def _ensure_bounds(self, counters: Optional[CostCounters]) -> None:
+        """Learn the base slice's value range (one scan, charged once)."""
+        if self._bounds_known:
+            return
+        if len(self._base_slice):
+            self.min_value = float(self._base_slice.min())
+            self.max_value = float(self._base_slice.max())
+            if counters is not None:
+                counters.record_scan(len(self._base_slice))
+                counters.record_comparisons(2 * len(self._base_slice))
+        self._bounds_known = True
+
+    @property
+    def effective_bounds(self) -> Tuple[Optional[float], Optional[float]]:
+        """Known value bounds: base bounds (once learned) widened by inserts."""
+        lows = [b for b in (self.min_value, self._extra_min) if b is not None]
+        highs = [b for b in (self.max_value, self._extra_max) if b is not None]
+        return (min(lows) if lows else None, max(highs) if highs else None)
+
+    def contains_value(self, value: float) -> bool:
+        """True when ``value`` falls inside the currently known bounds."""
+        low, high = self.effective_bounds
+        return low is not None and low <= value <= high
+
+    def overlaps(self, low: Optional[float], high: Optional[float],
+                 counters: Optional[CostCounters]) -> bool:
+        """True when ``[low, high)`` can contain visible values of this partition."""
+        if len(self._base_slice) == 0 and self._extra_min is None:
+            return False
+        self._ensure_bounds(counters)
+        bound_low, bound_high = self.effective_bounds
+        if bound_low is None:
+            return False
+        if low is not None and bound_high < low:
+            return False
+        if high is not None and bound_low >= high:
+            return False
+        return True
+
+    # -- updates --------------------------------------------------------------
+
+    def insert(self, value: float, counters: Optional[CostCounters],
+               rowid: int) -> int:
+        """Queue one insert (globally numbered) and widen the bounds."""
+        rowid = self.updatable.insert(value, counters, rowid=rowid)
+        value = float(value)
+        if self._extra_min is None or value < self._extra_min:
+            self._extra_min = value
+        if self._extra_max is None or value > self._extra_max:
+            self._extra_max = value
+        return rowid
+
+    def delete(self, rowid: int, counters: Optional[CostCounters]) -> None:
+        self.updatable.delete(rowid, counters)
+
+    # -- queries ---------------------------------------------------------------
+
+    def search(self, low: Optional[float], high: Optional[float],
+               counters: Optional[CostCounters]) -> np.ndarray:
+        """Global rowids of visible qualifying rows inside this partition."""
+        return self.updatable.search(low, high, counters)
+
+
+class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
+    """Partitioned cracking with first-class inserts, deletes and updates.
+
+    Parameters
+    ----------
+    column:
+        Base column (or raw array), sharded into contiguous partitions.
+    partitions:
+        Number of contiguous shards (clamped to the column size; >= 1).
+    parallel:
+        When True, queries overlapping more than one partition fan out over
+        a thread pool; per-partition merges only touch partition-private
+        state, so the fan-out is race-free and answers (and logical costs)
+        are identical to the sequential run.
+    policy / merge_batch:
+        Pending-update merge policy of every partition — see
+        :class:`~repro.core.cracking.updates.UpdatableCrackedColumn`.  Under
+        the gradual policy each *partition* merges at most ``merge_batch``
+        pending updates per query it participates in.
+    sort_threshold / max_workers:
+        As in :class:`PartitionedCrackedColumn`.
+
+    Updates are routed to the owning partition: deletes of original rows by
+    a binary search on the partition row ranges, deletes of inserted rows by
+    asking the partitions which one knows the rowid, and inserts to the
+    leftmost partition whose value bounds contain the value (falling back to
+    the nearest partition by value distance, then to the last partition
+    while no bounds are known).  Routing never affects answers — rowids are
+    global — only load spread.
+    """
+
+    def __init__(
+        self,
+        column: Union[Column, np.ndarray],
+        partitions: int = 4,
+        parallel: bool = False,
+        policy: str = "ripple",
+        merge_batch: int = 16,
+        sort_threshold: int = 0,
+        max_workers: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        base = column.values if isinstance(column, Column) else np.asarray(column)
+        if base.ndim != 1:
+            raise ValueError("partitioned cracked columns are one-dimensional")
+        self.name = name or (column.name if isinstance(column, Column) else "")
+        self._base = base
+        self.parallel = bool(parallel)
+        self.policy = policy
+        self.merge_batch = int(merge_batch)
+        self.sort_threshold = int(sort_threshold)
+        self.queries_processed = 0
+        self._partitions: List[UpdatableColumnPartition] = [
+            UpdatableColumnPartition(
+                base[start:end], start, policy=policy, merge_batch=merge_batch,
+                sort_threshold=sort_threshold,
+                name=f"{self.name}[{start}:{end}]" if self.name else "",
+            )
+            for start, end in partition_bounds(len(base), partitions)
+        ]
+        self._starts = [p.start for p in self._partitions]
+        self._next_rowid = len(base)
+        self._max_workers = max_workers or len(self._partitions)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # -- basic properties -------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of currently visible rows across all partitions."""
+        return sum(len(p) for p in self._partitions)
+
+    @property
+    def partition_count(self) -> int:
+        return len(self._partitions)
+
+    @property
+    def partitions(self) -> List[UpdatableColumnPartition]:
+        """The partitions, left to right (for inspection and tests)."""
+        return list(self._partitions)
+
+    @property
+    def piece_count(self) -> int:
+        """Total pieces across all partition cracker indexes."""
+        return sum(p.updatable.piece_count for p in self._partitions)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of auxiliary storage held across all partitions."""
+        return sum(p.updatable.nbytes for p in self._partitions)
+
+    @property
+    def pending_inserts(self) -> int:
+        return sum(p.updatable.pending_inserts for p in self._partitions)
+
+    @property
+    def pending_deletes(self) -> int:
+        return sum(p.updatable.pending_deletes for p in self._partitions)
+
+    @property
+    def merges_performed(self) -> int:
+        return sum(p.updatable.merges_performed for p in self._partitions)
+
+    @property
+    def next_rowid(self) -> int:
+        """The identifier the next insert will receive."""
+        return self._next_rowid
+
+    # -- update routing ---------------------------------------------------------
+
+    def _route_insert(self, value: float) -> UpdatableColumnPartition:
+        """The partition that should absorb an insert of ``value``."""
+        for partition in self._partitions:
+            if partition.contains_value(value):
+                return partition
+        best: Optional[UpdatableColumnPartition] = None
+        best_distance: Optional[float] = None
+        for partition in self._partitions:
+            low, high = partition.effective_bounds
+            if low is None:
+                continue
+            distance = (low - value) if value < low else (value - high)
+            if best_distance is None or distance < best_distance:
+                best, best_distance = partition, distance
+        return best if best is not None else self._partitions[-1]
+
+    def _owning_partition(self, rowid: int) -> UpdatableColumnPartition:
+        """The partition owning ``rowid``.
+
+        Original rows are found by a binary search on the partition row
+        ranges; inserted rows by asking each partition (the partition count
+        is small, and keeping no global insert registry means fully removed
+        rows leave no state behind).
+        """
+        if 0 <= rowid < len(self._base):
+            return self._partitions[bisect.bisect_right(self._starts, rowid) - 1]
+        for partition in self._partitions:
+            if partition.updatable.knows_rowid(rowid):
+                return partition
+        raise KeyError(f"unknown row identifier {rowid}")
+
+    # -- updates ----------------------------------------------------------------
+
+    def insert(self, value: float, counters: Optional[CostCounters] = None) -> int:
+        """Queue the insertion of ``value``; returns its new (global) rowid."""
+        partition = self._route_insert(float(value))
+        rowid = partition.insert(value, counters, self._next_rowid)
+        self._next_rowid += 1
+        return rowid
+
+    def delete(self, rowid: int, counters: Optional[CostCounters] = None) -> None:
+        """Queue the deletion of the row identified by (global) ``rowid``."""
+        self._owning_partition(rowid).delete(rowid, counters)
+
+    def update(self, rowid: int, new_value: float,
+               counters: Optional[CostCounters] = None) -> int:
+        """Update = delete old row + insert new value; returns the new rowid.
+
+        The new value is validated before the delete is queued, so a
+        rejected value leaves the old row untouched.
+        """
+        self._partitions[0].updatable.check_insertable(new_value)
+        self.delete(rowid, counters)
+        return self.insert(new_value, counters)
+
+    # -- the adaptive select operator -------------------------------------------
+
+    def search(
+        self,
+        low: Optional[float],
+        high: Optional[float],
+        counters: Optional[CostCounters] = None,
+        parallel: Optional[bool] = None,
+    ) -> np.ndarray:
+        """Global rowids of visible rows with ``low <= value < high``.
+
+        Each overlapping partition merges its own qualifying pending updates
+        (per the configured policy) and cracks itself as a side effect; the
+        *set* of rowids is identical to what an unpartitioned
+        :class:`UpdatableCrackedColumn` would return.
+        """
+        self.queries_processed += 1
+        targets = [p for p in self._partitions if p.overlaps(low, high, counters)]
+        if not targets:
+            return np.empty(0, dtype=np.int64)
+        chunks = self._fan_out(targets, "search", low, high, counters, parallel)
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.concatenate(chunks)
+
+    # -- verification -----------------------------------------------------------
+
+    def visible_values(self) -> np.ndarray:
+        """Multiset of currently visible values (reference for tests)."""
+        chunks = [p.updatable.visible_values() for p in self._partitions]
+        return np.concatenate(chunks) if len(chunks) > 1 else chunks[0].copy()
+
+    def check_invariants(self) -> None:
+        """Per-partition invariants plus global rowid consistency (tests)."""
+        for partition in self._partitions:
+            partition.updatable.check_invariants()
+        expected_start = 0
+        for partition in self._partitions:
+            assert partition.start == expected_start, (
+                f"partition starts at {partition.start}, expected {expected_start}"
+            )
+            expected_start = partition.end
+        assert expected_start == len(self._base)
+        seen: set = set()
+        for partition in self._partitions:
+            merged = partition.updatable.rowids.tolist()
+            pending = partition.updatable._pending_insert_rowids
+            for rowid in merged:
+                original = 0 <= rowid < len(self._base)
+                if original:
+                    assert partition.start <= rowid < partition.end, (
+                        f"original row {rowid} merged outside its partition "
+                        f"[{partition.start}:{partition.end})"
+                    )
+                else:
+                    assert partition.updatable.knows_rowid(rowid), (
+                        f"inserted row {rowid} lives in a partition that "
+                        f"does not know it"
+                    )
+            for rowid in list(merged) + list(pending):
+                assert rowid not in seen, f"row {rowid} appears in two partitions"
+                seen.add(rowid)
+
+    @property
+    def structure_description(self) -> str:
+        return (
+            f"partitioned updatable cracking ({self.policy}): "
+            f"{self.partition_count} partitions, {self.piece_count} pieces, "
+            f"{self.pending_inserts}+{self.pending_deletes} pending"
         )

@@ -21,8 +21,12 @@ from repro.columnstore.column import Column
 from repro.columnstore.select import RangePredicate, scan_select
 from repro.core.cracking.cracked_column import CrackedColumn
 from repro.core.cracking.stochastic import StochasticCrackedColumn
+from repro.core.cracking.updates import UpdatableCrackedColumn
 from repro.core.hybrids.hybrid_index import HybridIndex
-from repro.core.partitioned import PartitionedCrackedColumn
+from repro.core.partitioned import (
+    PartitionedCrackedColumn,
+    PartitionedUpdatableCrackedColumn,
+)
 from repro.core.merging.adaptive_merge import AdaptiveMergingIndex
 from repro.cost.counters import CostCounters
 from repro.indexes.full_index import FullIndex
@@ -37,6 +41,11 @@ class SearchStrategy(ABC):
 
     #: registry name; subclasses set this
     name: str = ""
+
+    #: True when the strategy absorbs inserts/deletes/updates adaptively
+    #: (exposes ``insert``/``delete``/``update``); the engine rebuilds
+    #: strategies that don't after DML against their table.
+    supports_updates: bool = False
 
     def __init__(self, column: Union[Column, np.ndarray], **options) -> None:
         self._column = column
@@ -190,6 +199,111 @@ class PartitionedCrackingStrategy(SearchStrategy):
     def search(self, low, high, counters=None):
         self.queries_processed += 1
         return self.cracked.search(low, high, counters)
+
+    @property
+    def nbytes(self) -> int:
+        return self.cracked.nbytes
+
+    @property
+    def structure_description(self) -> str:
+        return self.cracked.structure_description
+
+
+class UpdatableCrackingStrategy(SearchStrategy):
+    """Selection cracking with merge-on-demand updates (SIGMOD 2007).
+
+    Options: ``policy`` (``"ripple"`` merges every qualifying pending update,
+    ``"gradual"`` merges at most ``merge_batch`` per query — default
+    ``"ripple"``), ``merge_batch`` (gradual-policy budget, default 16) and
+    ``sort_threshold`` — see
+    :class:`~repro.core.cracking.updates.UpdatableCrackedColumn`.
+    """
+
+    name = "updatable-cracking"
+    supports_updates = True
+
+    def __init__(self, column, **options):
+        super().__init__(column, **options)
+        self.cracked = UpdatableCrackedColumn(
+            column,
+            policy=options.get("policy", "ripple"),
+            merge_batch=options.get("merge_batch", 16),
+            sort_threshold=options.get("sort_threshold", 0),
+        )
+
+    def search(self, low, high, counters=None):
+        self.queries_processed += 1
+        return self.cracked.search(low, high, counters)
+
+    def insert(self, value, counters=None, rowid=None):
+        """Queue an insert; returns the new row identifier."""
+        return self.cracked.insert(value, counters, rowid=rowid)
+
+    def delete(self, rowid, counters=None):
+        """Queue the deletion of ``rowid``."""
+        self.cracked.delete(rowid, counters)
+
+    def update(self, rowid, new_value, counters=None):
+        """Delete ``rowid`` and insert ``new_value``; returns the new rowid."""
+        return self.cracked.update(rowid, new_value, counters)
+
+    @property
+    def nbytes(self) -> int:
+        return self.cracked.nbytes
+
+    @property
+    def structure_description(self) -> str:
+        return (
+            f"updatable cracking ({self.cracked.policy}): "
+            f"{self.cracked.piece_count} pieces, "
+            f"{self.cracked.pending_inserts}+{self.cracked.pending_deletes} pending"
+        )
+
+
+class PartitionedUpdatableCrackingStrategy(SearchStrategy):
+    """Partitioned (optionally parallel) cracking with merge-on-demand updates.
+
+    Options: ``partitions``/``parallel``/``max_workers`` as in
+    :class:`PartitionedCrackingStrategy` plus ``policy``/``merge_batch`` as
+    in :class:`UpdatableCrackingStrategy` — see
+    :class:`~repro.core.partitioned.PartitionedUpdatableCrackedColumn`.
+    """
+
+    name = "partitioned-updatable-cracking"
+    supports_updates = True
+
+    def __init__(self, column, **options):
+        super().__init__(column, **options)
+        self.cracked = PartitionedUpdatableCrackedColumn(
+            column,
+            partitions=options.get("partitions", 4),
+            parallel=options.get("parallel", False),
+            policy=options.get("policy", "ripple"),
+            merge_batch=options.get("merge_batch", 16),
+            sort_threshold=options.get("sort_threshold", 0),
+            max_workers=options.get("max_workers"),
+        )
+
+    def search(self, low, high, counters=None):
+        self.queries_processed += 1
+        return self.cracked.search(low, high, counters)
+
+    def insert(self, value, counters=None, rowid=None):
+        """Queue an insert; returns the new row identifier."""
+        if rowid is not None and rowid != self.cracked.next_rowid:
+            raise ValueError(
+                "partitioned updatable cracking assigns rowids sequentially; "
+                f"expected {self.cracked.next_rowid}, got {rowid}"
+            )
+        return self.cracked.insert(value, counters)
+
+    def delete(self, rowid, counters=None):
+        """Queue the deletion of ``rowid``."""
+        self.cracked.delete(rowid, counters)
+
+    def update(self, rowid, new_value, counters=None):
+        """Delete ``rowid`` and insert ``new_value``; returns the new rowid."""
+        return self.cracked.update(rowid, new_value, counters)
 
     @property
     def nbytes(self) -> int:
@@ -362,6 +476,8 @@ for _cls in (
     CrackingStrategy,
     CrackingSortedPiecesStrategy,
     PartitionedCrackingStrategy,
+    UpdatableCrackingStrategy,
+    PartitionedUpdatableCrackingStrategy,
     StochasticCrackingStrategy,
     AdaptiveMergingStrategy,
     HybridCrackCrackStrategy,

@@ -61,14 +61,23 @@ class Database:
         self._tables: Dict[str, Table] = {}
         # (table, column) -> mode string
         self._modes: Dict[Tuple[str, str], str] = {}
+        # (table, column) -> options passed to set_indexing (for rebuilds)
+        self._mode_options: Dict[Tuple[str, str], Dict] = {}
         # (table, column) -> access-path object for that mode
         self._access_paths: Dict[Tuple[str, str], object] = {}
         # table -> head column -> SidewaysCracker
         self._sideways: Dict[str, Dict[str, SidewaysCracker]] = {}
+        # table -> positions deleted by DML (tombstones; appends keep all
+        # other positions stable, so visible rowids never shift)
+        self._deleted_rows: Dict[str, set] = {}
+        # table -> sorted tombstone array, rebuilt lazily when stale
+        self._tombstone_cache: Dict[str, np.ndarray] = {}
         self.memory = MemoryTracker()
         self.planner = Planner(self)
         self.executor = Executor(self)
         self.queries_executed = 0
+        self.rows_inserted = 0
+        self.rows_deleted = 0
 
     # -- schema management --------------------------------------------------------
 
@@ -92,10 +101,15 @@ class Database:
             if dropped_table == name:
                 self.memory.remove(f"index:{dropped_table}.{dropped_column}")
         self._modes = {k: v for k, v in self._modes.items() if k[0] != name}
+        self._mode_options = {
+            k: v for k, v in self._mode_options.items() if k[0] != name
+        }
         self._access_paths = {
             k: v for k, v in self._access_paths.items() if k[0] != name
         }
         self._sideways.pop(name, None)
+        self._deleted_rows.pop(name, None)
+        self._tombstone_cache.pop(name, None)
         self.memory.remove(f"table:{name}")
 
     def table(self, name: str) -> Table:
@@ -126,6 +140,7 @@ class Database:
             )
         key = (table, column)
         self._modes[key] = mode
+        self._mode_options[key] = dict(options)
         base_column = owning_table.column(column)
         # a previous mode may have recorded index memory for this column;
         # forget it before (possibly) recording the new mode's usage
@@ -148,6 +163,12 @@ class Database:
             )
         else:
             strategy = create_strategy(mode, base_column, **options)
+            if getattr(strategy, "supports_updates", False):
+                # the new column treats every base position as a live row;
+                # replay existing tombstones so rows deleted under an
+                # earlier mode stay deleted (its answers are not filtered)
+                for rowid in self._deleted_rows.get(table, ()):
+                    strategy.delete(rowid)
             self._access_paths[key] = strategy
 
     def indexing_mode(self, table: str, column: str) -> Optional[str]:
@@ -181,6 +202,169 @@ class Database:
     def sideways_cracker(self, table: str, column: str) -> SidewaysCracker:
         return self._sideways[table][column]
 
+    # -- data manipulation ---------------------------------------------------------------
+
+    def insert_row(
+        self,
+        table: str,
+        values: Mapping[str, Union[int, float]],
+        counters: Optional[CostCounters] = None,
+    ) -> int:
+        """Insert one row (a mapping column-name -> value); returns its rowid.
+
+        The row is appended to every column of the table, so existing row
+        positions never shift.  Every configured access path stays
+        consistent: updatable strategies absorb the insert through their
+        pending queues (merge on demand), a full index is rebuilt (offline
+        semantics), online/soft managed indexes on the column are dropped
+        (their tuners rebuild them when the benefit threshold is crossed
+        again), and non-updatable adaptive strategies are rebuilt over the
+        grown column — the honest cost of a physical design without update
+        support, and exactly what the updatable strategies avoid.
+        """
+        owning_table = self.table(table)
+        rowid = owning_table.row_count
+        owning_table.append_rows(dict(values), counters=counters)
+        self.memory.set_usage(f"table:{table}", owning_table.nbytes)
+        for (owner, column_name), mode in list(self._modes.items()):
+            if owner == table:
+                self._absorb_insert(
+                    table, column_name, mode, values[column_name], rowid, counters
+                )
+        # sideways cracker maps are non-incremental copies: drop them so they
+        # re-materialise (and replay the crack history) from the grown table
+        for cracker in self._sideways.get(table, {}).values():
+            for cracker_map in list(cracker.maps.values()):
+                cracker.budget.release(cracker_map.nbytes)
+            cracker.maps.clear()
+        self.rows_inserted += 1
+        return rowid
+
+    def _absorb_insert(
+        self,
+        table: str,
+        column: str,
+        mode: str,
+        value: Union[int, float],
+        rowid: int,
+        counters: Optional[CostCounters],
+    ) -> None:
+        """Bring one access path up to date with a newly appended row."""
+        key = (table, column)
+        path = self._access_paths.get(key)
+        if mode == "scan" or path is None:
+            return  # scans read the base column, which already has the row
+        if getattr(path, "supports_updates", False):
+            path.insert(value, counters, rowid=rowid)
+            return
+        base_column = self.table(table).column(column)
+        if mode == "full-index":
+            index = FullIndex(base_column, name=column)
+            self._access_paths[key] = index
+            self.memory.set_usage(f"index:{table}.{column}", index.nbytes)
+            return
+        if mode in ("online", "soft"):
+            path.indexes.pop(column, None)
+            return
+        options = self._mode_options.get(key, {})
+        self._access_paths[key] = create_strategy(mode, base_column, **options)
+
+    def delete_row(
+        self,
+        table: str,
+        rowid: int,
+        counters: Optional[CostCounters] = None,
+    ) -> None:
+        """Delete the row identified by ``rowid`` (idempotent).
+
+        The base columns are not compacted — the position is tombstoned so
+        every other rowid stays stable — and updatable access paths queue a
+        pending delete, merged on demand by the next query that touches the
+        deleted value's range.  All other access paths are filtered against
+        the tombstones at query time.
+        """
+        owning_table = self.table(table)
+        rowid = int(rowid)
+        if not 0 <= rowid < owning_table.row_count:
+            raise KeyError(f"unknown row identifier {rowid} in table {table!r}")
+        deleted = self._deleted_rows.setdefault(table, set())
+        if rowid in deleted:
+            return
+        deleted.add(rowid)
+        for (owner, _), path in self._access_paths.items():
+            if owner == table and getattr(path, "supports_updates", False):
+                path.delete(rowid, counters)
+        if counters is not None:
+            counters.record_move(1)
+        self.rows_deleted += 1
+
+    def update_row(
+        self,
+        table: str,
+        rowid: int,
+        values: Mapping[str, Union[int, float]],
+        counters: Optional[CostCounters] = None,
+    ) -> int:
+        """Update = delete the old row + insert the changed one; returns the new rowid.
+
+        ``values`` names the columns to change; unmentioned columns keep the
+        old row's values.  This mirrors how the update machinery treats an
+        update as a delete/insert pair, so the row receives a fresh rowid.
+        """
+        owning_table = self.table(table)
+        rowid = int(rowid)
+        if rowid in self._deleted_rows.get(table, set()):
+            raise KeyError(f"row {rowid} of table {table!r} has been deleted")
+        if not 0 <= rowid < owning_table.row_count:
+            raise KeyError(f"unknown row identifier {rowid} in table {table!r}")
+        unknown = set(values) - set(owning_table.column_names)
+        if unknown:
+            raise KeyError(
+                f"no columns {sorted(unknown)} in table {table!r}"
+            )
+        row = {
+            name: values_array[0]
+            for name, values_array in owning_table.fetch_rows(
+                [rowid], counters=counters
+            ).items()
+        }
+        row.update(values)
+        # validate the merged row against every column dtype *before*
+        # tombstoning, so a rejected value cannot silently lose the row
+        for name, value in row.items():
+            owning_table.column(name).dtype.validate_array(
+                np.atleast_1d(np.asarray(value))
+            )
+        self.delete_row(table, rowid, counters)
+        return self.insert_row(table, row, counters)
+
+    def _tombstones(self, table: str) -> Optional[np.ndarray]:
+        """Sorted tombstone positions of ``table`` (None when there are none).
+
+        The array is cached and rebuilt lazily; tombstone sets only grow, so
+        a length mismatch is the complete staleness signal.
+        """
+        deleted = self._deleted_rows.get(table)
+        if not deleted:
+            return None
+        cached = self._tombstone_cache.get(table)
+        if cached is None or len(cached) != len(deleted):
+            cached = np.fromiter(deleted, dtype=np.int64, count=len(deleted))
+            cached.sort()
+            self._tombstone_cache[table] = cached
+        return cached
+
+    def visible_positions(self, table: str, positions: np.ndarray) -> np.ndarray:
+        """Filter DML tombstones out of a position list (no-op when none)."""
+        tombstones = self._tombstones(table)
+        if tombstones is None or len(positions) == 0:
+            return positions
+        return positions[~np.isin(positions, tombstones)]
+
+    def visible_row_count(self, table: str) -> int:
+        """Rows of ``table`` visible to queries (total minus tombstones)."""
+        return self.table(table).row_count - len(self._deleted_rows.get(table, ()))
+
     # -- access-path dispatch (used by the executor) -------------------------------------
 
     def index_select(
@@ -198,13 +382,18 @@ class Database:
         if mode == "scan" or path is None:
             from repro.columnstore.select import scan_select
 
-            return scan_select(base_column, RangePredicate(low, high), counters)
-        if mode == "full-index":
-            return path.search(low, high, counters)
-        if mode in ("online", "soft"):
-            return path.select(base_column, RangePredicate(low, high), counters)
-        # adaptive strategy
-        return path.search(low, high, counters)
+            positions = scan_select(base_column, RangePredicate(low, high), counters)
+        elif mode == "full-index":
+            positions = path.search(low, high, counters)
+        elif mode in ("online", "soft"):
+            positions = path.select(base_column, RangePredicate(low, high), counters)
+        else:
+            positions = path.search(low, high, counters)
+            if getattr(path, "supports_updates", False):
+                # updatable strategies receive every DML delete themselves,
+                # so their answers already exclude tombstoned rows
+                return positions
+        return self.visible_positions(table, positions)
 
     def sideways_select(
         self,
@@ -231,10 +420,16 @@ class Database:
         )
         needed = [name for name in needed if name != head_column] or needed
         if extra_predicates:
-            return cracker.select_project_where(
+            result = cracker.select_project_where(
                 low, high, extra_predicates, needed, counters
             )
-        return cracker.select_project(low, high, needed or [head_column], counters)
+        else:
+            result = cracker.select_project(low, high, needed or [head_column], counters)
+        tombstones = self._tombstones(table)
+        if tombstones is not None:
+            mask = ~np.isin(result["__rowids__"], tombstones)
+            result = {name: array[mask] for name, array in result.items()}
+        return result
 
     # -- query execution -------------------------------------------------------------------
 

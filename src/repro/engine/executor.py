@@ -54,14 +54,19 @@ class Executor:
         def all_positions() -> np.ndarray:
             if counters is not None:
                 counters.record_scan(table.row_count)
-            return np.arange(table.row_count, dtype=np.int64)
+            return self.database.visible_positions(
+                plan.query.table, np.arange(table.row_count, dtype=np.int64)
+            )
 
         for step in plan.steps:
             if step.operator == "scan_select":
-                positions = scan_select(
-                    table.column(step.column),
-                    RangePredicate(step.low, step.high),
-                    counters,
+                positions = self.database.visible_positions(
+                    plan.query.table,
+                    scan_select(
+                        table.column(step.column),
+                        RangePredicate(step.low, step.high),
+                        counters,
+                    ),
                 )
             elif step.operator == "index_select":
                 positions = self.database.index_select(
@@ -113,9 +118,7 @@ class Executor:
                 raise ValueError(f"unknown plan operator {step.operator!r}")
 
         if positions is None:
-            positions = np.arange(table.row_count, dtype=np.int64)
-            if counters is not None:
-                counters.record_scan(table.row_count)
+            positions = all_positions()
 
         # keep only the requested projections in the result columns
         requested = set(plan.query.projections)

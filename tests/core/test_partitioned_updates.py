@@ -1,0 +1,241 @@
+"""Tests for the partitioned updatable cracked column.
+
+The key contract: whatever the partition count, execution mode (sequential
+or parallel) and merge policy, the partitioned column returns exactly the
+rowid sets an unpartitioned :class:`UpdatableCrackedColumn` returns for the
+same mixed insert/delete/query stream — global rowids make partitioning
+invisible.  Plus the regression test for the gradual-policy budget bug:
+inserts and deletes share one ``merge_batch`` budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cracking.updates import UpdatableCrackedColumn
+from repro.core.partitioned import PartitionedUpdatableCrackedColumn
+from repro.cost.counters import CostCounters
+
+
+def run_mixed_stream(reference, partitioned, base, steps=300, seed=5):
+    """Drive both columns through one random stream, checking each query."""
+    model = {int(i): int(v) for i, v in enumerate(base)}
+    next_id = len(base)
+    rng = np.random.default_rng(seed)
+    for step in range(steps):
+        action = int(rng.integers(0, 4))
+        if action == 0:
+            value = int(rng.integers(0, 1000))
+            got_ref = reference.insert(value)
+            got_part = partitioned.insert(value)
+            assert got_ref == got_part == next_id
+            model[next_id] = value
+            next_id += 1
+        elif action == 1 and model:
+            victim = int(rng.choice(list(model)))
+            reference.delete(victim)
+            partitioned.delete(victim)
+            del model[victim]
+        else:
+            low = int(rng.integers(0, 950))
+            high = low + int(rng.integers(1, 100))
+            expected = {r for r, v in model.items() if low <= v < high}
+            assert set(reference.search(low, high).tolist()) == expected
+            assert set(partitioned.search(low, high).tolist()) == expected
+    reference.check_invariants()
+    partitioned.check_invariants()
+    assert sorted(partitioned.visible_values().tolist()) == sorted(model.values())
+    assert len(partitioned) == len(model)
+
+
+class TestEquivalenceWithUnpartitioned:
+    @pytest.mark.parametrize("partitions", [1, 3, 8])
+    @pytest.mark.parametrize("policy", ["ripple", "gradual"])
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_mixed_stream_matches_unpartitioned(self, partitions, policy, parallel, rng):
+        base = rng.integers(0, 1000, size=3000).astype(np.int64)
+        reference = UpdatableCrackedColumn(base, policy=policy, merge_batch=4)
+        with PartitionedUpdatableCrackedColumn(
+            base, partitions=partitions, parallel=parallel,
+            policy=policy, merge_batch=4,
+        ) as partitioned:
+            run_mixed_stream(reference, partitioned, base)
+
+    def test_parallel_does_identical_logical_work(self, rng):
+        base = rng.integers(0, 10_000, size=5000).astype(np.int64)
+        costs = {}
+        for parallel in (False, True):
+            with PartitionedUpdatableCrackedColumn(
+                base, partitions=4, parallel=parallel
+            ) as column:
+                counters = CostCounters()
+                stream_rng = np.random.default_rng(1)
+                for _ in range(40):
+                    column.insert(int(stream_rng.integers(0, 10_000)))
+                    low = int(stream_rng.integers(0, 9000))
+                    column.search(low, low + 500, counters)
+                costs[parallel] = (
+                    counters.tuples_scanned, counters.tuples_moved,
+                    counters.comparisons, counters.random_accesses,
+                )
+        assert costs[False] == costs[True]
+
+
+class TestUpdateRouting:
+    def test_inserts_visible_before_any_query(self, rng):
+        # no partition has learned bounds yet; pending inserts must still be
+        # found by the first query that covers their value
+        base = rng.integers(0, 100, size=400).astype(np.int64)
+        column = PartitionedUpdatableCrackedColumn(base, partitions=4)
+        rowid = column.insert(50)
+        assert rowid == len(base)
+        assert rowid in column.search(40, 60).tolist()
+
+    def test_insert_outside_all_bounds_widens_a_partition(self, rng):
+        base = rng.integers(0, 100, size=400).astype(np.int64)
+        column = PartitionedUpdatableCrackedColumn(base, partitions=4)
+        column.search(0, 100)  # every partition learns its bounds
+        rowid = column.insert(10_000)  # far above every known max
+        assert rowid in column.search(9_000, 11_000).tolist()
+        column.check_invariants()
+
+    def test_original_rows_delete_via_row_ranges(self, rng):
+        base = rng.integers(0, 100, size=400).astype(np.int64)
+        column = PartitionedUpdatableCrackedColumn(base, partitions=4)
+        for victim in (0, 99, 100, 399):  # partition edges
+            value = int(base[victim])
+            column.delete(victim)
+            assert victim not in column.search(value, value + 1).tolist()
+
+    def test_delete_of_pending_insert_cancels_it(self, rng):
+        base = rng.integers(0, 100, size=200).astype(np.int64)
+        column = PartitionedUpdatableCrackedColumn(base, partitions=3)
+        rowid = column.insert(55)
+        column.delete(rowid)
+        assert column.pending_inserts == 0
+        assert rowid not in column.search(0, 100).tolist()
+        # deleting it again matches the unpartitioned behaviour: the rowid
+        # no longer exists anywhere
+        with pytest.raises(KeyError):
+            column.delete(rowid)
+
+    def test_repeated_delete_is_idempotent(self, rng):
+        base = rng.integers(0, 100, size=200).astype(np.int64)
+        column = PartitionedUpdatableCrackedColumn(base, partitions=3)
+        column.delete(7)
+        column.delete(7)
+        assert column.pending_deletes == 1
+
+    def test_redelete_after_merge_raises_like_unpartitioned(self, rng):
+        # once a pending delete has been merged the row is gone; re-deleting
+        # its rowid raises KeyError from both implementations
+        base = rng.integers(0, 100, size=200).astype(np.int64)
+        reference = UpdatableCrackedColumn(base)
+        partitioned = PartitionedUpdatableCrackedColumn(base, partitions=3)
+        value = int(base[7])
+        for column in (reference, partitioned):
+            column.delete(7)
+            column.search(value, value + 1)  # merges the delete
+            with pytest.raises(KeyError):
+                column.delete(7)
+
+    def test_unknown_rowid_raises(self, rng):
+        base = rng.integers(0, 100, size=200).astype(np.int64)
+        column = PartitionedUpdatableCrackedColumn(base, partitions=3)
+        with pytest.raises(KeyError):
+            column.delete(10**9)
+        with pytest.raises(KeyError):
+            column.update(10**9, 5)
+
+    def test_update_renumbers(self, rng):
+        base = rng.integers(0, 100, size=200).astype(np.int64)
+        column = PartitionedUpdatableCrackedColumn(base, partitions=3)
+        new_rowid = column.update(10, 77)
+        assert new_rowid == len(base)
+        assert 10 not in column.search(0, 100).tolist()
+        assert new_rowid in column.search(77, 78).tolist()
+
+    @pytest.mark.parametrize("partitions", [None, 3])
+    def test_update_is_atomic_on_type_errors(self, partitions, rng):
+        # a rejected value must not tombstone the old row first
+        base = rng.integers(0, 100, size=200).astype(np.int64)
+        if partitions is None:
+            column = UpdatableCrackedColumn(base)
+        else:
+            column = PartitionedUpdatableCrackedColumn(base, partitions=partitions)
+        with pytest.raises(TypeError):
+            column.update(10, 2.5)
+        assert len(column) == len(base)
+        value = int(base[10])
+        assert 10 in column.search(value, value + 1).tolist()
+
+
+class TestGradualBudget:
+    """Regression tests for the shared gradual-policy merge budget."""
+
+    def test_inserts_and_deletes_share_one_budget(self, rng):
+        # queue qualifying inserts AND deletes, then count merges of one
+        # query: the buggy version merged up to merge_batch of each
+        base = rng.integers(0, 100, size=500).astype(np.int64)
+        column = UpdatableCrackedColumn(base, policy="gradual", merge_batch=4)
+        for value in range(10, 20):
+            column.insert(value)
+        column.search(0, 100)  # merges a first batch of the inserts
+        merged_before = column.merges_performed
+        victims = [int(r) for r in column.rowids[:10]]
+        for victim in victims:
+            column.delete(victim)
+        column.search(0, 100)
+        assert column.merges_performed - merged_before <= 4
+
+    @pytest.mark.parametrize("merge_batch", [1, 4, 16])
+    def test_budget_respected_over_random_stream(self, merge_batch, rng):
+        base = rng.integers(0, 100, size=500).astype(np.int64)
+        column = UpdatableCrackedColumn(
+            base, policy="gradual", merge_batch=merge_batch
+        )
+        model = dict(enumerate(base.tolist()))
+        next_id = len(base)
+        for step in range(200):
+            action = int(rng.integers(0, 3))
+            if action == 0:
+                value = int(rng.integers(0, 100))
+                model[column.insert(value)] = value
+                next_id += 1
+            elif action == 1 and model:
+                victim = int(rng.choice(list(model)))
+                column.delete(victim)
+                del model[victim]
+            else:
+                merges_before = column.merges_performed
+                low = int(rng.integers(0, 95))
+                got = set(column.search(low, low + 10).tolist())
+                assert column.merges_performed - merges_before <= merge_batch
+                assert got == {r for r, v in model.items() if low <= v < low + 10}
+
+    def test_partitioned_budget_is_per_touched_partition(self, rng):
+        base = rng.integers(0, 100, size=600).astype(np.int64)
+        partitions = 3
+        column = PartitionedUpdatableCrackedColumn(
+            base, partitions=partitions, policy="gradual", merge_batch=2
+        )
+        for value in range(0, 60):
+            column.insert(value)
+        merges_before = column.merges_performed
+        column.search(0, 100)
+        assert column.merges_performed - merges_before <= 2 * partitions
+
+
+class TestPendingScanAccounting:
+    """Pending-structure scans are charged whether or not anything qualifies."""
+
+    def test_non_qualifying_pending_still_charged(self, rng):
+        base = rng.integers(0, 100, size=500).astype(np.int64)
+        quiet = UpdatableCrackedColumn(base)
+        busy = UpdatableCrackedColumn(base)
+        busy.insert(999)  # far outside the query range below
+        counters_quiet, counters_busy = CostCounters(), CostCounters()
+        quiet.search(0, 50, counters_quiet)
+        busy.search(0, 50, counters_busy)
+        # identical cracking work; the busy column pays exactly one extra
+        # comparison for scanning its (non-qualifying) pending insert
+        assert counters_busy.comparisons == counters_quiet.comparisons + 1

@@ -17,6 +17,9 @@ EXPECTED_STRATEGIES = {
     "sort-first",
     "cracking",
     "cracking-sort-pieces",
+    "partitioned-cracking",
+    "updatable-cracking",
+    "partitioned-updatable-cracking",
     "stochastic-cracking",
     "adaptive-merging",
     "hybrid-crack-crack",

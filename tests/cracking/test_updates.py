@@ -94,6 +94,19 @@ class TestDeletions:
         column.delete(0)
         assert column.pending_deletes == 1
 
+    def test_merged_delete_of_insert_forgets_the_rowid(self, small_values):
+        # once the delete of an inserted row has merged, the row is gone for
+        # good: value_of raises and no per-insert bookkeeping is retained
+        column = UpdatableCrackedColumn(small_values)
+        rowid = column.insert(55)
+        column.search(50, 60)  # merge the insert
+        column.delete(rowid)
+        column.search(50, 60)  # merge the delete
+        with pytest.raises(KeyError):
+            column.value_of(rowid)
+        assert not column.knows_rowid(rowid)
+        assert column._inserted_values == {}
+
     def test_update_is_delete_plus_insert(self, small_values):
         column = UpdatableCrackedColumn(small_values)
         old_value = int(small_values[7])

@@ -227,6 +227,170 @@ class TestPartitionedMode:
             assert set(result.positions.tolist()) == expected
 
 
+class TestDML:
+    """insert_row/delete_row/update_row keep every access path consistent."""
+
+    ALL_MODES = [
+        "scan", "full-index", "online", "soft", "cracking",
+        "partitioned-cracking", "updatable-cracking",
+        "partitioned-updatable-cracking", "adaptive-merging",
+    ]
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_mixed_dml_stays_correct_in_every_mode(self, database, rng, mode):
+        if mode != "scan":
+            database.set_indexing("facts", "a", mode)
+        table = database.table("facts")
+        model = {
+            i: int(v) for i, v in enumerate(table["a"].values)
+        }
+        next_id = table.row_count
+        for step in range(60):
+            action = step % 4
+            if action == 0:
+                value = int(rng.integers(0, 10_000))
+                rowid = database.insert_row(
+                    "facts", {"a": value, "b": 0, "c": 0.0}
+                )
+                assert rowid == next_id
+                model[rowid] = value
+                next_id += 1
+            elif action == 1 and model:
+                victim = int(rng.choice(list(model)))
+                database.delete_row("facts", victim)
+                del model[victim]
+            else:
+                low = int(rng.integers(0, 9_000))
+                high = low + 500
+                result = database.execute(
+                    Query.range_query("facts", "a", low, high)
+                )
+                expected = {r for r, v in model.items() if low <= v < high}
+                assert set(result.positions.tolist()) == expected
+        assert database.visible_row_count("facts") == len(model)
+
+    def test_update_row_renumbers_and_keeps_other_columns(self, database):
+        old_b = int(database.table("facts")["b"].values[5])
+        new_rowid = database.update_row("facts", 5, {"a": 12345})
+        assert new_rowid == 5000  # first fresh rowid
+        result = database.execute(Query.range_query("facts", "a", 12345, 12346))
+        assert new_rowid in result.positions.tolist()
+        assert 5 not in result.positions.tolist()
+        assert int(database.table("facts")["b"].values[new_rowid]) == old_b
+        with pytest.raises(KeyError):
+            database.update_row("facts", 5, {"a": 1})  # old row is gone
+
+    def test_update_row_validates_columns(self, database):
+        with pytest.raises(KeyError, match="zzz"):
+            database.update_row("facts", 0, {"zzz": 1})
+
+    def test_update_row_is_atomic_on_type_errors(self, database):
+        # a lossy value must be rejected before the old row is tombstoned
+        with pytest.raises(TypeError):
+            database.update_row("facts", 5, {"b": 2.5})
+        assert database.visible_row_count("facts") == 5000
+        result = database.execute(Query(table="facts", projections=["a"]))
+        assert 5 in result.positions.tolist()
+
+    @pytest.mark.parametrize(
+        "mode", ["updatable-cracking", "partitioned-updatable-cracking"]
+    )
+    def test_tombstones_replayed_when_switching_to_updatable(self, database, mode):
+        # rows deleted under an earlier mode must stay deleted after the
+        # switch: the new updatable column replays the tombstones
+        value = int(database.table("facts")["a"].values[7])
+        database.delete_row("facts", 7)
+        database.set_indexing("facts", "a", mode)
+        result = database.execute(
+            Query.range_query("facts", "a", value, value + 1)
+        )
+        assert 7 not in result.positions.tolist()
+        assert database.visible_row_count("facts") == 4999
+
+    def test_delete_row_validates_and_is_idempotent(self, database):
+        with pytest.raises(KeyError):
+            database.delete_row("facts", 10**9)
+        database.delete_row("facts", 3)
+        database.delete_row("facts", 3)
+        assert database.visible_row_count("facts") == 4999
+
+    def test_insert_row_requires_all_columns(self, database):
+        with pytest.raises(ValueError):
+            database.insert_row("facts", {"a": 1})
+
+    def test_insert_row_is_atomic_on_type_errors(self, database):
+        # column "b" is int64: a lossy float must be rejected *before* any
+        # column is appended, or the table is left with ragged columns
+        with pytest.raises(TypeError):
+            database.insert_row("facts", {"a": 1, "b": 2.5, "c": 0.0})
+        table = database.table("facts")
+        assert {len(table[name]) for name in table.column_names} == {5000}
+        assert database.visible_row_count("facts") == 5000
+
+    def test_deleted_rows_invisible_without_selection(self, database):
+        database.delete_row("facts", 0)
+        result = database.execute(Query(table="facts", projections=["a"]))
+        assert result.row_count == 4999
+        assert 0 not in result.positions.tolist()
+
+    def test_aggregates_exclude_deleted_rows(self, database):
+        database.set_indexing("facts", "a", "updatable-cracking")
+        database.delete_row("facts", 7)
+        result = database.execute(
+            Query(
+                table="facts",
+                selections=[RangeSelection("a", None, None)],
+                aggregates=[Aggregate("c", "count")],
+            )
+        )
+        assert result.aggregates["count(c)"] == 4999
+
+    def test_insert_updates_memory_tracker(self, database):
+        database.set_indexing("facts", "a", "full-index")
+        table_before = database.memory.breakdown()["table:facts"]
+        index_before = database.memory.breakdown()["index:facts.a"]
+        database.insert_row("facts", {"a": 1, "b": 2, "c": 3.0})
+        assert database.memory.breakdown()["table:facts"] > table_before
+        assert database.memory.breakdown()["index:facts.a"] > index_before
+
+    def test_updatable_path_absorbs_instead_of_rebuilding(self, database):
+        database.set_indexing("facts", "a", "updatable-cracking")
+        path = database.access_path("facts", "a")
+        database.insert_row("facts", {"a": 4242, "b": 0, "c": 0.0})
+        assert database.access_path("facts", "a") is path  # same object
+        assert path.cracked.pending_inserts == 1
+
+    def test_non_updatable_strategy_rebuilt_with_options(self, database):
+        database.set_indexing("facts", "a", "partitioned-cracking", partitions=8)
+        old_path = database.access_path("facts", "a")
+        database.insert_row("facts", {"a": 4242, "b": 0, "c": 0.0})
+        new_path = database.access_path("facts", "a")
+        assert new_path is not old_path
+        assert new_path.cracked.partition_count == 8  # options preserved
+        result = database.execute(Query.range_query("facts", "a", 4242, 4243))
+        assert 5000 in result.positions.tolist()
+
+    def test_sideways_maps_rebuilt_after_insert(self, database):
+        database.enable_sideways("facts", "a")
+        # materialise a map, then insert and re-query through sideways
+        query = Query(
+            table="facts",
+            selections=[RangeSelection("a", 1000, 2000)],
+            projections=["c"],
+        )
+        database.execute(query)
+        database.insert_row("facts", {"a": 1500, "b": 0, "c": 9.5})
+        result = database.execute(query)
+        assert 5000 in result.positions.tolist()
+        assert 9.5 in result.columns["c"].tolist()
+
+    def test_dml_on_unknown_table_raises(self, database):
+        with pytest.raises(KeyError):
+            database.insert_row("nope", {"a": 1})
+        with pytest.raises(KeyError):
+            database.delete_row("nope", 0)
+
+
 class TestExecuteMany:
     def test_sequential_batch_matches_reference(self, database):
         database.set_indexing("facts", "a", "cracking")

@@ -1,11 +1,13 @@
 """Property-based tests for updates, intervals and adaptive merging."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.cracking.updates import UpdatableCrackedColumn
 from repro.core.merging.adaptive_merge import AdaptiveMergingIndex
 from repro.core.merging.intervals import IntervalSet
+from repro.core.partitioned import PartitionedUpdatableCrackedColumn
 
 
 class TestUpdatableColumnProperties:
@@ -48,6 +50,85 @@ class TestUpdatableColumnProperties:
                 assert got == expected
         column.check_invariants()
         assert sorted(column.visible_values().tolist()) == sorted(model.values())
+
+
+class TestUpdatePolicyOracleProperties:
+    """Both merge policies, unpartitioned and partitioned, against a
+    brute-force visible-multiset oracle over interleaved streams.
+
+    The operation alphabet deliberately includes ``delete_last_insert``
+    (usually a delete of a still-pending insert, which must cancel it) and
+    ``delete_again`` (a repeated delete, which must stay idempotent).
+    """
+
+    operations = st.lists(
+        st.one_of(
+            st.tuples(st.just("insert"), st.integers(0, 200)),
+            st.tuples(st.just("delete"), st.integers(0, 400)),
+            st.tuples(st.just("delete_last_insert"), st.just(0)),
+            st.tuples(st.just("delete_again"), st.just(0)),
+            st.tuples(st.just("query"),
+                      st.tuples(st.integers(0, 200), st.integers(0, 200))),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+
+    @pytest.mark.parametrize("policy", ["ripple", "gradual"])
+    @pytest.mark.parametrize("partitions", [None, 3])
+    @given(
+        base=st.lists(st.integers(0, 200), min_size=1, max_size=120).map(
+            lambda xs: np.asarray(xs, dtype=np.int64)
+        ),
+        ops=operations,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_visible_rows_always_match_oracle(self, policy, partitions, base, ops):
+        if partitions is None:
+            column = UpdatableCrackedColumn(base, policy=policy, merge_batch=3)
+        else:
+            column = PartitionedUpdatableCrackedColumn(
+                base, partitions=partitions, policy=policy, merge_batch=3
+            )
+        model = {int(i): int(v) for i, v in enumerate(base)}
+        next_id = len(base)
+        last_insert = None
+        last_delete = None
+        for kind, payload in ops:
+            if kind == "insert":
+                rowid = column.insert(payload)
+                assert rowid == next_id
+                model[rowid] = payload
+                last_insert = rowid
+                next_id += 1
+            elif kind == "delete":
+                if payload in model:
+                    column.delete(payload)
+                    del model[payload]
+                    last_delete = payload
+            elif kind == "delete_last_insert":
+                if last_insert is not None and last_insert in model:
+                    column.delete(last_insert)
+                    del model[last_insert]
+                    last_delete = last_insert
+            elif kind == "delete_again":
+                if last_delete is not None and last_delete < len(base):
+                    # a repeated delete is idempotent while the first delete
+                    # is still pending; once merged, the row is gone and the
+                    # rowid is unknown (KeyError) — both are legal, neither
+                    # may corrupt state
+                    try:
+                        column.delete(last_delete)
+                    except KeyError:
+                        pass
+            else:
+                low, high = min(payload), max(payload)
+                got = set(column.search(low, high).tolist())
+                expected = {r for r, v in model.items() if low <= v < high}
+                assert got == expected
+        column.check_invariants()
+        assert sorted(column.visible_values().tolist()) == sorted(model.values())
+        assert len(column) == len(model)
 
 
 class TestIntervalSetProperties:

@@ -68,6 +68,47 @@ class TestCompareCommand:
             assert code == 0
 
 
+class TestUpdatesCommand:
+    def test_updates_runs_updatable_strategy(self, capsys):
+        code = main([
+            "updates", "--rows", "3000", "--queries", "20",
+            "--updates-per-query", "2", "--strategy", "updatable-cracking",
+            "--policy", "gradual", "--merge-batch", "8",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "update throughput" in output
+        assert "updatable cracking (gradual)" in output
+
+    def test_updates_runs_partitioned_strategy(self, capsys):
+        code = main([
+            "updates", "--rows", "3000", "--queries", "15",
+            "--strategy", "partitioned-updatable-cracking",
+            "--partitions", "3",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "3 partitions" in output
+
+    def test_updates_scan_baseline(self, capsys):
+        assert main(["updates", "--rows", "2000", "--queries", "10",
+                     "--strategy", "scan"]) == 0
+        assert "query cost" in capsys.readouterr().out
+
+    def test_updates_unknown_strategy(self, capsys):
+        code = main(["updates", "--rows", "1000", "--strategy", "quantum"])
+        assert code == 2
+        assert "unknown strategy" in capsys.readouterr().err
+
+    def test_updates_validates_counts(self, capsys):
+        assert main(["updates", "--rows", "100", "--queries", "0"]) == 2
+        assert "must be >= 1" in capsys.readouterr().err
+        assert main(["updates", "--rows", "100", "--updates-per-query", "-1"]) == 2
+        assert "non-negative" in capsys.readouterr().err
+        assert main(["updates", "--rows", "100", "--merge-batch", "0"]) == 2
+        assert "merge-batch" in capsys.readouterr().err
+
+
 class TestDemoAndDefaults:
     def test_demo_runs(self, capsys):
         assert main(["demo", "--rows", "5000", "--queries", "20"]) == 0
