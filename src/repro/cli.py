@@ -14,6 +14,17 @@ writing any Python:
     drive a mixed query/insert/delete workload through the Database DML
     (insert_row/delete_row) for any indexing strategy and report update
     throughput and per-query cost.
+
+Adaptive repartitioning: the partitioned strategies accept
+``--repartition`` (plus ``--max-partition-rows`` / ``--split-threshold``)
+so a skewed insert or query stream cannot bloat one partition; the
+``updates`` subcommand reports per-strategy split/merge counts and the
+resulting partition row skew.  For example::
+
+    python -m repro updates --strategy partitioned-updatable-cracking \
+        --partitions 4 --repartition --updates-per-query 4
+    python -m repro compare --strategies cracking,partitioned-cracking \
+        --partitions 8 --parallel --repartition
 """
 
 from __future__ import annotations
@@ -39,10 +50,25 @@ from repro.workloads.reporting import (
 )
 
 
+_EXAMPLES = """examples:
+  repro compare --strategies cracking,partitioned-cracking --partitions 8 --parallel
+  repro compare --strategies partitioned-cracking --repartition --pattern skewed
+  repro updates --strategy partitioned-updatable-cracking --repartition \\
+      --max-partition-rows 50000 --updates-per-query 4
+
+Adaptive repartitioning (--repartition) lets the partitioned strategies
+split hot partitions at crack boundaries (and merge cold siblings) so a
+skewed insert or query stream cannot bloat one partition; answers stay
+bit-identical to the unpartitioned strategies.
+"""
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Adaptive indexing in modern database kernels (EDBT 2012 reproduction)",
+        epilog=_EXAMPLES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command")
@@ -83,6 +109,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--merge-batch", type=int, default=16,
         help="gradual-policy merge budget for the updatable strategies",
     )
+    _add_repartition_arguments(compare)
     compare.add_argument(
         "--format", default="text", choices=["text", "markdown", "csv"],
         help="output format for the summary table",
@@ -127,8 +154,51 @@ def _build_parser() -> argparse.ArgumentParser:
         "--parallel", action="store_true",
         help="fan partitioned sub-selections out over a thread pool",
     )
+    _add_repartition_arguments(updates)
     updates.add_argument("--seed", type=int, default=0, help="random seed")
     return parser
+
+
+def _add_repartition_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Adaptive-repartitioning knobs shared by the partitioned strategies."""
+    subparser.add_argument(
+        "--repartition", action="store_true",
+        help="adaptively split hot partitions (and merge cold siblings) "
+             "in the partitioned strategies",
+    )
+    subparser.add_argument(
+        "--max-partition-rows", type=int, default=None, metavar="ROWS",
+        help="hard per-partition row cap enforced by adaptive repartitioning",
+    )
+    subparser.add_argument(
+        "--split-threshold", type=float, default=2.0, metavar="FACTOR",
+        help="split a partition once it exceeds FACTOR times the mean "
+             "partition load (> 1.0, default 2.0)",
+    )
+
+
+def _repartition_options(args: argparse.Namespace) -> dict:
+    """Strategy options derived from the repartitioning flags."""
+    options = {
+        "repartition": args.repartition,
+        "split_threshold": args.split_threshold,
+    }
+    if args.max_partition_rows is not None:
+        options["max_partition_rows"] = args.max_partition_rows
+    return options
+
+
+def _partition_flags_error(args: argparse.Namespace) -> Optional[str]:
+    """Validation message for the shared partition/update flags, or None."""
+    if args.partitions < 1:
+        return "--partitions must be >= 1"
+    if args.merge_batch < 1:
+        return "--merge-batch must be >= 1"
+    if args.split_threshold <= 1.0:
+        return "--split-threshold must be > 1.0"
+    if args.max_partition_rows is not None and args.max_partition_rows < 1:
+        return "--max-partition-rows must be >= 1"
+    return None
 
 
 def _command_strategies() -> int:
@@ -147,11 +217,9 @@ def _command_compare(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.partitions < 1:
-        print("--partitions must be >= 1", file=sys.stderr)
-        return 2
-    if args.merge_batch < 1:
-        print("--merge-batch must be >= 1", file=sys.stderr)
+    error = _partition_flags_error(args)
+    if error:
+        print(error, file=sys.stderr)
         return 2
     values = generate_column_data(args.rows, 0, 1_000_000, seed=args.seed)
     spec = WorkloadSpec(
@@ -163,10 +231,12 @@ def _command_compare(args: argparse.Namespace) -> int:
     )
     queries = make_workload(args.pattern, spec)
     harness = AdaptiveIndexingBenchmark(values, queries)
+    repartition_options = _repartition_options(args)
     options = {
         "partitioned-cracking": {
             "partitions": args.partitions,
             "parallel": args.parallel,
+            **repartition_options,
         },
         "updatable-cracking": {
             "policy": args.policy,
@@ -177,6 +247,7 @@ def _command_compare(args: argparse.Namespace) -> int:
             "parallel": args.parallel,
             "policy": args.policy,
             "merge_batch": args.merge_batch,
+            **repartition_options,
         },
     }
     result = harness.run(strategies, options=options)
@@ -197,6 +268,15 @@ def _command_compare(args: argparse.Namespace) -> int:
             f"full-index cost/query = {result.full_index_cost:,.0f}\n"
         )
         print(render_text_table(result))
+        structures = {
+            label: run.final_structure
+            for label, run in result.runs.items()
+            if run.final_structure and "partition" in run.final_structure
+        }
+        if structures:
+            print()
+            for label, structure in structures.items():
+                print(f"physical state [{label}]: {structure}")
     if args.series_csv:
         with open(args.series_csv, "w") as handle:
             handle.write(per_query_series_csv(result))
@@ -245,11 +325,9 @@ def _command_updates(args: argparse.Namespace) -> int:
     if args.updates_per_query < 0:
         print("--updates-per-query must be non-negative", file=sys.stderr)
         return 2
-    if args.partitions < 1:
-        print("--partitions must be >= 1", file=sys.stderr)
-        return 2
-    if args.merge_batch < 1:
-        print("--merge-batch must be >= 1", file=sys.stderr)
+    error = _partition_flags_error(args)
+    if error:
+        print(error, file=sys.stderr)
         return 2
     values = generate_column_data(args.rows, 0, 1_000_000, seed=args.seed)
     database = Database("updates-demo")
@@ -260,6 +338,7 @@ def _command_updates(args: argparse.Namespace) -> int:
             options.update(policy=args.policy, merge_batch=args.merge_batch)
         if args.strategy in ("partitioned-cracking", "partitioned-updatable-cracking"):
             options.update(partitions=args.partitions, parallel=args.parallel)
+            options.update(_repartition_options(args))
         database.set_indexing("data", "key", args.strategy, **options)
 
     spec = WorkloadSpec(
@@ -318,6 +397,13 @@ def _command_updates(args: argparse.Namespace) -> int:
     print(f"query wall-clock  : {query_seconds * 1e3:.1f} ms total")
     for record in database.physical_design_report():
         print(f"physical design   : {record['mode']} — {record['structure']}")
+    for record in database.rebalance_stats():
+        print(
+            f"repartitioning    : {record['partitions']} partitions, "
+            f"{record['splits']} splits, {record['merges']} merges, "
+            f"max/mean rows = {record['skew']:.2f} "
+            f"(repartition {'on' if record['repartition'] else 'off'})"
+        )
     return 0
 
 

@@ -59,12 +59,41 @@ class CrackedColumn:
         self.name = name or (column.name if isinstance(column, Column) else "")
         self.sort_threshold = int(sort_threshold)
         self._base = base
+        self._fragment = False
         self.values: Optional[np.ndarray] = None
         self.rowids: Optional[np.ndarray] = None
         self.index = CrackerIndex(len(base))
         self.queries_processed = 0
         if not lazy_copy:
             self._materialise(counters)
+
+    @classmethod
+    def from_fragment(
+        cls,
+        base: np.ndarray,
+        values: np.ndarray,
+        rowids: np.ndarray,
+        index: CrackerIndex,
+        sort_threshold: int = 0,
+        name: str = "",
+    ) -> "CrackedColumn":
+        """A cracked column over a *fragment* of ``base`` (repartitioning splits).
+
+        ``rowids`` are positions into ``base`` — not necessarily contiguous
+        or complete — and ``values`` must equal ``base[rowids]`` in cracker
+        order; ``index`` describes the fragment.  The fragment is
+        materialised from birth (its arrays were carved out of an already
+        materialised parent), and its length is the fragment's row count,
+        not ``len(base)``.
+        """
+        if len(values) != len(rowids) or index.size != len(values):
+            raise ValueError("fragment arrays and index sizes must agree")
+        fragment = cls(base, sort_threshold=sort_threshold, lazy_copy=True, name=name)
+        fragment._fragment = True
+        fragment.values = values
+        fragment.rowids = rowids
+        fragment.index = index
+        return fragment
 
     # -- materialisation ---------------------------------------------------------
 
@@ -84,7 +113,7 @@ class CrackedColumn:
             counters.record_allocation(self.values.nbytes + self.rowids.nbytes)
 
     def __len__(self) -> int:
-        return len(self._base)
+        return len(self.values) if self._fragment else len(self._base)
 
     @property
     def nbytes(self) -> int:
@@ -202,10 +231,18 @@ class CrackedColumn:
         self.index.check_invariants()
         if not self.materialised:
             return
-        assert len(self.values) == len(self._base)
-        # content preservation: same multiset of values, rowids a permutation
-        assert np.array_equal(np.sort(self.values), np.sort(self._base))
-        assert np.array_equal(np.sort(self.rowids), np.arange(len(self._base)))
+        if self._fragment:
+            # a fragment owns an arbitrary subset of the base rows: its
+            # rowids must be distinct and aligned, but they are neither
+            # contiguous nor a permutation of the whole base
+            assert len(np.unique(self.rowids)) == len(self.rowids), (
+                "fragment rowids contain duplicates"
+            )
+        else:
+            assert len(self.values) == len(self._base)
+            # content preservation: same multiset of values, rowids a permutation
+            assert np.array_equal(np.sort(self.values), np.sort(self._base))
+            assert np.array_equal(np.sort(self.rowids), np.arange(len(self._base)))
         # rowid alignment: values[i] == base[rowids[i]]
         assert np.array_equal(self.values, self._base[self.rowids])
         # piece bounds respected

@@ -13,9 +13,10 @@ Two merging policies are provided:
 * ``"ripple"`` — merge every qualifying pending update before answering
   (the default, complete-merge policy);
 * ``"gradual"`` — merge at most ``merge_batch`` pending updates *in total*
-  per query — inserts and deletes share the one budget, inserts served
-  first — and answer the remainder directly from the pending structures,
-  spreading the maintenance cost over more queries.
+  per query — inserts and deletes share the one budget and are served
+  round-robin, so neither class can starve the other — and answer the
+  remainder directly from the pending structures, spreading the
+  maintenance cost over more queries.
 
 Cost accounting follows the convention established for the cracking
 kernels: whenever the pending structures are non-empty, a query is charged
@@ -25,13 +26,13 @@ scan happens whether or not anything qualifies.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.columnstore.column import Column
 from repro.core.cracking.cracker_index import CrackerIndex
-from repro.core.cracking.crack_engine import crack_range
+from repro.core.cracking.crack_engine import crack_range, crack_value
 from repro.cost.counters import CostCounters
 
 
@@ -72,6 +73,11 @@ class UpdatableCrackedColumn:
         self.rowid_base = int(rowid_base)
 
         self._initial_size = len(base)
+        # None = original rows are the contiguous range
+        # [rowid_base, rowid_base + initial size); a repartitioning split
+        # scatters a fragment's original rows, so fragments carry them as an
+        # explicit set instead (see :meth:`split_at`)
+        self._original_rowids: Optional[set] = None
         self._next_rowid = self.rowid_base + len(base)
         # cracker column storage with spare capacity for ripple inserts
         capacity = max(16, int(len(base) * 1.2))
@@ -110,10 +116,15 @@ class UpdatableCrackedColumn:
         return self._rowids[: self._length]
 
     def __len__(self) -> int:
-        """Number of currently visible rows (merged + pending inserts)."""
-        return self._length + len(self._pending_insert_values) - sum(
-            1 for r in self._pending_delete_rowids if self._is_merged(r)
-        )
+        """Number of currently visible rows (merged + pending inserts).
+
+        Every queued delete targets a merged row (deleting a still-pending
+        insert cancels it instead), so the pending-delete count is exactly
+        the number of merged-but-deleted rows — O(1), which matters because
+        adaptive repartitioning polls partition sizes on every update.
+        """
+        return (self._length + len(self._pending_insert_values)
+                - len(self._pending_delete_rowids))
 
     @property
     def pending_inserts(self) -> int:
@@ -136,6 +147,8 @@ class UpdatableCrackedColumn:
 
     def _is_original(self, rowid: int) -> bool:
         """True when ``rowid`` identifies a row of the original column."""
+        if self._original_rowids is not None:
+            return rowid in self._original_rowids
         return self.rowid_base <= rowid < self.rowid_base + self._initial_size
 
     def _is_merged(self, rowid: int) -> bool:
@@ -242,6 +255,187 @@ class UpdatableCrackedColumn:
         self.check_insertable(new_value)
         self.delete(rowid, counters)
         return self.insert(new_value, counters)
+
+    # -- repartitioning support -----------------------------------------------------
+
+    @classmethod
+    def _from_parts(
+        cls,
+        values: np.ndarray,
+        rowids: np.ndarray,
+        original_rowids: Iterable[int],
+        index: CrackerIndex,
+        *,
+        policy: str,
+        merge_batch: int,
+        sort_threshold: int,
+        next_rowid: int,
+        pending_inserts: Sequence[Tuple[float, int]],
+        pending_deletes: Dict[int, float],
+        inserted_values: Dict[int, float],
+        merges_performed: int = 0,
+        name: str = "",
+    ) -> "UpdatableCrackedColumn":
+        """Build a column fragment from pre-cracked state (split/merge helper).
+
+        ``values``/``rowids`` are the merged cracker arrays (globally
+        numbered), ``original_rowids`` the subset of rowids that identify
+        original base rows, and ``index`` must describe exactly
+        ``len(values)`` elements.
+        """
+        if len(values) != len(rowids) or index.size != len(values):
+            raise ValueError("fragment arrays and index sizes must agree")
+        fragment = cls.__new__(cls)
+        fragment.name = name
+        fragment.policy = policy
+        fragment.merge_batch = int(merge_batch)
+        fragment.sort_threshold = int(sort_threshold)
+        fragment.rowid_base = 0
+        fragment._initial_size = 0
+        fragment._original_rowids = set(int(r) for r in original_rowids)
+        fragment._next_rowid = int(next_rowid)
+        capacity = max(16, int(len(values) * 1.2))
+        fragment._values = np.empty(capacity, dtype=values.dtype)
+        fragment._values[: len(values)] = values
+        fragment._rowids = np.empty(capacity, dtype=np.int64)
+        fragment._rowids[: len(rowids)] = rowids
+        fragment._length = len(values)
+        fragment.index = index
+        fragment._pending_insert_values = [float(v) for v, _ in pending_inserts]
+        fragment._pending_insert_rowids = [int(r) for _, r in pending_inserts]
+        fragment._pending_insert_rowid_set = set(fragment._pending_insert_rowids)
+        fragment._pending_delete_rowids = dict(pending_deletes)
+        fragment._inserted_values = dict(inserted_values)
+        fragment.queries_processed = 0
+        fragment.merges_performed = int(merges_performed)
+        return fragment
+
+    def _original_rowid_subset(self, rowids: np.ndarray) -> set:
+        """The original-row identifiers among ``rowids``."""
+        if self._original_rowids is not None:
+            return self._original_rowids.intersection(rowids.tolist())
+        mask = (rowids >= self.rowid_base) & (
+            rowids < self.rowid_base + self._initial_size
+        )
+        return set(rowids[mask].tolist())
+
+    def split_at(
+        self, pivot: float, counters: Optional[CostCounters] = None
+    ) -> Tuple["UpdatableCrackedColumn", "UpdatableCrackedColumn"]:
+        """Split into two independent columns around ``pivot``.
+
+        The merged region is cracked at ``pivot`` (values below it on the
+        left), the cracker index is cut at the resulting boundary, and every
+        pending insert/delete is routed to the side its value belongs to —
+        so the union of the two fragments is indistinguishable from the
+        parent: same visible rows, same rowids, same refinement.  The parent
+        must not be used afterwards.
+        """
+        pivot = float(pivot)
+        length = self._length
+        mid = crack_value(
+            self._values[:length], self._rowids[:length], self.index, pivot,
+            counters, sort_threshold=self.sort_threshold,
+        )
+        left_index, right_index = self.index.split_at_boundary(pivot)
+        left_values = self._values[:mid].copy()
+        left_rowids = self._rowids[:mid].copy()
+        right_values = self._values[mid:length].copy()
+        right_rowids = self._rowids[mid:length].copy()
+        if counters is not None:
+            # carving the two fragments out touches every merged element
+            counters.record_move(length)
+            counters.record_allocation(
+                left_values.nbytes + left_rowids.nbytes
+                + right_values.nbytes + right_rowids.nbytes
+            )
+            pending_total = (
+                len(self._pending_insert_values) + len(self._pending_delete_rowids)
+            )
+            if pending_total:
+                counters.record_comparisons(pending_total)
+        # pending updates and live inserted rows are routed by value, which
+        # matches the crack: merged rows with value < pivot sit on the left
+        left_pending_inserts, right_pending_inserts = [], []
+        for value, rowid in zip(self._pending_insert_values,
+                                self._pending_insert_rowids):
+            side = left_pending_inserts if value < pivot else right_pending_inserts
+            side.append((value, rowid))
+        left_pending_deletes = {
+            r: v for r, v in self._pending_delete_rowids.items() if v < pivot
+        }
+        right_pending_deletes = {
+            r: v for r, v in self._pending_delete_rowids.items() if v >= pivot
+        }
+        left_inserted = {
+            r: v for r, v in self._inserted_values.items() if v < pivot
+        }
+        right_inserted = {
+            r: v for r, v in self._inserted_values.items() if v >= pivot
+        }
+        common = dict(
+            policy=self.policy, merge_batch=self.merge_batch,
+            sort_threshold=self.sort_threshold, next_rowid=self._next_rowid,
+        )
+        left = UpdatableCrackedColumn._from_parts(
+            left_values, left_rowids, self._original_rowid_subset(left_rowids),
+            left_index, pending_inserts=left_pending_inserts,
+            pending_deletes=left_pending_deletes, inserted_values=left_inserted,
+            merges_performed=self.merges_performed,
+            name=f"{self.name}<{pivot}" if self.name else "", **common,
+        )
+        right = UpdatableCrackedColumn._from_parts(
+            right_values, right_rowids, self._original_rowid_subset(right_rowids),
+            right_index, pending_inserts=right_pending_inserts,
+            pending_deletes=right_pending_deletes, inserted_values=right_inserted,
+            name=f"{self.name}>={pivot}" if self.name else "", **common,
+        )
+        return left, right
+
+    @classmethod
+    def merged(
+        cls,
+        left: "UpdatableCrackedColumn",
+        right: "UpdatableCrackedColumn",
+        pivot: float,
+        counters: Optional[CostCounters] = None,
+    ) -> "UpdatableCrackedColumn":
+        """Concatenate two *value-disjoint* columns back into one.
+
+        Every value of ``left`` (merged or pending) must be strictly below
+        ``pivot`` and every value of ``right`` at or above it; the merged
+        column keeps one boundary at ``pivot`` (the per-side refinement is
+        deliberately dropped — merges target cold partitions, whose
+        refinement is no longer paying for itself).
+        """
+        pivot = float(pivot)
+        values = np.concatenate([left.values, right.values])
+        rowids = np.concatenate([left.rowids, right.rowids])
+        index = CrackerIndex(len(values))
+        if len(left.values) and len(right.values):
+            index.add_boundary(pivot, len(left.values))
+        if counters is not None:
+            counters.record_move(len(values))
+            counters.record_allocation(values.nbytes + rowids.nbytes)
+        original = left._original_rowid_subset(left.rowids)
+        original |= right._original_rowid_subset(right.rowids)
+        pending_inserts = list(
+            zip(left._pending_insert_values, left._pending_insert_rowids)
+        ) + list(zip(right._pending_insert_values, right._pending_insert_rowids))
+        pending_deletes = dict(left._pending_delete_rowids)
+        pending_deletes.update(right._pending_delete_rowids)
+        inserted = dict(left._inserted_values)
+        inserted.update(right._inserted_values)
+        return cls._from_parts(
+            values, rowids, original, index,
+            policy=left.policy, merge_batch=left.merge_batch,
+            sort_threshold=left.sort_threshold,
+            next_rowid=max(left._next_rowid, right._next_rowid),
+            pending_inserts=pending_inserts, pending_deletes=pending_deletes,
+            inserted_values=inserted,
+            merges_performed=left.merges_performed + right.merges_performed,
+            name=left.name or right.name,
+        )
 
     # -- ripple kernels -------------------------------------------------------------
 
@@ -353,8 +547,10 @@ class UpdatableCrackedColumn:
         under the gradual policy) so the caller can still answer correctly.
 
         Under the gradual policy one ``merge_batch`` budget is shared by
-        inserts and deletes (inserts are served first), so at most
-        ``merge_batch`` pending updates in total are merged per query.
+        inserts and deletes, served round-robin — at most ``merge_batch``
+        pending updates in total are merged per query, and a steady stream
+        of qualifying inserts cannot starve the pending deletes (or vice
+        versa), so both queues always drain.
         """
         pending_total = (
             len(self._pending_insert_values) + len(self._pending_delete_rowids)
@@ -369,39 +565,43 @@ class UpdatableCrackedColumn:
         if self.policy == "gradual":
             budget = self.merge_batch
 
+        work: List[Tuple[str, int]] = []
+        for position in range(max(len(insert_indices), len(delete_rowids))):
+            if position < len(insert_indices):
+                work.append(("insert", insert_indices[position]))
+            if position < len(delete_rowids):
+                work.append(("delete", delete_rowids[position]))
+
         merged_insert_indices = []
-        for pending_index in insert_indices:
+        remaining_deletes = []
+        for kind, item in work:
             if budget is not None and budget <= 0:
-                break
-            value = self._pending_insert_values[pending_index]
-            rowid = self._pending_insert_rowids[pending_index]
-            self._ripple_insert_one(value, rowid, counters)
-            merged_insert_indices.append(pending_index)
-            self.merges_performed += 1
+                if kind == "delete":
+                    remaining_deletes.append(item)
+                continue
+            if kind == "insert":
+                value = self._pending_insert_values[item]
+                rowid = self._pending_insert_rowids[item]
+                self._ripple_insert_one(value, rowid, counters)
+                merged_insert_indices.append(item)
+                self.merges_performed += 1
+            else:
+                value = self._pending_delete_rowids[item]
+                if not self._ripple_delete_one(item, value, counters):
+                    remaining_deletes.append(item)
+                    continue
+                del self._pending_delete_rowids[item]
+                # a merged delete of an inserted row removes the row for
+                # good: forget its value so the rowid becomes unknown (and
+                # the bookkeeping doesn't grow with every insert ever made)
+                self._inserted_values.pop(item, None)
+                self.merges_performed += 1
             if budget is not None:
                 budget -= 1
         for pending_index in sorted(merged_insert_indices, reverse=True):
             self._pending_insert_values.pop(pending_index)
             rowid = self._pending_insert_rowids.pop(pending_index)
             self._pending_insert_rowid_set.discard(rowid)
-
-        remaining_deletes = []
-        for rowid in delete_rowids:
-            if budget is not None and budget <= 0:
-                remaining_deletes.append(rowid)
-                continue
-            value = self._pending_delete_rowids[rowid]
-            if self._ripple_delete_one(rowid, value, counters):
-                del self._pending_delete_rowids[rowid]
-                # a merged delete of an inserted row removes the row for
-                # good: forget its value so the rowid becomes unknown (and
-                # the bookkeeping doesn't grow with every insert ever made)
-                self._inserted_values.pop(rowid, None)
-                self.merges_performed += 1
-                if budget is not None:
-                    budget -= 1
-            else:
-                remaining_deletes.append(rowid)
 
         unmerged_inserts = [
             i for i in range(len(self._pending_insert_values))

@@ -29,19 +29,44 @@ any query is the same set of positions, whatever ``partitions`` is.
 query/update workloads: every partition owns a private
 :class:`~repro.core.cracking.updates.UpdatableCrackedColumn` (with its own
 pending insert/delete queues, merged on demand by ripple movements), updates
-are routed to the owning partition — deletes by a binary search on the
-partition row ranges, inserts by the partition value bounds — and the
-partition bounds are widened whenever an insert lands outside them, so
+are routed to the owning partition — deletes by asking the partitions which
+one knows the rowid, inserts by the partition value bounds (best fit) — and
+the partition bounds are widened whenever an insert lands outside them, so
 bounds pruning never hides a pending update.  Row identifiers are assigned
 globally (original rows keep their base position, inserted rows receive
 fresh identifiers starting at the base length), so the partitioned column
 returns exactly the rowid sets an unpartitioned
 :class:`~repro.core.cracking.updates.UpdatableCrackedColumn` would return.
+
+Adaptive repartitioning
+-----------------------
+
+With ``repartition=True`` both partitioned columns monitor per-partition
+load and reorganise the partitioning itself, in the same adaptive
+philosophy as cracking: physical reorganisation happens only where, and
+when, the workload proves it worthwhile.
+
+* The *updatable* column tracks per-partition row counts (merged plus
+  pending).  When a partition exceeds ``max_partition_rows`` — or, with
+  more than one partition, ``split_threshold`` times the mean partition
+  size — it is split at a crack boundary near its middle (or at the median
+  value when no useful boundary exists), so a skewed insert stream cannot
+  bloat one partition and degenerate the parallel fan-out to a single
+  worker.  Conversely, partitions drained by deletes are merged back into a
+  value-adjacent sibling once their combined size drops below the mean.
+* The *read-only* column tracks per-partition visit counts.  A partition
+  absorbing more than ``split_threshold`` times the mean visits (a zoom-in
+  query stream) is split the same way, rebalancing future crack work.
+
+Splits cut the cracker arrays at an existing crack boundary, route pending
+updates by value, and keep global rowids untouched, so answers stay
+bit-identical to the unpartitioned column — repartitioning changes load
+spread, never results.  Split and merge counts are exposed as
+:attr:`partition_splits` / :attr:`partition_merges`.
 """
 
 from __future__ import annotations
 
-import bisect
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -49,7 +74,7 @@ import numpy as np
 
 from repro.columnstore.column import Column
 from repro.core.cracking.cracked_column import CrackedColumn
-from repro.core.cracking.cracker_index import Piece
+from repro.core.cracking.cracker_index import CrackerIndex, Piece
 from repro.core.cracking.updates import UpdatableCrackedColumn
 from repro.cost.counters import CostCounters
 
@@ -60,6 +85,12 @@ __all__ = [
     "UpdatableColumnPartition",
     "partition_bounds",
 ]
+
+#: a partition must have been visited this often before query-skew splits it
+_MIN_SPLIT_VISITS = 8
+
+#: safety bound on splits performed per trigger check
+_MAX_SPLITS_PER_CHECK = 8
 
 
 def partition_bounds(size: int, partitions: int) -> List[Tuple[int, int]]:
@@ -82,6 +113,50 @@ def partition_bounds(size: int, partitions: int) -> List[Tuple[int, int]]:
     return bounds
 
 
+def _updatable_content_bounds(
+    column: UpdatableCrackedColumn,
+) -> Tuple[Optional[float], Optional[float]]:
+    """Exact min/max over a column's merged values and pending inserts."""
+    lows, highs = [], []
+    if len(column.values):
+        lows.append(float(column.values.min()))
+        highs.append(float(column.values.max()))
+    if column._pending_insert_values:
+        lows.append(min(column._pending_insert_values))
+        highs.append(max(column._pending_insert_values))
+    if not lows:
+        return None, None
+    return min(lows), max(highs)
+
+
+def _choose_split_pivot(values: np.ndarray, index: CrackerIndex) -> Optional[float]:
+    """A pivot that splits ``values`` into two non-empty halves, or None.
+
+    Prefers the existing crack boundary closest to the middle (free: no
+    data movement beyond the cut), falling back to the median value when the
+    partition has not been cracked in its interior yet.  Returns None when
+    every element is equal (nothing can split the partition).
+    """
+    length = len(values)
+    if length < 2:
+        return None
+    interior = [
+        (abs(position - length / 2), value)
+        for value, position in zip(index.boundary_values, index.boundary_positions)
+        if 0 < position < length
+    ]
+    if interior:
+        return min(interior)[1]
+    low = float(values.min())
+    high = float(values.max())
+    if low == high:
+        return None
+    pivot = float(np.median(values))
+    if pivot <= low:
+        pivot = float(values[values > low].min())
+    return pivot
+
+
 class ColumnPartition:
     """One contiguous shard of a partitioned cracked column.
 
@@ -91,10 +166,16 @@ class ColumnPartition:
     value bounds (min/max of its slice) are computed the first time the
     partition is visited and charged to that query's counters, mirroring how
     the lazy cracker-column copy charges the first query.
+
+    After an adaptive-repartitioning split a partition becomes a *fragment*:
+    it owns an arbitrary value-contiguous subset of its parent's rows,
+    still expressed in the parent slice's coordinates (``start`` keeps
+    shifting local rowids to base positions), with exact value bounds set at
+    split time.
     """
 
     __slots__ = ("start", "end", "cracked", "_base_slice", "min_value", "max_value",
-                 "_bounds_known")
+                 "_bounds_known", "visits")
 
     def __init__(self, base_slice: np.ndarray, start: int, sort_threshold: int = 0,
                  name: str = "") -> None:
@@ -107,9 +188,42 @@ class ColumnPartition:
         self.min_value: Optional[float] = None
         self.max_value: Optional[float] = None
         self._bounds_known = False
+        self.visits = 0
+
+    @classmethod
+    def _fragment(
+        cls,
+        base_slice: np.ndarray,
+        start: int,
+        end: int,
+        values: np.ndarray,
+        rowids: np.ndarray,
+        index: CrackerIndex,
+        bounds: Tuple[Optional[float], Optional[float]],
+        sort_threshold: int = 0,
+        name: str = "",
+    ) -> "ColumnPartition":
+        """A partition over a pre-cracked fragment of ``base_slice`` (splits)."""
+        partition = cls.__new__(cls)
+        partition.start = int(start)
+        partition.end = int(end)
+        partition._base_slice = base_slice
+        partition.cracked = CrackedColumn.from_fragment(
+            base_slice, values, rowids, index,
+            sort_threshold=sort_threshold, name=name,
+        )
+        partition.min_value, partition.max_value = bounds
+        partition._bounds_known = True
+        partition.visits = 0
+        return partition
 
     def __len__(self) -> int:
-        return self.end - self.start
+        return len(self.cracked)
+
+    @property
+    def is_fragment(self) -> bool:
+        """True when this partition was produced by a repartitioning split."""
+        return self.cracked._fragment
 
     def _ensure_bounds(self, counters: Optional[CostCounters]) -> None:
         """Learn the partition's value range (one scan, charged once)."""
@@ -126,9 +240,9 @@ class ColumnPartition:
     def overlaps(self, low: Optional[float], high: Optional[float],
                  counters: Optional[CostCounters]) -> bool:
         """True when ``[low, high)`` can contain values of this partition."""
-        if len(self._base_slice) == 0:
-            return False
         self._ensure_bounds(counters)
+        if self.min_value is None:
+            return False
         if low is not None and self.max_value < low:
             return False
         if high is not None and self.min_value >= high:
@@ -148,6 +262,75 @@ class ColumnPartition:
     def count(self, low: Optional[float], high: Optional[float],
               counters: Optional[CostCounters]) -> int:
         return self.cracked.count(low, high, counters)
+
+    def load(self) -> dict:
+        """Per-partition load summary (rows, visits, pieces)."""
+        return {
+            "rows": len(self),
+            "visits": self.visits,
+            "pieces": self.cracked.piece_count,
+        }
+
+    def split(
+        self, counters: Optional[CostCounters]
+    ) -> Optional[Tuple["ColumnPartition", "ColumnPartition"]]:
+        """Split into two partitions; None when no useful pivot exists.
+
+        An unmaterialised partition is split by row range (two contiguous
+        sub-slices, nothing to move); a materialised one is cut at a crack
+        boundary near its middle, producing two fragments with disjoint
+        value bounds and unchanged global rowids.
+        """
+        sort_threshold = self.cracked.sort_threshold
+        name = self.cracked.name
+        if not self.cracked.materialised:
+            size = len(self._base_slice)
+            if size < 2:
+                return None
+            mid = size // 2
+            left = ColumnPartition(
+                self._base_slice[:mid], self.start,
+                sort_threshold=sort_threshold, name=name,
+            )
+            right = ColumnPartition(
+                self._base_slice[mid:], self.start + mid,
+                sort_threshold=sort_threshold, name=name,
+            )
+            return left, right
+        values = self.cracked.values
+        length = len(values)
+        pivot = _choose_split_pivot(values, self.cracked.index)
+        if pivot is None:
+            return None
+        mid = self.cracked.crack_at(pivot, counters)
+        if not 0 < mid < length:
+            return None
+        left_index, right_index = self.cracked.index.split_at_boundary(pivot)
+        left_values = values[:mid].copy()
+        left_rowids = self.cracked.rowids[:mid].copy()
+        right_values = values[mid:].copy()
+        right_rowids = self.cracked.rowids[mid:].copy()
+        if counters is not None:
+            counters.record_move(length)
+            counters.record_scan(length)  # exact bounds of both fragments
+            counters.record_comparisons(2 * length)
+            counters.record_allocation(
+                left_values.nbytes + left_rowids.nbytes
+                + right_values.nbytes + right_rowids.nbytes
+            )
+        left = ColumnPartition._fragment(
+            self._base_slice, self.start, self.end,
+            left_values, left_rowids, left_index,
+            (float(left_values.min()), float(left_values.max())),
+            sort_threshold=sort_threshold, name=name,
+        )
+        right = ColumnPartition._fragment(
+            self._base_slice, self.start, self.end,
+            right_values, right_rowids, right_index,
+            (float(right_values.min()), float(right_values.max())),
+            sort_threshold=sort_threshold, name=name,
+        )
+        return left, right
 
 
 class _PartitionedFanOut:
@@ -188,6 +371,20 @@ class _PartitionedFanOut:
         except Exception:
             pass
 
+    @staticmethod
+    def _validate_repartition_options(
+        repartition: bool,
+        max_partition_rows: Optional[int],
+        split_threshold: float,
+    ) -> Tuple[bool, Optional[int], float]:
+        if max_partition_rows is not None and max_partition_rows < 1:
+            raise ValueError("max_partition_rows must be >= 1")
+        if split_threshold <= 1.0:
+            raise ValueError("split_threshold must be > 1.0")
+        return bool(repartition), (
+            None if max_partition_rows is None else int(max_partition_rows)
+        ), float(split_threshold)
+
     def _fan_out(
         self,
         targets: Sequence[object],
@@ -220,6 +417,40 @@ class _PartitionedFanOut:
                 counters += private
         return results
 
+    def _check_partition_layout(self, base_size: int) -> None:
+        """Shared layout invariants: ordered, covering row ranges and
+        value-disjoint bounds between partitions with overlapping ranges."""
+        partitions = self._partitions
+        covered = np.zeros(base_size, dtype=bool)
+        for partition in partitions:
+            assert 0 <= partition.start <= partition.end <= base_size, (
+                f"row range [{partition.start}:{partition.end}) outside the base"
+            )
+            covered[partition.start:partition.end] = True
+        assert covered.all() or base_size == 0, (
+            "partition row ranges do not cover the base column"
+        )
+        for left, right in zip(partitions, partitions[1:]):
+            assert left.start <= right.start, (
+                "partitions are not ordered by row-range start"
+            )
+            ranges_overlap = (left.start < right.end and right.start < left.end)
+            if not ranges_overlap:
+                continue
+            # partitions sharing rows of the base (split descendants) must
+            # cover disjoint value ranges, in list order
+            left_high = getattr(left, "max_value", None)
+            right_low = getattr(right, "min_value", None)
+            if hasattr(left, "effective_bounds"):
+                left_high = left.effective_bounds[1]
+                right_low = right.effective_bounds[0]
+            if left_high is None or right_low is None:
+                continue
+            assert left_high < right_low, (
+                f"split siblings have overlapping value bounds: "
+                f"{left_high} !< {right_low}"
+            )
+
 
 class PartitionedCrackedColumn(_PartitionedFanOut):
     """A column sharded into contiguous partitions, each cracked independently.
@@ -235,10 +466,19 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
         When True, queries overlapping more than one partition fan out over a
         thread pool; each worker gets private counters that are merged into
         the caller's counters afterwards.  Answers are identical either way.
+    repartition:
+        Enable adaptive repartitioning: partitions absorbing a skewed share
+        of the visits (or exceeding ``max_partition_rows``) are split at a
+        crack boundary.  Answers are identical either way.
+    max_partition_rows:
+        Hard per-partition row cap enforced by repartitioning (None = no cap).
+    split_threshold:
+        Relative skew trigger (> 1.0): a partition visited more than
+        ``split_threshold`` times the mean is split.
     sort_threshold:
         Forwarded to every partition's :class:`CrackedColumn`.
     max_workers:
-        Thread-pool size (defaults to the partition count).
+        Thread-pool size (defaults to the initial partition count).
     """
 
     def __init__(
@@ -246,6 +486,9 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
         column: Union[Column, np.ndarray],
         partitions: int = 4,
         parallel: bool = False,
+        repartition: bool = False,
+        max_partition_rows: Optional[int] = None,
+        split_threshold: float = 2.0,
         sort_threshold: int = 0,
         max_workers: Optional[int] = None,
         name: str = "",
@@ -256,8 +499,14 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
         self.name = name or (column.name if isinstance(column, Column) else "")
         self._base = base
         self.parallel = bool(parallel)
+        (self.repartition, self.max_partition_rows,
+         self.split_threshold) = self._validate_repartition_options(
+            repartition, max_partition_rows, split_threshold
+        )
         self.sort_threshold = int(sort_threshold)
         self.queries_processed = 0
+        self.partition_splits = 0
+        self.partition_merges = 0
         self._partitions: List[ColumnPartition] = [
             ColumnPartition(base[start:end], start, sort_threshold=sort_threshold,
                             name=f"{self.name}[{start}:{end}]" if self.name else "")
@@ -296,7 +545,12 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
         return any(p.cracked.materialised for p in self._partitions)
 
     def pieces(self) -> List[Piece]:
-        """All pieces across partitions, positions shifted to base coordinates."""
+        """All pieces across partitions, positions shifted to base coordinates.
+
+        After repartitioning splits, fragments of one parent share the
+        parent's coordinate frame, so their piece positions describe
+        per-partition regions rather than one global tiling.
+        """
         result: List[Piece] = []
         for partition in self._partitions:
             for piece in partition.cracked.pieces():
@@ -310,6 +564,56 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
                     )
                 )
         return result
+
+    # -- adaptive repartitioning -----------------------------------------------
+
+    def partition_loads(self) -> List[dict]:
+        """Per-partition load summaries, left to right."""
+        return [p.load() for p in self._partitions]
+
+    def _split_candidate(self) -> Optional[int]:
+        """Index of the partition most in need of a split, or None."""
+        partitions = self._partitions
+        count = len(partitions)
+        sizes = [len(p) for p in partitions]
+        if self.max_partition_rows is not None:
+            over = [
+                (sizes[i], i) for i in range(count)
+                if sizes[i] > self.max_partition_rows and sizes[i] >= 2
+            ]
+            if over:
+                return max(over)[1]
+        if count > 1:
+            mean_rows = sum(sizes) / count
+            visits = [p.visits for p in partitions]
+            mean_visits = sum(visits) / count
+            hot = [
+                (visits[i], i) for i in range(count)
+                if sizes[i] >= 2
+                and visits[i] >= _MIN_SPLIT_VISITS
+                and visits[i] > self.split_threshold * mean_visits
+                and sizes[i] * self.split_threshold >= mean_rows
+            ]
+            if hot:
+                return max(hot)[1]
+        return None
+
+    def _maybe_rebalance(self, counters: Optional[CostCounters]) -> None:
+        """Split skewed partitions (bounded work per call; main thread only)."""
+        if not self.repartition:
+            return
+        for _ in range(_MAX_SPLITS_PER_CHECK):
+            candidate = self._split_candidate()
+            if candidate is None:
+                return
+            parent = self._partitions[candidate]
+            children = parent.split(counters)
+            if children is None:
+                return
+            left, right = children
+            left.visits = right.visits = parent.visits // 2
+            self._partitions[candidate:candidate + 1] = [left, right]
+            self.partition_splits += 1
 
     # -- the adaptive select operator -----------------------------------------
 
@@ -329,7 +633,10 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
         whole-column :class:`CrackedColumn` would return.
         """
         self.queries_processed += 1
+        self._maybe_rebalance(counters)
         targets = [p for p in self._partitions if p.overlaps(low, high, counters)]
+        for target in targets:
+            target.visits += 1
         if not targets:
             return np.empty(0, dtype=np.int64)
         chunks = self._fan_out(targets, "search", low, high, counters, parallel)
@@ -346,7 +653,10 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
     ) -> np.ndarray:
         """Qualifying *values* rather than base positions (cracks as a side effect)."""
         self.queries_processed += 1
+        self._maybe_rebalance(counters)
         targets = [p for p in self._partitions if p.overlaps(low, high, counters)]
+        for target in targets:
+            target.visits += 1
         if not targets:
             return np.empty(0, dtype=self._base.dtype)
         chunks = self._fan_out(targets, "search_values", low, high, counters, parallel)
@@ -363,7 +673,10 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
     ) -> int:
         """Number of qualifying rows (cracks as a side effect)."""
         self.queries_processed += 1
+        self._maybe_rebalance(counters)
         targets = [p for p in self._partitions if p.overlaps(low, high, counters)]
+        for target in targets:
+            target.visits += 1
         if not targets:
             return 0
         return int(sum(self._fan_out(targets, "count", low, high, counters, parallel)))
@@ -375,46 +688,46 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
         return all(p.cracked.is_fully_sorted() for p in self._partitions)
 
     def check_invariants(self) -> None:
-        """Per-partition invariants plus global multiset/rowid alignment."""
+        """Per-partition invariants plus global rowid/layout consistency."""
         for partition in self._partitions:
             partition.cracked.check_invariants()
-        # partitions tile the base column exactly
-        expected_start = 0
+        self._check_partition_layout(len(self._base))
+        # global rowid consistency: every base position is owned by exactly
+        # one partition (materialised partitions contribute their cracker
+        # rowids shifted to base coordinates, pristine ones their row range)
+        chunks = []
         for partition in self._partitions:
-            assert partition.start == expected_start, (
-                f"partition starts at {partition.start}, expected {expected_start}"
-            )
-            expected_start = partition.end
-        assert expected_start == len(self._base)
-        materialised = [p for p in self._partitions if p.cracked.materialised]
-        if not materialised:
-            return
-        # global rowid alignment: every materialised partition's rowids map
-        # its cracker values back to the base column at the global offset
-        for partition in materialised:
-            global_rowids = partition.cracked.rowids + partition.start
-            assert np.array_equal(
-                partition.cracked.values, self._base[global_rowids]
-            ), f"partition [{partition.start}:{partition.end}) misaligned with base"
-        if len(materialised) == len(self._partitions):
-            all_rowids = np.concatenate(
-                [p.cracked.rowids + p.start for p in self._partitions]
-            )
-            assert np.array_equal(
-                np.sort(all_rowids), np.arange(len(self._base))
-            ), "global rowids are not a permutation of the base positions"
-            all_values = np.concatenate([p.cracked.values for p in self._partitions])
-            assert np.array_equal(
-                np.sort(all_values), np.sort(self._base)
-            ), "global multiset of values not preserved"
+            if partition.cracked.materialised:
+                global_rowids = partition.cracked.rowids + partition.start
+                assert np.array_equal(
+                    partition.cracked.values, self._base[global_rowids]
+                ), (
+                    f"partition [{partition.start}:{partition.end}) "
+                    f"misaligned with base"
+                )
+                chunks.append(global_rowids)
+            else:
+                chunks.append(
+                    np.arange(partition.start, partition.end, dtype=np.int64)
+                )
+        all_rowids = np.concatenate(chunks) if chunks else np.empty(0, np.int64)
+        assert np.array_equal(
+            np.sort(all_rowids), np.arange(len(self._base))
+        ), "global rowids are not a permutation of the base positions"
 
     @property
     def structure_description(self) -> str:
         cracked = sum(1 for p in self._partitions if p.cracked.materialised)
-        return (
+        description = (
             f"partitioned cracking: {self.partition_count} partitions "
             f"({cracked} touched), {self.piece_count} pieces"
         )
+        if self.repartition:
+            description += (
+                f", {self.partition_splits} splits/"
+                f"{self.partition_merges} merges"
+            )
+        return description
 
 
 class UpdatableColumnPartition:
@@ -428,6 +741,11 @@ class UpdatableColumnPartition:
     inserted into the partition.  Bounds are never narrowed — deleting the
     extreme value leaves them stale-wide, which only costs a spurious visit,
     never a missed row.
+
+    After an adaptive-repartitioning split a partition becomes a *fragment*
+    with exact bounds over an arbitrary subset of its parent's rows (the
+    underlying column carries its original rowids as an explicit set); it
+    behaves identically otherwise.
     """
 
     __slots__ = ("start", "end", "updatable", "_base_slice", "min_value",
@@ -449,9 +767,34 @@ class UpdatableColumnPartition:
         self._extra_min: Optional[float] = None
         self._extra_max: Optional[float] = None
 
+    @classmethod
+    def _fragment(
+        cls,
+        start: int,
+        end: int,
+        updatable: UpdatableCrackedColumn,
+        bounds: Tuple[Optional[float], Optional[float]],
+    ) -> "UpdatableColumnPartition":
+        """A partition wrapping a pre-split updatable column fragment."""
+        partition = cls.__new__(cls)
+        partition.start = int(start)
+        partition.end = int(end)
+        partition._base_slice = np.empty(0, dtype=updatable.values.dtype)
+        partition.updatable = updatable
+        partition.min_value, partition.max_value = bounds
+        partition._bounds_known = True
+        partition._extra_min = None
+        partition._extra_max = None
+        return partition
+
     def __len__(self) -> int:
         """Number of currently visible rows in this partition."""
         return len(self.updatable)
+
+    @property
+    def is_fragment(self) -> bool:
+        """True when this partition was produced by a split or a merge."""
+        return self.updatable._original_rowids is not None
 
     def _ensure_bounds(self, counters: Optional[CostCounters]) -> None:
         """Learn the base slice's value range (one scan, charged once)."""
@@ -477,11 +820,14 @@ class UpdatableColumnPartition:
         low, high = self.effective_bounds
         return low is not None and low <= value <= high
 
+    def bounds_span(self) -> Optional[float]:
+        """Width of the known bounds (None while no bounds are known)."""
+        low, high = self.effective_bounds
+        return None if low is None else high - low
+
     def overlaps(self, low: Optional[float], high: Optional[float],
                  counters: Optional[CostCounters]) -> bool:
         """True when ``[low, high)`` can contain visible values of this partition."""
-        if len(self._base_slice) == 0 and self._extra_min is None:
-            return False
         self._ensure_bounds(counters)
         bound_low, bound_high = self.effective_bounds
         if bound_low is None:
@@ -515,6 +861,46 @@ class UpdatableColumnPartition:
         """Global rowids of visible qualifying rows inside this partition."""
         return self.updatable.search(low, high, counters)
 
+    def load(self) -> dict:
+        """Per-partition load summary (rows, pending depth, queries)."""
+        return {
+            "rows": len(self),
+            "pending": (self.updatable.pending_inserts
+                        + self.updatable.pending_deletes),
+            "queries": self.updatable.queries_processed,
+            "pieces": self.updatable.piece_count,
+        }
+
+    def split(
+        self, counters: Optional[CostCounters]
+    ) -> Optional[Tuple["UpdatableColumnPartition", "UpdatableColumnPartition"]]:
+        """Split into two partitions; None when no useful pivot exists.
+
+        The pivot is an existing crack boundary near the middle of the
+        merged region (or the median value); pending updates follow their
+        value's side.  Both fragments receive exact value bounds, so bounds
+        pruning and insert routing stay tight after the split.
+        """
+        updatable = self.updatable
+        pivot = _choose_split_pivot(updatable.values, updatable.index)
+        if pivot is None:
+            return None
+        left_column, right_column = updatable.split_at(pivot, counters)
+        if counters is not None:
+            # exact bounds of both fragments cost one scan of their content
+            total = len(left_column.values) + len(right_column.values)
+            counters.record_scan(total)
+            counters.record_comparisons(2 * total)
+        left = UpdatableColumnPartition._fragment(
+            self.start, self.end, left_column,
+            _updatable_content_bounds(left_column),
+        )
+        right = UpdatableColumnPartition._fragment(
+            self.start, self.end, right_column,
+            _updatable_content_bounds(right_column),
+        )
+        return left, right
+
 
 class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
     """Partitioned cracking with first-class inserts, deletes and updates.
@@ -530,6 +916,18 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
         a thread pool; per-partition merges only touch partition-private
         state, so the fan-out is race-free and answers (and logical costs)
         are identical to the sequential run.
+    repartition:
+        Enable adaptive repartitioning: a partition bloated by a skewed
+        insert stream is split at a crack boundary, and partitions drained
+        by deletes are merged back into a value-adjacent sibling.  Answers
+        are identical either way — repartitioning only changes load spread.
+    max_partition_rows:
+        Hard per-partition row cap enforced by repartitioning (None = no
+        cap; with more than one partition the relative ``split_threshold``
+        trigger applies as well).
+    split_threshold:
+        Relative skew trigger (> 1.0): a partition holding more than
+        ``split_threshold`` times the mean partition row count is split.
     policy / merge_batch:
         Pending-update merge policy of every partition — see
         :class:`~repro.core.cracking.updates.UpdatableCrackedColumn`.  Under
@@ -538,13 +936,12 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
     sort_threshold / max_workers:
         As in :class:`PartitionedCrackedColumn`.
 
-    Updates are routed to the owning partition: deletes of original rows by
-    a binary search on the partition row ranges, deletes of inserted rows by
-    asking the partitions which one knows the rowid, and inserts to the
-    leftmost partition whose value bounds contain the value (falling back to
-    the nearest partition by value distance, then to the last partition
-    while no bounds are known).  Routing never affects answers — rowids are
-    global — only load spread.
+    Updates are routed to the owning partition: deletes by asking the
+    partitions which one knows the rowid, and inserts to the *best-fit*
+    partition — the one with the tightest value bounds containing the value
+    (falling back to the nearest partition by value distance, then to the
+    last partition while no bounds are known).  Routing never affects
+    answers — rowids are global — only load spread.
     """
 
     def __init__(
@@ -552,6 +949,9 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
         column: Union[Column, np.ndarray],
         partitions: int = 4,
         parallel: bool = False,
+        repartition: bool = False,
+        max_partition_rows: Optional[int] = None,
+        split_threshold: float = 2.0,
         policy: str = "ripple",
         merge_batch: int = 16,
         sort_threshold: int = 0,
@@ -564,10 +964,16 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
         self.name = name or (column.name if isinstance(column, Column) else "")
         self._base = base
         self.parallel = bool(parallel)
+        (self.repartition, self.max_partition_rows,
+         self.split_threshold) = self._validate_repartition_options(
+            repartition, max_partition_rows, split_threshold
+        )
         self.policy = policy
         self.merge_batch = int(merge_batch)
         self.sort_threshold = int(sort_threshold)
         self.queries_processed = 0
+        self.partition_splits = 0
+        self.partition_merges = 0
         self._partitions: List[UpdatableColumnPartition] = [
             UpdatableColumnPartition(
                 base[start:end], start, policy=policy, merge_batch=merge_batch,
@@ -576,7 +982,6 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
             )
             for start, end in partition_bounds(len(base), partitions)
         ]
-        self._starts = [p.start for p in self._partitions]
         self._next_rowid = len(base)
         self._max_workers = max_workers or len(self._partitions)
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -623,14 +1028,29 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
         """The identifier the next insert will receive."""
         return self._next_rowid
 
+    def partition_loads(self) -> List[dict]:
+        """Per-partition load summaries, left to right."""
+        return [p.load() for p in self._partitions]
+
     # -- update routing ---------------------------------------------------------
 
     def _route_insert(self, value: float) -> UpdatableColumnPartition:
-        """The partition that should absorb an insert of ``value``."""
+        """The partition that should absorb an insert of ``value``.
+
+        Best fit: among the partitions whose known bounds contain the value,
+        the one with the *tightest* bounds — after a split, the fragment
+        actually covering the hot range, not merely the leftmost partition
+        whose (possibly stale-wide) bounds happen to contain it.
+        """
+        best: Optional[UpdatableColumnPartition] = None
+        best_span: Optional[float] = None
         for partition in self._partitions:
             if partition.contains_value(value):
-                return partition
-        best: Optional[UpdatableColumnPartition] = None
+                span = partition.bounds_span()
+                if best_span is None or span < best_span:
+                    best, best_span = partition, span
+        if best is not None:
+            return best
         best_distance: Optional[float] = None
         for partition in self._partitions:
             low, high = partition.effective_bounds
@@ -644,17 +1064,96 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
     def _owning_partition(self, rowid: int) -> UpdatableColumnPartition:
         """The partition owning ``rowid``.
 
-        Original rows are found by a binary search on the partition row
-        ranges; inserted rows by asking each partition (the partition count
-        is small, and keeping no global insert registry means fully removed
-        rows leave no state behind).
+        Every partition can answer ownership in O(1) for original rows
+        (range or set membership) and for inserted rows (its insert
+        registry), so the lookup is a short scan over the partition list;
+        fully removed rows are unknown everywhere and raise ``KeyError``,
+        matching the unpartitioned column.
         """
-        if 0 <= rowid < len(self._base):
-            return self._partitions[bisect.bisect_right(self._starts, rowid) - 1]
         for partition in self._partitions:
             if partition.updatable.knows_rowid(rowid):
                 return partition
         raise KeyError(f"unknown row identifier {rowid}")
+
+    # -- adaptive repartitioning -------------------------------------------------
+
+    def _split_candidate(self) -> Optional[int]:
+        """Index of the partition most in need of a split, or None."""
+        partitions = self._partitions
+        count = len(partitions)
+        sizes = [len(p) for p in partitions]
+        if self.max_partition_rows is not None:
+            over = [
+                (sizes[i], i) for i in range(count)
+                if sizes[i] > self.max_partition_rows and sizes[i] >= 2
+            ]
+            if over:
+                return max(over)[1]
+        if count > 1:
+            mean_rows = sum(sizes) / count
+            big = [
+                (sizes[i], i) for i in range(count)
+                if sizes[i] >= 2 and sizes[i] > self.split_threshold * mean_rows
+            ]
+            if big:
+                return max(big)[1]
+        return None
+
+    def _maybe_split(self, counters: Optional[CostCounters]) -> None:
+        """Split skewed partitions (bounded work per call; main thread only)."""
+        if not self.repartition:
+            return
+        for _ in range(_MAX_SPLITS_PER_CHECK):
+            candidate = self._split_candidate()
+            if candidate is None:
+                return
+            children = self._partitions[candidate].split(counters)
+            if children is None:
+                return
+            self._partitions[candidate:candidate + 1] = list(children)
+            self.partition_splits += 1
+
+    def _maybe_merge(self, counters: Optional[CostCounters]) -> None:
+        """Merge one pair of cold, value-adjacent partitions (main thread only).
+
+        Candidates are adjacent partitions whose combined visible rows have
+        dropped below the mean partition size and whose known value ranges
+        are provably disjoint (split descendants; a partition that never
+        held any value merges with either neighbour).  Conservative on
+        purpose: stale-wide bounds or unlearned bounds skip the merge, which
+        costs balance, never correctness.
+        """
+        if not self.repartition or len(self._partitions) < 2:
+            return
+        sizes = [len(p) for p in self._partitions]
+        mean_rows = sum(sizes) / len(sizes)
+        for i in range(len(self._partitions) - 1):
+            left, right = self._partitions[i], self._partitions[i + 1]
+            if sizes[i] + sizes[i + 1] > mean_rows:
+                continue
+            if not left._bounds_known or not right._bounds_known:
+                continue
+            left_low, left_high = left.effective_bounds
+            right_low, right_high = right.effective_bounds
+            if left_low is not None and right_low is not None:
+                if left_high >= right_low:
+                    continue
+                pivot = right_low
+            else:
+                # one side never held a value: nothing constrains the merge
+                pivot = right_low if right_low is not None else 0.0
+            merged_column = UpdatableCrackedColumn.merged(
+                left.updatable, right.updatable, pivot, counters
+            )
+            lows = [b for b in (left_low, right_low) if b is not None]
+            highs = [b for b in (left_high, right_high) if b is not None]
+            merged = UpdatableColumnPartition._fragment(
+                left.start, max(left.end, right.end), merged_column,
+                (min(lows) if lows else None, max(highs) if highs else None),
+            )
+            self._partitions[i:i + 2] = [merged]
+            self.partition_merges += 1
+            return
 
     # -- updates ----------------------------------------------------------------
 
@@ -663,11 +1162,13 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
         partition = self._route_insert(float(value))
         rowid = partition.insert(value, counters, self._next_rowid)
         self._next_rowid += 1
+        self._maybe_split(counters)
         return rowid
 
     def delete(self, rowid: int, counters: Optional[CostCounters] = None) -> None:
         """Queue the deletion of the row identified by (global) ``rowid``."""
         self._owning_partition(rowid).delete(rowid, counters)
+        self._maybe_merge(counters)
 
     def update(self, rowid: int, new_value: float,
                counters: Optional[CostCounters] = None) -> int:
@@ -716,13 +1217,7 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
         """Per-partition invariants plus global rowid consistency (tests)."""
         for partition in self._partitions:
             partition.updatable.check_invariants()
-        expected_start = 0
-        for partition in self._partitions:
-            assert partition.start == expected_start, (
-                f"partition starts at {partition.start}, expected {expected_start}"
-            )
-            expected_start = partition.end
-        assert expected_start == len(self._base)
+        self._check_partition_layout(len(self._base))
         seen: set = set()
         for partition in self._partitions:
             merged = partition.updatable.rowids.tolist()
@@ -732,7 +1227,7 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
                 if original:
                     assert partition.start <= rowid < partition.end, (
                         f"original row {rowid} merged outside its partition "
-                        f"[{partition.start}:{partition.end})"
+                        f"row range [{partition.start}:{partition.end})"
                     )
                 else:
                     assert partition.updatable.knows_rowid(rowid), (
@@ -742,11 +1237,32 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
             for rowid in list(merged) + list(pending):
                 assert rowid not in seen, f"row {rowid} appears in two partitions"
                 seen.add(rowid)
+            # everything a partition holds stays within its known bounds
+            if partition._bounds_known:
+                low, high = partition.effective_bounds
+                content_low, content_high = _updatable_content_bounds(
+                    partition.updatable
+                )
+                if content_low is not None:
+                    assert low is not None and low <= content_low, (
+                        f"partition content below its bounds: "
+                        f"{content_low} < {low}"
+                    )
+                    assert high >= content_high, (
+                        f"partition content above its bounds: "
+                        f"{content_high} > {high}"
+                    )
 
     @property
     def structure_description(self) -> str:
-        return (
+        description = (
             f"partitioned updatable cracking ({self.policy}): "
             f"{self.partition_count} partitions, {self.piece_count} pieces, "
             f"{self.pending_inserts}+{self.pending_deletes} pending"
         )
+        if self.repartition:
+            description += (
+                f", {self.partition_splits} splits/"
+                f"{self.partition_merges} merges"
+            )
+        return description

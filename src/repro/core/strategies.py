@@ -180,6 +180,8 @@ class PartitionedCrackingStrategy(SearchStrategy):
 
     Options: ``partitions`` (shard count, default 4), ``parallel`` (fan the
     per-partition sub-selections out over a thread pool, default False),
+    ``repartition`` (adaptive repartitioning under skewed query streams,
+    default False) with ``max_partition_rows``/``split_threshold``,
     ``sort_threshold`` and ``max_workers`` — see
     :class:`~repro.core.partitioned.PartitionedCrackedColumn`.
     """
@@ -192,6 +194,9 @@ class PartitionedCrackingStrategy(SearchStrategy):
             column,
             partitions=options.get("partitions", 4),
             parallel=options.get("parallel", False),
+            repartition=options.get("repartition", False),
+            max_partition_rows=options.get("max_partition_rows"),
+            split_threshold=options.get("split_threshold", 2.0),
             sort_threshold=options.get("sort_threshold", 0),
             max_workers=options.get("max_workers"),
         )
@@ -203,6 +208,14 @@ class PartitionedCrackingStrategy(SearchStrategy):
     @property
     def nbytes(self) -> int:
         return self.cracked.nbytes
+
+    @property
+    def partition_splits(self) -> int:
+        return self.cracked.partition_splits
+
+    @property
+    def partition_merges(self) -> int:
+        return self.cracked.partition_merges
 
     @property
     def structure_description(self) -> str:
@@ -264,8 +277,10 @@ class PartitionedUpdatableCrackingStrategy(SearchStrategy):
     """Partitioned (optionally parallel) cracking with merge-on-demand updates.
 
     Options: ``partitions``/``parallel``/``max_workers`` as in
-    :class:`PartitionedCrackingStrategy` plus ``policy``/``merge_batch`` as
-    in :class:`UpdatableCrackingStrategy` — see
+    :class:`PartitionedCrackingStrategy`, ``policy``/``merge_batch`` as in
+    :class:`UpdatableCrackingStrategy`, plus ``repartition`` (adaptive
+    repartitioning under skewed insert streams, default False) with
+    ``max_partition_rows``/``split_threshold`` — see
     :class:`~repro.core.partitioned.PartitionedUpdatableCrackedColumn`.
     """
 
@@ -278,6 +293,9 @@ class PartitionedUpdatableCrackingStrategy(SearchStrategy):
             column,
             partitions=options.get("partitions", 4),
             parallel=options.get("parallel", False),
+            repartition=options.get("repartition", False),
+            max_partition_rows=options.get("max_partition_rows"),
+            split_threshold=options.get("split_threshold", 2.0),
             policy=options.get("policy", "ripple"),
             merge_batch=options.get("merge_batch", 16),
             sort_threshold=options.get("sort_threshold", 0),
@@ -308,6 +326,14 @@ class PartitionedUpdatableCrackingStrategy(SearchStrategy):
     @property
     def nbytes(self) -> int:
         return self.cracked.nbytes
+
+    @property
+    def partition_splits(self) -> int:
+        return self.cracked.partition_splits
+
+    @property
+    def partition_merges(self) -> int:
+        return self.cracked.partition_merges
 
     @property
     def structure_description(self) -> str:

@@ -256,6 +256,9 @@ class Database:
             return  # scans read the base column, which already has the row
         if getattr(path, "supports_updates", False):
             path.insert(value, counters, rowid=rowid)
+            # absorbing (and possibly repartitioning) changes the auxiliary
+            # footprint; keep the tracker in step with the live structure
+            self.memory.set_usage(f"index:{table}.{column}", path.nbytes)
             return
         base_column = self.table(table).column(column)
         if mode == "full-index":
@@ -291,9 +294,12 @@ class Database:
         if rowid in deleted:
             return
         deleted.add(rowid)
-        for (owner, _), path in self._access_paths.items():
+        for (owner, column_name), path in self._access_paths.items():
             if owner == table and getattr(path, "supports_updates", False):
                 path.delete(rowid, counters)
+                self.memory.set_usage(
+                    f"index:{table}.{column_name}", path.nbytes
+                )
         if counters is not None:
             counters.record_move(1)
         self.rows_deleted += 1
@@ -513,6 +519,34 @@ class Database:
         return statistics
 
     # -- introspection --------------------------------------------------------------------
+
+    def rebalance_stats(self) -> List[Dict[str, object]]:
+        """One record per partitioned access path: partition load and
+        adaptive-repartitioning counters (splits, merges, row skew)."""
+        report: List[Dict[str, object]] = []
+        for (table, column), mode in sorted(self._modes.items()):
+            path = self._access_paths.get((table, column))
+            cracked = getattr(path, "cracked", None)
+            if cracked is None or not hasattr(cracked, "partition_splits"):
+                continue
+            loads = cracked.partition_loads()
+            sizes = [load["rows"] for load in loads]
+            mean_rows = (sum(sizes) / len(sizes)) if sizes else 0.0
+            report.append(
+                {
+                    "table": table,
+                    "column": column,
+                    "mode": mode,
+                    "repartition": cracked.repartition,
+                    "partitions": cracked.partition_count,
+                    "splits": cracked.partition_splits,
+                    "merges": cracked.partition_merges,
+                    "max_rows": max(sizes) if sizes else 0,
+                    "mean_rows": mean_rows,
+                    "skew": (max(sizes) / mean_rows) if mean_rows else 0.0,
+                }
+            )
+        return report
 
     def physical_design_report(self) -> List[Dict[str, str]]:
         """One record per configured access path (for documentation / examples)."""

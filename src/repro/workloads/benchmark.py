@@ -40,6 +40,8 @@ class StrategyRunResult:
     total_seconds: float = 0.0
     final_nbytes: int = 0
     robustness: float = 1.0
+    #: one-line physical state after the workload (partition/split counts …)
+    final_structure: str = ""
 
     def summary_row(self) -> Dict[str, object]:
         """Flat record for tabular reports."""
@@ -190,6 +192,7 @@ class AdaptiveIndexingBenchmark:
             total_seconds=statistics.total_seconds,
             final_nbytes=strategy.nbytes,
             robustness=robustness_ratio(per_query) if per_query else 1.0,
+            final_structure=strategy.structure_description,
         )
 
     def run(

@@ -212,6 +212,20 @@ class TestGradualBudget:
                 assert column.merges_performed - merges_before <= merge_batch
                 assert got == {r for r, v in model.items() if low <= v < low + 10}
 
+    def test_deletes_drain_despite_steady_insert_pressure(self, rng):
+        # the shared budget is served round-robin: a stream that queues
+        # more qualifying inserts than the whole budget every query must
+        # not starve the pending deletes forever
+        base = rng.integers(0, 100, size=400).astype(np.int64)
+        column = UpdatableCrackedColumn(base, policy="gradual", merge_batch=4)
+        for victim in [int(r) for r in column.rowids[:20]]:
+            column.delete(victim)
+        for _ in range(40):
+            for _ in range(6):  # 6 qualifying inserts > merge_batch
+                column.insert(int(rng.integers(0, 100)))
+            column.search(0, 100)
+        assert column.pending_deletes == 0
+
     def test_partitioned_budget_is_per_touched_partition(self, rng):
         base = rng.integers(0, 100, size=600).astype(np.int64)
         partitions = 3

@@ -450,3 +450,92 @@ class TestExecuteMany:
     def test_empty_batch(self, database):
         assert database.execute_many([]) == []
         assert database.execute_many([], parallel=True) == []
+
+
+class TestExecuteManyWithDML:
+    """Batches issued after DML see tombstone-consistent results everywhere."""
+
+    MODES = [
+        "scan",
+        "full-index",
+        "online",
+        "soft",
+        "cracking",
+        "updatable-cracking",
+        "partitioned-cracking",
+        "partitioned-updatable-cracking",
+        "adaptive-merging",
+    ]
+
+    def apply_dml(self, database, rng):
+        """Interleave inserts and deletes; returns the visible model."""
+        values = database.table("facts")["a"].values
+        model = {int(i): int(v) for i, v in enumerate(values)}
+        for _ in range(40):
+            rowid = database.insert_row(
+                "facts",
+                {"a": int(rng.integers(0, 10_000)), "b": 1, "c": 0.5},
+            )
+            model[rowid] = int(database.table("facts")["a"].values[rowid])
+        for victim in rng.choice(list(model), size=60, replace=False):
+            database.delete_row("facts", int(victim))
+            del model[int(victim)]
+        return model
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_batch_after_dml_is_tombstone_consistent(
+        self, database, rng, mode, parallel
+    ):
+        options = {}
+        if mode.startswith("partitioned"):
+            options = {"partitions": 3, "repartition": True,
+                       "max_partition_rows": 4_000}
+        database.set_indexing("facts", "a", mode, **options)
+        model = self.apply_dml(database, rng)
+        queries = [
+            Query.range_query("facts", "a", low, low + 1_000)
+            for low in range(0, 10_000, 1_000)
+        ]
+        results = database.execute_many(queries, parallel=parallel)
+        for query, result in zip(queries, results):
+            low, high = query.selections[0].bounds
+            expected = {r for r, v in model.items() if low <= v < high}
+            assert set(result.positions.tolist()) == expected, (
+                f"{mode} (parallel={parallel}) diverged on [{low}, {high})"
+            )
+
+    def test_parallel_cross_table_batch_after_dml(self, database, rng):
+        database.create_table(
+            "dim", {"k": rng.integers(0, 1_000, size=2_000).astype(np.int64)}
+        )
+        database.set_indexing("facts", "a", "updatable-cracking")
+        database.set_indexing("dim", "k", "partitioned-updatable-cracking",
+                              partitions=2)
+        model = self.apply_dml(database, rng)
+        dim_deleted = set()
+        for victim in range(0, 50, 5):
+            database.delete_row("dim", victim)
+            dim_deleted.add(victim)
+        queries = []
+        for step in range(6):
+            queries.append(
+                Query.range_query("facts", "a", step * 1_500, step * 1_500 + 1_400)
+            )
+            queries.append(
+                Query.range_query("dim", "k", step * 150, step * 150 + 140)
+            )
+        results = database.execute_many(queries, parallel=True)
+        dim_values = database.table("dim")["k"].values
+        for query, result in zip(queries, results):
+            low, high = query.selections[0].bounds
+            if query.table == "facts":
+                expected = {r for r, v in model.items() if low <= v < high}
+            else:
+                expected = {
+                    int(r) for r in np.flatnonzero(
+                        (dim_values >= low) & (dim_values < high)
+                    )
+                    if int(r) not in dim_deleted
+                }
+            assert set(result.positions.tolist()) == expected

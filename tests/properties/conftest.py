@@ -1,0 +1,18 @@
+"""Mark every test in this directory as a property test.
+
+The randomized property/oracle suites are the slowest part of the tier-1
+run; the ``property`` marker lets them be selected (``-m property``) or
+excluded (``-m "not property"``) explicitly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+_PROPERTIES_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if _PROPERTIES_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.property)
