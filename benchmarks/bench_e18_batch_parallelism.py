@@ -1,0 +1,192 @@
+"""E18 — batch execution under per-access-path concurrency control.
+
+``Database.execute_many`` classifies every planned query by the access
+paths it touches and whether each path reorganises on read (the
+``reorganizes_on_read`` capability flag).  Expected shape: a same-table
+batch over *read-only* paths (plain scans, a full offline index) fans out
+over more than one worker and its wall-clock stays in the same range as —
+and on multi-core machines below — the sequential run, because the numpy
+selection kernels release the GIL; batches over *mutating* paths
+(cracking et al.) serialize per access path and every answer plus every
+cost counter stays bit-identical to sequential execution, in every
+registered indexing mode.
+
+Single-core machines cannot profit from thread fan-out, so the wall-clock
+assertion widens its tolerance there (the fan-out itself — more than one
+worker observed — must still happen).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from bench_common import SCALE
+from repro.core.strategies import available_strategies
+from repro.engine.database import Database
+from repro.engine.query import Query
+
+#: enough rows that one scan outweighs the thread hand-off overhead
+ROWS = max(100_000, int(400_000 * SCALE))
+BATCH_QUERIES = 16
+SELECTIVITY = 0.05
+DOMAIN = 1_000_000
+
+MULTI_CORE = (os.cpu_count() or 1) >= 2
+#: wall-clock guard for parallel vs sequential read-only batches.  The
+#: hard gates of this experiment are correctness and fan-out (identity,
+#: schedule shape, >1 worker); the ratio bound only catches gross
+#: regressions, so it is deliberately loose — millisecond-scale timings on
+#: shared CI runners are noisy, and on a single core threads can only add
+#: overhead.  The printed ratio is the number to watch.
+WALL_CLOCK_TOLERANCE = 2.5 if MULTI_CORE else 4.0
+
+MIXED_MODE_ROWS = max(2_000, int(8_000 * SCALE))
+
+
+def make_queries(count=BATCH_QUERIES, seed=18, selectivity=SELECTIVITY):
+    rng = np.random.default_rng(seed)
+    width = DOMAIN * selectivity
+    return [
+        Query.range_query("data", "key", low, low + width)
+        for low in rng.uniform(0, DOMAIN - width, size=count)
+    ]
+
+
+def fresh_database(mode, rows=ROWS, seed=18, **options):
+    rng = np.random.default_rng(seed)
+    database = Database(f"e18-{mode}")
+    database.create_table(
+        "data", {"key": rng.integers(0, DOMAIN, size=rows).astype(np.int64)}
+    )
+    if mode != "scan":
+        database.set_indexing("data", "key", mode, **options)
+    return database
+
+
+def timed_batch(mode, queries, parallel, max_workers=None, repeats=3):
+    """Best-of-N wall-clock of one batch on a fresh database.
+
+    Returns the best run's results and report, plus the maximum worker
+    fan-out observed over all repeats (a fast run may drain the task queue
+    before the pool spawns its second thread — one lucky repeat is enough
+    to prove the fan-out happens).
+    """
+    best_seconds, results, report, most_workers = float("inf"), None, None, 0
+    for _ in range(repeats):
+        database = fresh_database(mode)
+        started = time.perf_counter()
+        batch_results = database.execute_many(
+            queries, parallel=parallel, max_workers=max_workers
+        )
+        elapsed = time.perf_counter() - started
+        most_workers = max(most_workers, database.last_batch_report.workers_used)
+        if elapsed < best_seconds:
+            best_seconds = elapsed
+            results = batch_results
+            report = database.last_batch_report
+    return results, best_seconds, report, most_workers
+
+
+def run_read_only_experiment():
+    queries = make_queries()
+    rows = {}
+    for mode in ("scan", "full-index"):
+        sequential, sequential_seconds, _, _ = timed_batch(
+            mode, queries, parallel=False
+        )
+        parallel, parallel_seconds, report, most_workers = timed_batch(
+            mode, queries, parallel=True, max_workers=4
+        )
+        identical = all(
+            np.array_equal(a.positions, b.positions) and a.counters == b.counters
+            for a, b in zip(sequential, parallel)
+        )
+        rows[mode] = {
+            "sequential_ms": sequential_seconds * 1e3,
+            "parallel_ms": parallel_seconds * 1e3,
+            "ratio": parallel_seconds / max(sequential_seconds, 1e-9),
+            "report": report,
+            "workers": most_workers,
+            "identical": identical,
+        }
+    return rows
+
+
+def run_mixed_mode_experiment():
+    """Mixed batches bit-identical to sequential in every indexing mode."""
+    managed = ["scan", "full-index", "online", "soft"]
+    modes = managed + [m for m in available_strategies() if m not in managed]
+    queries = make_queries(count=10, seed=81, selectivity=0.02)
+    rows = {}
+    for mode in modes:
+        sequential_db = fresh_database(mode, rows=MIXED_MODE_ROWS)
+        parallel_db = fresh_database(mode, rows=MIXED_MODE_ROWS)
+        divergences = 0
+        for _ in range(2):  # second round may hit converged structures
+            sequential = sequential_db.execute_many(queries, parallel=False)
+            parallel = parallel_db.execute_many(
+                queries, parallel=True, max_workers=4
+            )
+            divergences += sum(
+                0 if (np.array_equal(a.positions, b.positions)
+                      and a.counters == b.counters) else 1
+                for a, b in zip(sequential, parallel)
+            )
+        rows[mode] = {
+            "divergences": divergences,
+            "report": parallel_db.last_batch_report,
+        }
+    return rows
+
+
+@pytest.mark.benchmark(group="e18-batch-parallelism")
+def test_e18_batch_parallelism(benchmark):
+    read_only, mixed = benchmark.pedantic(
+        lambda: (run_read_only_experiment(), run_mixed_mode_experiment()),
+        rounds=1,
+        iterations=1,
+    )
+
+    print(
+        f"\nE18: batch execution, {ROWS:,} rows, {BATCH_QUERIES} queries/batch, "
+        f"{os.cpu_count()} cpu(s)"
+    )
+    print("\nread-only same-table batches (per-access-path fan-out):")
+    for mode, row in read_only.items():
+        report = row["report"]
+        print(
+            f"  {mode:12s} sequential={row['sequential_ms']:8.1f} ms  "
+            f"parallel={row['parallel_ms']:8.1f} ms  "
+            f"ratio={row['ratio']:.2f}  workers={row['workers']}  "
+            f"tasks={report.task_count}  identical={row['identical']}"
+        )
+    print("\nmixed batches, parallel vs sequential divergences per mode:")
+    for mode, row in mixed.items():
+        report = row["report"]
+        print(
+            f"  {mode:32s} divergences={row['divergences']}  "
+            f"(read-only queries={report.read_only_queries}, "
+            f"serialized groups={report.exclusive_groups})"
+        )
+
+    for mode, row in read_only.items():
+        report = row["report"]
+        # the whole batch is read-only: one task per query, real fan-out
+        assert report.read_only_queries == BATCH_QUERIES, mode
+        assert report.task_count == BATCH_QUERIES, mode
+        assert row["workers"] > 1, (
+            f"{mode}: read-only batch executed on a single worker in every repeat"
+        )
+        assert row["identical"], f"{mode}: parallel diverged from sequential"
+        assert row["ratio"] <= WALL_CLOCK_TOLERANCE, (
+            f"{mode}: parallel batch {row['ratio']:.2f}x sequential "
+            f"(tolerance {WALL_CLOCK_TOLERANCE}x on "
+            f"{os.cpu_count()} cpu(s))"
+        )
+
+    for mode, row in mixed.items():
+        assert row["divergences"] == 0, (
+            f"{mode}: parallel batch diverged from sequential execution"
+        )

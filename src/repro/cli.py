@@ -13,7 +13,12 @@ writing any Python:
 ``python -m repro updates``
     drive a mixed query/insert/delete workload through the Database DML
     (insert_row/delete_row) for any indexing strategy and report update
-    throughput and per-query cost.
+    throughput and per-query cost;
+``python -m repro batch``
+    execute a batch of same-table range queries through
+    ``Database.execute_many`` sequentially and (with ``--parallel``) under
+    per-access-path concurrency control, verify the answers are identical,
+    and report wall-clock plus the observed worker fan-out.
 
 Adaptive repartitioning: the partitioned strategies accept
 ``--repartition`` (plus ``--max-partition-rows`` / ``--split-threshold``)
@@ -55,6 +60,8 @@ _EXAMPLES = """examples:
   repro compare --strategies partitioned-cracking --repartition --pattern skewed
   repro updates --strategy partitioned-updatable-cracking --repartition \\
       --max-partition-rows 50000 --updates-per-query 4
+  repro batch --mode scan --queries 16 --parallel --max-workers 4
+  repro batch --mode cracking --parallel   # mutating path: serialized per path
 
 Adaptive repartitioning (--repartition) lets the partitioned strategies
 split hot partitions at crack boundaries (and merge cold siblings) so a
@@ -156,6 +163,33 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_repartition_arguments(updates)
     updates.add_argument("--seed", type=int, default=0, help="random seed")
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="run a query batch through execute_many (sequential vs parallel)",
+    )
+    batch.add_argument("--rows", type=int, default=200_000, help="table size")
+    batch.add_argument(
+        "--queries", type=int, default=16, help="number of range queries in the batch"
+    )
+    batch.add_argument(
+        "--selectivity", type=float, default=0.05, help="per-query selectivity"
+    )
+    batch.add_argument(
+        "--mode", default="scan",
+        help="indexing mode for the key column (managed mode or any strategy)",
+    )
+    batch.add_argument(
+        "--parallel", action="store_true",
+        help="also run the batch with parallel=True and compare against the "
+             "sequential run",
+    )
+    batch.add_argument(
+        "--max-workers", type=int, default=None, metavar="N",
+        help="thread-pool size for the parallel run (default: one worker "
+             "per independent task, capped at the CPU count)",
+    )
+    batch.add_argument("--seed", type=int, default=0, help="random seed")
     return parser
 
 
@@ -407,6 +441,78 @@ def _command_updates(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_batch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.engine.database import Database
+    from repro.engine.query import Query
+
+    managed_modes = ("scan", "full-index", "online", "soft")
+    if args.mode not in managed_modes and args.mode not in available_strategies():
+        print(
+            f"unknown mode {args.mode!r}; managed modes: "
+            f"{', '.join(managed_modes)}; strategies: "
+            f"{', '.join(available_strategies())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.rows < 1 or args.queries < 1:
+        print("--rows and --queries must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_workers is not None and args.max_workers < 1:
+        print("--max-workers must be >= 1", file=sys.stderr)
+        return 2
+
+    domain = 1_000_000
+    values = generate_column_data(args.rows, 0, domain, seed=args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    width = max(1.0, domain * args.selectivity)
+    queries = []
+    for _ in range(args.queries):
+        low = float(rng.uniform(0, domain - width))
+        queries.append(Query.range_query("data", "key", low, low + width))
+
+    def run(parallel: bool):
+        database = Database("batch-demo")
+        database.create_table("data", {"key": values})
+        if args.mode != "scan":
+            database.set_indexing("data", "key", args.mode)
+        started = time.perf_counter()
+        results = database.execute_many(
+            queries, parallel=parallel, max_workers=args.max_workers
+        )
+        elapsed = time.perf_counter() - started
+        return results, elapsed, database.last_batch_report
+
+    sequential_results, sequential_seconds, report = run(parallel=False)
+    print(
+        f"table: {args.rows:,} rows | mode: {args.mode} | "
+        f"{args.queries} queries at {args.selectivity:.2%} selectivity"
+    )
+    print(
+        f"schedule          : {report.task_count} tasks "
+        f"({report.read_only_queries} read-only queries, "
+        f"{report.exclusive_groups} serialized groups)"
+    )
+    print(f"sequential        : {sequential_seconds * 1e3:8.1f} ms")
+    if not args.parallel:
+        return 0
+
+    parallel_results, parallel_seconds, report = run(parallel=True)
+    identical = all(
+        np.array_equal(sequential.positions, concurrent.positions)
+        and sequential.counters == concurrent.counters
+        for sequential, concurrent in zip(sequential_results, parallel_results)
+    )
+    speedup = sequential_seconds / max(parallel_seconds, 1e-9)
+    print(
+        f"parallel          : {parallel_seconds * 1e3:8.1f} ms "
+        f"({speedup:.2f}x, {report.workers_used} workers observed)"
+    )
+    print(f"results identical : {'yes' if identical else 'NO — BUG'}")
+    return 0 if identical else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (returns the process exit code)."""
     parser = _build_parser()
@@ -419,6 +525,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_demo(args)
     if args.command == "updates":
         return _command_updates(args)
+    if args.command == "batch":
+        return _command_batch(args)
     parser.print_help()
     return 1
 

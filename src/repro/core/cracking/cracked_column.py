@@ -10,10 +10,12 @@ becomes; ranges never queried are never touched.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+import threading
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.columnstore.bulk import binary_search_count
 from repro.columnstore.column import Column
 from repro.core.cracking.cracker_index import CrackerIndex, Piece
 from repro.core.cracking.crack_engine import crack_range
@@ -64,6 +66,12 @@ class CrackedColumn:
         self.rowids: Optional[np.ndarray] = None
         self.index = CrackerIndex(len(base))
         self.queries_processed = 0
+        # once True, search answers by pure binary search and never mutates
+        # the cracker column again (see :attr:`converged`)
+        self._converged = False
+        # guards the shared query counter: converged columns serve
+        # concurrent readers, whose increments must not be lost
+        self._stats_lock = threading.Lock()
         if not lazy_copy:
             self._materialise(counters)
 
@@ -116,6 +124,62 @@ class CrackedColumn:
         return len(self.values) if self._fragment else len(self._base)
 
     @property
+    def converged(self) -> bool:
+        """True once the cracker column is fully sorted.
+
+        A converged column answers by pure binary search over its sorted
+        values (see :meth:`_sorted_range`) and never mutates itself again:
+        it is read-only under selection, which the batch scheduler
+        (:mod:`repro.engine.concurrency`) exploits to fan concurrent
+        queries out over it.  The check is an O(n) vectorised sortedness
+        test, so it is performed on demand (typically once per batch by
+        the scheduler's classification, never on the per-query hot path)
+        and latched: cracks only ever add order, so a sorted cracker
+        column stays sorted.  Callers that may race a concurrent crack of
+        this column (batch classification across concurrently issued
+        batches) must evaluate this under the column's access-path lock —
+        the sortedness of a mid-crack array is not meaningful.
+        """
+        if not self._converged and self.is_fully_sorted():
+            self._converged = True
+        return self._converged
+
+    def _count_query(self) -> None:
+        """Thread-safely note one processed query (converged columns are
+        served by concurrent readers; a bare ``+= 1`` could lose counts)."""
+        with self._stats_lock:
+            self.queries_processed += 1
+
+    def _sorted_range(
+        self,
+        low: Optional[float],
+        high: Optional[float],
+        counters: Optional[CostCounters],
+    ) -> Tuple[int, int]:
+        """Qualifying region of a *converged* column: two binary searches.
+
+        Charges the same navigation costs a full index charges per probed
+        bound; no data moves and no boundary is added, so the call is free
+        of side effects and safe under concurrent readers.
+        """
+        n = len(self.values)
+        probes = 0
+        if low is None:
+            start = 0
+        else:
+            start = int(np.searchsorted(self.values, low, side="left"))
+            probes += 1
+        if high is None:
+            end = n
+        else:
+            end = int(np.searchsorted(self.values, high, side="left"))
+            probes += 1
+        if counters is not None and probes:
+            counters.record_comparisons(probes * binary_search_count(n))
+            counters.record_random_access(probes)
+        return start, max(start, end)
+
+    @property
     def nbytes(self) -> int:
         """Bytes of auxiliary storage currently held (cracker column + rowids)."""
         if not self.materialised:
@@ -141,21 +205,26 @@ class CrackedColumn:
     ) -> np.ndarray:
         """Positions (into the base column) of rows with ``low <= value < high``.
 
-        Cracks the cracker column as a side effect.  Either bound may be
-        ``None`` (unbounded).
+        Cracks the cracker column as a side effect — until the column has
+        been recognised as :attr:`converged`, after which the answer is a
+        pure binary search with no physical reorganisation.  Either bound
+        may be ``None`` (unbounded).
         """
-        self.queries_processed += 1
+        self._count_query()
         if not self.materialised:
             self._materialise(counters)
-        start, end = crack_range(
-            self.values,
-            self.rowids,
-            self.index,
-            low,
-            high,
-            counters,
-            sort_threshold=self.sort_threshold,
-        )
+        if self._converged:
+            start, end = self._sorted_range(low, high, counters)
+        else:
+            start, end = crack_range(
+                self.values,
+                self.rowids,
+                self.index,
+                low,
+                high,
+                counters,
+                sort_threshold=self.sort_threshold,
+            )
         if counters is not None:
             counters.record_scan(max(0, end - start))
         return self.rowids[start:end].copy()
@@ -167,18 +236,21 @@ class CrackedColumn:
         counters: Optional[CostCounters] = None,
     ) -> np.ndarray:
         """Qualifying *values* rather than base positions (cracks as a side effect)."""
-        self.queries_processed += 1
+        self._count_query()
         if not self.materialised:
             self._materialise(counters)
-        start, end = crack_range(
-            self.values,
-            self.rowids,
-            self.index,
-            low,
-            high,
-            counters,
-            sort_threshold=self.sort_threshold,
-        )
+        if self._converged:
+            start, end = self._sorted_range(low, high, counters)
+        else:
+            start, end = crack_range(
+                self.values,
+                self.rowids,
+                self.index,
+                low,
+                high,
+                counters,
+                sort_threshold=self.sort_threshold,
+            )
         if counters is not None:
             counters.record_scan(max(0, end - start))
         return self.values[start:end].copy()
@@ -190,13 +262,16 @@ class CrackedColumn:
         counters: Optional[CostCounters] = None,
     ) -> int:
         """Number of qualifying rows (cracks as a side effect)."""
-        self.queries_processed += 1
+        self._count_query()
         if not self.materialised:
             self._materialise(counters)
-        start, end = crack_range(
-            self.values, self.rowids, self.index, low, high, counters,
-            sort_threshold=self.sort_threshold,
-        )
+        if self._converged:
+            start, end = self._sorted_range(low, high, counters)
+        else:
+            start, end = crack_range(
+                self.values, self.rowids, self.index, low, high, counters,
+                sort_threshold=self.sort_threshold,
+            )
         return max(0, end - start)
 
     # -- maintenance / inspection -----------------------------------------------------

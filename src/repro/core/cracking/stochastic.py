@@ -33,6 +33,12 @@ from repro.core.cracking.cracked_column import CrackedColumn
 from repro.core.cracking.crack_engine import crack_value
 from repro.cost.counters import CostCounters
 
+#: how many alternate random positions a DDR/MDD1R cut may probe before
+#: declaring a piece uncuttable (a drawn pivot equal to the piece minimum —
+#: or an already existing boundary — does not prove the piece degenerate,
+#: it may simply be an unlucky draw)
+_AUX_PIVOT_ATTEMPTS = 8
+
 
 class StochasticCrackedColumn(CrackedColumn):
     """Cracked column with auxiliary random cuts on oversized pieces.
@@ -97,13 +103,27 @@ class StochasticCrackedColumn(CrackedColumn):
     ) -> None:
         """Apply auxiliary cuts to the piece containing ``bound``."""
         threshold = self._piece_size_threshold()
+        # the centre pivot of DDC is deterministic: retrying it would only
+        # re-derive the same value, so a single attempt suffices there
+        attempts = 1 if self.variant == "ddc" else _AUX_PIVOT_ATTEMPTS
         while True:
             piece = self.index.piece_for_value(bound)
             if piece.sorted or piece.size <= threshold:
                 return
-            pivot = self._auxiliary_pivot(piece.start, piece.end)
-            # Degenerate pieces (all values equal) cannot be cut further.
-            if (piece.low is not None and pivot <= piece.low) or self.index.has_boundary(pivot):
+            # A pivot at the piece minimum (or an existing boundary) cannot
+            # cut the piece — but for the random variants one unlucky draw
+            # does not prove the piece degenerate: probe a bounded number
+            # of alternate positions before giving up on this piece.
+            pivot = None
+            for _ in range(attempts):
+                candidate = self._auxiliary_pivot(piece.start, piece.end)
+                if piece.low is not None and candidate <= piece.low:
+                    continue
+                if self.index.has_boundary(candidate):
+                    continue
+                pivot = candidate
+                break
+            if pivot is None:
                 return
             crack_value(
                 self.values, self.rowids, self.index, pivot, counters,
@@ -121,9 +141,12 @@ class StochasticCrackedColumn(CrackedColumn):
         """Range selection with auxiliary stochastic cuts before the query cracks."""
         if not self.materialised:
             self._materialise(counters)
-        recursive = self.variant in ("ddr", "ddc")
-        if low is not None:
-            self._shrink_piece_containing(low, counters, recursive)
-        if high is not None:
-            self._shrink_piece_containing(high, counters, recursive)
+        # a converged (fully sorted) column takes the pure binary-search
+        # path in the parent class; auxiliary cuts could only mutate it
+        if not self._converged:
+            recursive = self.variant in ("ddr", "ddc")
+            if low is not None:
+                self._shrink_piece_containing(low, counters, recursive)
+            if high is not None:
+                self._shrink_piece_containing(high, counters, recursive)
         return super().search(low, high, counters)

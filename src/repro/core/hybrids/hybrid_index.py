@@ -26,6 +26,7 @@ sizes from the start.
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional, Union
 
 import numpy as np
@@ -73,6 +74,9 @@ class HybridIndex:
         self.merged_ranges = IntervalSet()
         self.queries_processed = 0
         self.initialized = False
+        # guards the shared query counter: a converged hybrid serves
+        # concurrent readers, whose increments must not be lost
+        self._stats_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._base)
@@ -86,6 +90,20 @@ class HybridIndex:
     def fully_merged(self) -> bool:
         """True when every tuple has moved into the final partition."""
         return self.initialized and all(len(p) == 0 for p in self.partitions)
+
+    @property
+    def read_only_under_selection(self) -> bool:
+        """True when a search can no longer reorganise any physical state.
+
+        Requires convergence on both axes: every tuple has been merged into
+        the final partition (no gap extraction left) *and* every final
+        piece is sorted, so lookups are binary searches.  Pieces organised
+        by ``final_mode`` "crack"/"radix" keep cracking on partial overlap
+        and never satisfy the second condition.
+        """
+        return self.fully_merged and all(
+            piece.sorted for piece in self.final.pieces
+        )
 
     # -- initialization --------------------------------------------------------------
 
@@ -118,27 +136,33 @@ class HybridIndex:
         counters: Optional[CostCounters] = None,
     ) -> np.ndarray:
         """Base positions of rows with ``low <= value < high`` (merging as a side effect)."""
-        self.queries_processed += 1
+        with self._stats_lock:
+            self.queries_processed += 1
         if not self.initialized:
             self._initialize(counters)
         if len(self._base) == 0:
             return np.empty(0, dtype=np.int64)
 
-        effective_low = (
-            float(low) if low is not None else float(np.min(self._base))
-        )
-        effective_high = (
-            float(high)
-            if high is not None
-            else float(np.nextafter(np.max(self._base), np.inf))
-        )
+        # Once every initial partition has drained there are no gaps left
+        # to extract: skip the merged-range bookkeeping entirely so that a
+        # converged hybrid (sorted final pieces) is a pure read and can
+        # serve concurrent queries without racing on the interval set.
+        if not self.fully_merged:
+            effective_low = (
+                float(low) if low is not None else float(np.min(self._base))
+            )
+            effective_high = (
+                float(high)
+                if high is not None
+                else float(np.nextafter(np.max(self._base), np.inf))
+            )
 
-        if not self.merged_ranges.covers(effective_low, effective_high):
-            for gap_low, gap_high in self.merged_ranges.uncovered(
-                effective_low, effective_high
-            ):
-                self._merge_gap(gap_low, gap_high, counters)
-            self.merged_ranges.add(effective_low, effective_high)
+            if not self.merged_ranges.covers(effective_low, effective_high):
+                for gap_low, gap_high in self.merged_ranges.uncovered(
+                    effective_low, effective_high
+                ):
+                    self._merge_gap(gap_low, gap_high, counters)
+                self.merged_ranges.add(effective_low, effective_high)
 
         return self.final.search(low, high, counters)
 

@@ -15,6 +15,7 @@ Behaviour (Graefe & Kuno, EDBT 2010):
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
@@ -45,6 +46,9 @@ class AdaptiveMergingIndex:
         self.merged_ranges = IntervalSet()
         self.queries_processed = 0
         self.initialized = False
+        # guards the shared query counter: a fully merged index serves
+        # concurrent readers, whose increments must not be lost
+        self._stats_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._base)
@@ -132,23 +136,29 @@ class AdaptiveMergingIndex:
         counters: Optional[CostCounters] = None,
     ) -> np.ndarray:
         """Base positions of rows with ``low <= value < high`` (merging as a side effect)."""
-        self.queries_processed += 1
+        with self._stats_lock:
+            self.queries_processed += 1
         if not self.initialized:
             self._initialize(counters)
 
-        effective_low = float(low) if low is not None else float(np.min(self._base)) if len(self._base) else 0.0
-        effective_high = (
-            float(high)
-            if high is not None
-            else float(np.nextafter(np.max(self._base), np.inf)) if len(self._base) else 0.0
-        )
+        # Once every run has drained into the final partition there is
+        # nothing left to merge: skip the merged-range bookkeeping entirely
+        # so the search is a pure read (concurrent queries may then fan out
+        # over the index without racing on the interval set).
+        if not self.fully_merged:
+            effective_low = float(low) if low is not None else float(np.min(self._base)) if len(self._base) else 0.0
+            effective_high = (
+                float(high)
+                if high is not None
+                else float(np.nextafter(np.max(self._base), np.inf)) if len(self._base) else 0.0
+            )
 
-        if not self.merged_ranges.covers(effective_low, effective_high):
-            for gap_low, gap_high in self.merged_ranges.uncovered(
-                effective_low, effective_high
-            ):
-                self._merge_range(gap_low, gap_high, counters)
-            self.merged_ranges.add(effective_low, effective_high)
+            if not self.merged_ranges.covers(effective_low, effective_high):
+                for gap_low, gap_high in self.merged_ranges.uncovered(
+                    effective_low, effective_high
+                ):
+                    self._merge_range(gap_low, gap_high, counters)
+                self.merged_ranges.add(effective_low, effective_high)
 
         n = len(self.final_values)
         begin = 0 if low is None else int(np.searchsorted(self.final_values, low, side="left"))

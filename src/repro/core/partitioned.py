@@ -67,6 +67,7 @@ spread, never results.  Split and merge counts are exposed as
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -345,19 +346,35 @@ class _PartitionedFanOut:
     parallel: bool = False
     _max_workers: Optional[int] = None
 
+    def _init_fan_out(self, max_workers: Optional[int]) -> None:
+        """Shared fan-out state; called by subclass constructors.
+
+        The two locks make a *converged* (read-only) partitioned column
+        safe under the concurrent readers the batch scheduler fans out:
+        ``_pool_lock`` keeps the lazy thread pool from being created twice,
+        ``_stats_lock`` keeps shared visit/query counters from losing
+        increments.
+        """
+        self._max_workers = max_workers or len(self._partitions)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+
     def _executor(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self._max_workers,
-                thread_name_prefix="repro-partition",
-            )
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-partition",
+                )
+            return self._pool
 
     def close(self) -> None:
         """Shut down the thread pool (idempotent; a later query re-creates it)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self):
         return self
@@ -512,8 +529,7 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
                             name=f"{self.name}[{start}:{end}]" if self.name else "")
             for start, end in partition_bounds(len(base), partitions)
         ]
-        self._max_workers = max_workers or len(self._partitions)
-        self._pool: Optional[ThreadPoolExecutor] = None
+        self._init_fan_out(max_workers)
 
     # -- basic properties -----------------------------------------------------
 
@@ -543,6 +559,23 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
     def materialised(self) -> bool:
         """True once at least one partition holds its cracker-column copy."""
         return any(p.cracked.materialised for p in self._partitions)
+
+    @property
+    def converged(self) -> bool:
+        """True when a search can no longer reorganise any physical state.
+
+        Requires every partition to be materialised with a fully sorted
+        cracker column and known value bounds, and adaptive repartitioning
+        to be off (a repartitioning column may still split on any query).
+        A converged partitioned column is read-only under selection — the
+        remaining per-query bookkeeping (visit and query counters) is
+        guarded by ``_stats_lock``, so concurrent readers are safe.
+        """
+        if self.repartition:
+            return False
+        return all(
+            p._bounds_known and p.cracked.converged for p in self._partitions
+        )
 
     def pieces(self) -> List[Piece]:
         """All pieces across partitions, positions shifted to base coordinates.
@@ -632,11 +665,12 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
         within each partition); the *set* of positions is identical to what a
         whole-column :class:`CrackedColumn` would return.
         """
-        self.queries_processed += 1
         self._maybe_rebalance(counters)
         targets = [p for p in self._partitions if p.overlaps(low, high, counters)]
-        for target in targets:
-            target.visits += 1
+        with self._stats_lock:
+            self.queries_processed += 1
+            for target in targets:
+                target.visits += 1
         if not targets:
             return np.empty(0, dtype=np.int64)
         chunks = self._fan_out(targets, "search", low, high, counters, parallel)
@@ -652,11 +686,12 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
         parallel: Optional[bool] = None,
     ) -> np.ndarray:
         """Qualifying *values* rather than base positions (cracks as a side effect)."""
-        self.queries_processed += 1
         self._maybe_rebalance(counters)
         targets = [p for p in self._partitions if p.overlaps(low, high, counters)]
-        for target in targets:
-            target.visits += 1
+        with self._stats_lock:
+            self.queries_processed += 1
+            for target in targets:
+                target.visits += 1
         if not targets:
             return np.empty(0, dtype=self._base.dtype)
         chunks = self._fan_out(targets, "search_values", low, high, counters, parallel)
@@ -672,11 +707,12 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
         parallel: Optional[bool] = None,
     ) -> int:
         """Number of qualifying rows (cracks as a side effect)."""
-        self.queries_processed += 1
         self._maybe_rebalance(counters)
         targets = [p for p in self._partitions if p.overlaps(low, high, counters)]
-        for target in targets:
-            target.visits += 1
+        with self._stats_lock:
+            self.queries_processed += 1
+            for target in targets:
+                target.visits += 1
         if not targets:
             return 0
         return int(sum(self._fan_out(targets, "count", low, high, counters, parallel)))
@@ -983,8 +1019,7 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
             for start, end in partition_bounds(len(base), partitions)
         ]
         self._next_rowid = len(base)
-        self._max_workers = max_workers or len(self._partitions)
-        self._pool: Optional[ThreadPoolExecutor] = None
+        self._init_fan_out(max_workers)
 
     # -- basic properties -------------------------------------------------------
 
@@ -1197,7 +1232,8 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
         *set* of rowids is identical to what an unpartitioned
         :class:`UpdatableCrackedColumn` would return.
         """
-        self.queries_processed += 1
+        with self._stats_lock:
+            self.queries_processed += 1
         targets = [p for p in self._partitions if p.overlaps(low, high, counters)]
         if not targets:
             return np.empty(0, dtype=np.int64)

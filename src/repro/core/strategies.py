@@ -12,6 +12,7 @@ New strategies can be plugged in with :func:`register_strategy`.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, List, Optional, Union
 
@@ -52,6 +53,33 @@ class SearchStrategy(ABC):
         self._array = _as_array(column)
         self.options = options
         self.queries_processed = 0
+        self._stats_lock = threading.Lock()
+
+    @property
+    def reorganizes_on_read(self) -> bool:
+        """True when :meth:`search` can still mutate physical state.
+
+        This is the capability flag the batch scheduler
+        (:mod:`repro.engine.concurrency`) consults: a strategy that
+        reorganises on read (cracking, merging, pending-update absorption)
+        must serialize concurrent selections per access path, while a
+        read-only strategy (a scan, a built full index, a converged
+        adaptive structure) fans out freely.  The base class answers True —
+        the conservative default for any adaptive technique; subclasses
+        that are (or become) pure readers override it.  Once a strategy
+        reports False it must keep reporting False, and its ``search`` must
+        be free of side effects beyond lock-guarded statistics.
+        """
+        return True
+
+    def note_query(self) -> None:
+        """Thread-safely count one processed query.
+
+        Read-only strategies serve concurrent readers; a bare ``+= 1`` on
+        the shared counter could lose increments between threads.
+        """
+        with self._stats_lock:
+            self.queries_processed += 1
 
     def __len__(self) -> int:
         return len(self._array)
@@ -84,9 +112,11 @@ class ScanStrategy(SearchStrategy):
     """Baseline: answer every query with a full scan, never build anything."""
 
     name = "scan"
+    #: a scan reads the base column and builds nothing: pure reader
+    reorganizes_on_read = False
 
     def search(self, low, high, counters=None):
-        self.queries_processed += 1
+        self.note_query()
         return scan_select(self._array, RangePredicate(low, high), counters)
 
 
@@ -99,6 +129,8 @@ class FullIndexStrategy(SearchStrategy):
     """
 
     name = "full-index"
+    #: the index is immutable after construction: pure reader
+    reorganizes_on_read = False
 
     def __init__(self, column, **options):
         super().__init__(column, **options)
@@ -106,7 +138,7 @@ class FullIndexStrategy(SearchStrategy):
         self.build_counters = self.index.build_counters
 
     def search(self, low, high, counters=None):
-        self.queries_processed += 1
+        self.note_query()
         return self.index.search(low, high, counters)
 
     @property
@@ -128,8 +160,13 @@ class SortFirstStrategy(SearchStrategy):
         super().__init__(column, **options)
         self.index: Optional[FullIndex] = None
 
+    @property
+    def reorganizes_on_read(self) -> bool:
+        """Mutating only until the first query has built the index."""
+        return self.index is None
+
     def search(self, low, high, counters=None):
-        self.queries_processed += 1
+        self.note_query()
         if self.index is None:
             self.index = FullIndex(self._array, counters=counters)
         return self.index.search(low, high, counters)
@@ -152,8 +189,13 @@ class CrackingStrategy(SearchStrategy):
             lazy_copy=True,
         )
 
+    @property
+    def reorganizes_on_read(self) -> bool:
+        """Mutating until the cracker column becomes fully sorted."""
+        return not self.cracked.converged
+
     def search(self, low, high, counters=None):
-        self.queries_processed += 1
+        self.note_query()
         return self.cracked.search(low, high, counters)
 
     @property
@@ -201,8 +243,14 @@ class PartitionedCrackingStrategy(SearchStrategy):
             max_workers=options.get("max_workers"),
         )
 
+    @property
+    def reorganizes_on_read(self) -> bool:
+        """Mutating until every partition is fully sorted with known bounds
+        (and always while adaptive repartitioning is on)."""
+        return not self.cracked.converged
+
     def search(self, low, high, counters=None):
-        self.queries_processed += 1
+        self.note_query()
         return self.cracked.search(low, high, counters)
 
     @property
@@ -234,6 +282,8 @@ class UpdatableCrackingStrategy(SearchStrategy):
 
     name = "updatable-cracking"
     supports_updates = True
+    # pending insert/delete queues merge on demand during every search, so
+    # the inherited reorganizes_on_read=True is permanent for this strategy
 
     def __init__(self, column, **options):
         super().__init__(column, **options)
@@ -245,7 +295,7 @@ class UpdatableCrackingStrategy(SearchStrategy):
         )
 
     def search(self, low, high, counters=None):
-        self.queries_processed += 1
+        self.note_query()
         return self.cracked.search(low, high, counters)
 
     def insert(self, value, counters=None, rowid=None):
@@ -286,6 +336,8 @@ class PartitionedUpdatableCrackingStrategy(SearchStrategy):
 
     name = "partitioned-updatable-cracking"
     supports_updates = True
+    # pending insert/delete queues merge on demand during every search, so
+    # the inherited reorganizes_on_read=True is permanent for this strategy
 
     def __init__(self, column, **options):
         super().__init__(column, **options)
@@ -303,7 +355,7 @@ class PartitionedUpdatableCrackingStrategy(SearchStrategy):
         )
 
     def search(self, low, high, counters=None):
-        self.queries_processed += 1
+        self.note_query()
         return self.cracked.search(low, high, counters)
 
     def insert(self, value, counters=None, rowid=None):
@@ -355,8 +407,14 @@ class StochasticCrackingStrategy(SearchStrategy):
             sort_threshold=options.get("sort_threshold", 0),
         )
 
+    @property
+    def reorganizes_on_read(self) -> bool:
+        """Mutating (query cracks plus auxiliary random cuts) until the
+        cracker column becomes fully sorted."""
+        return not self.cracked.converged
+
     def search(self, low, high, counters=None):
-        self.queries_processed += 1
+        self.note_query()
         return self.cracked.search(low, high, counters)
 
     @property
@@ -379,8 +437,13 @@ class AdaptiveMergingStrategy(SearchStrategy):
             column, run_size=options.get("run_size")
         )
 
+    @property
+    def reorganizes_on_read(self) -> bool:
+        """Mutating until every run has drained into the final partition."""
+        return not self.index.fully_merged
+
     def search(self, low, high, counters=None):
-        self.queries_processed += 1
+        self.note_query()
         return self.index.search(low, high, counters)
 
     @property
@@ -411,8 +474,15 @@ class _HybridStrategyBase(SearchStrategy):
             radix_bits=options.get("radix_bits", 4),
         )
 
+    @property
+    def reorganizes_on_read(self) -> bool:
+        """Mutating until the hybrid converges: all tuples merged into the
+        final partition *and* every final piece sorted (crack/radix final
+        pieces keep cracking on partial overlap and never converge)."""
+        return not self.index.read_only_under_selection
+
     def search(self, low, high, counters=None):
-        self.queries_processed += 1
+        self.note_query()
         return self.index.search(low, high, counters)
 
     @property

@@ -1,0 +1,250 @@
+"""Per-access-path concurrency control for batch execution.
+
+The tutorial's central premise is that adaptive indexes physically
+reorganise *during reads*: a selection through cracking, adaptive merging, a
+hybrid or an updatable column moves data and rewrites index bookkeeping as a
+side effect of answering.  Two such selections over one access path must
+therefore never run concurrently.  But the opposite is just as important:
+an access path that does **not** reorganise on read — a plain scan, a full
+offline index, a cracked column that has become fully sorted, an adaptive
+merging index whose runs are drained, a converged hybrid — is a pure reader
+and any number of queries may fan out over it at once.
+
+This module gives :meth:`~repro.engine.database.Database.execute_many` that
+distinction:
+
+* :func:`reorganizes_on_read` asks the configured access path of one
+  ``(table, column)`` whether a selection can still mutate it, preferring
+  the ``reorganizes_on_read`` capability flag every
+  :class:`~repro.core.strategies.SearchStrategy` carries;
+* :func:`classify_plan` turns a planned query into
+  :class:`AccessPathClaim` records — one per access path the plan
+  dispatches through, shared (read-only) or exclusive (mutating);
+* :func:`schedule_batch` partitions a batch into tasks: queries claiming
+  the same exclusive access path stay on one task in submission order
+  (so the physical reorganisation sequence — and with it every answer and
+  every cost counter — is identical to sequential execution), while
+  read-only queries become singleton tasks that fan out freely;
+* :class:`AccessPathLockManager` hands out one lock per access-path key so
+  exclusive execution is also protected against concurrent batches.
+
+Classification happens once per batch, before any query runs: a path that
+converges (for example, a cracked column that becomes fully sorted) in the
+middle of a batch keeps its exclusive claim until the batch ends, which is
+conservative but keeps scheduling deterministic.
+
+Scope of the protection: concurrency control covers queries issued
+*through batches* — concurrently issued ``execute_many`` calls serialize
+their mutating claims on the shared per-path locks.  The single-query
+``Database.execute`` front door and DML take no path locks and must not
+run concurrently with a batch touching the same mutating paths.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+#: access-path key: ("path", table, column) or ("sideways", table)
+PathKey = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class AccessPathClaim:
+    """One access path a planned query dispatches through.
+
+    ``exclusive`` is True when a selection through the path can physically
+    reorganise it (so queries claiming it must serialize, in submission
+    order), False when the path is read-only under selection.
+    """
+
+    key: PathKey
+    exclusive: bool
+
+
+@dataclass
+class BatchSchedule:
+    """The task decomposition of one batch (see :func:`schedule_batch`)."""
+
+    #: query positions per task; exclusive tasks preserve submission order
+    tasks: List[List[int]] = field(default_factory=list)
+    #: claims per query position (aligned with the submitted batch)
+    claims: List[List[AccessPathClaim]] = field(default_factory=list)
+    #: number of tasks serialized by at least one exclusive access path
+    exclusive_groups: int = 0
+    #: number of queries that claim no exclusive access path
+    read_only_queries: int = 0
+
+    @property
+    def max_concurrency(self) -> int:
+        """Number of tasks that could run at the same time."""
+        return len(self.tasks)
+
+
+@dataclass
+class BatchExecutionReport:
+    """Introspection record of the last ``execute_many`` call."""
+
+    query_count: int = 0
+    task_count: int = 0
+    exclusive_groups: int = 0
+    read_only_queries: int = 0
+    parallel: bool = False
+    workers_used: int = 0
+    #: distinct worker thread names that executed at least one query
+    worker_names: Tuple[str, ...] = ()
+
+
+def reorganizes_on_read(database, table: str, column: str) -> bool:
+    """True when a selection on ``table.column`` can mutate its access path.
+
+    Managed modes are classified directly: a plain scan reads the base
+    column, a full offline index answers with pure binary searches, while
+    the online and soft-index tuners update recommendation statistics (and
+    may build an index) on every selection.  Adaptive strategies are asked
+    through their ``reorganizes_on_read`` capability flag; a path without
+    the flag is conservatively treated as mutating.
+    """
+    mode = database.indexing_mode(table, column) or "scan"
+    path = database.access_path(table, column)
+    if mode == "scan" or path is None:
+        return False
+    if mode == "full-index":
+        return False
+    if mode in ("online", "soft"):
+        return True
+    return bool(getattr(path, "reorganizes_on_read", True))
+
+
+def classify_plan(
+    database,
+    plan,
+    exclusivity_cache: Optional[Dict[PathKey, bool]] = None,
+) -> List[AccessPathClaim]:
+    """Access-path claims of one planned query.
+
+    Only the selection steps that dispatch through an access path generate
+    claims; refinement, reconstruction and aggregation read base columns
+    (immutable during a batch) and tombstones (lock-protected) only.
+    Sideways cracking always claims exclusively: the cracker maps — and a
+    possibly shared storage budget — mutate on every select, so sideways
+    queries serialize per table.
+    """
+    cache = exclusivity_cache if exclusivity_cache is not None else {}
+    claims: Dict[PathKey, AccessPathClaim] = {}
+    for step in plan.access_path_steps():
+        if step.operator == "sideways_select":
+            key: PathKey = ("sideways", step.table)
+            exclusive = True
+        else:
+            key = ("path", step.table, step.column)
+            if step.operator == "scan_select":
+                exclusive = False
+            else:  # index_select
+                if key not in cache:
+                    # classify under the path's execution lock: a batch
+                    # issued from another thread may be cracking this very
+                    # column, and a convergence check (which latches) must
+                    # never observe a mid-crack array
+                    manager = getattr(database, "_path_locks", None)
+                    guard = (
+                        manager.lock_for(key) if manager is not None
+                        else nullcontext()
+                    )
+                    with guard:
+                        cache[key] = reorganizes_on_read(
+                            database, step.table, step.column
+                        )
+                exclusive = cache[key]
+        existing = claims.get(key)
+        if existing is None or (exclusive and not existing.exclusive):
+            claims[key] = AccessPathClaim(key, exclusive)
+    return list(claims.values())
+
+
+def schedule_batch(database, plans: Sequence) -> BatchSchedule:
+    """Partition a batch of plans into independently executable tasks.
+
+    Queries whose exclusive claims touch a common access path land on the
+    same task, in submission order (transitively: a query claiming two
+    paths merges their tasks), so per-path execution order — and with it
+    the reorganisation sequence — matches sequential execution exactly.
+    Queries with only shared claims become singleton tasks.
+    """
+    cache: Dict[PathKey, bool] = {}
+    schedule = BatchSchedule()
+    schedule.claims = [classify_plan(database, plan, cache) for plan in plans]
+
+    # union-find over exclusive path keys: one component = one task
+    parent: Dict[PathKey, PathKey] = {}
+
+    def find(key: PathKey) -> PathKey:
+        root = key
+        while parent[root] != root:
+            root = parent[root]
+        while parent[key] != root:  # path compression
+            parent[key], key = root, parent[key]
+        return root
+
+    for claims in schedule.claims:
+        exclusive_keys = [c.key for c in claims if c.exclusive]
+        for key in exclusive_keys:
+            parent.setdefault(key, key)
+        for left, right in zip(exclusive_keys, exclusive_keys[1:]):
+            parent[find(left)] = find(right)
+
+    groups: Dict[PathKey, List[int]] = {}
+    for position, claims in enumerate(schedule.claims):
+        exclusive_keys = [c.key for c in claims if c.exclusive]
+        if not exclusive_keys:
+            schedule.tasks.append([position])
+            schedule.read_only_queries += 1
+            continue
+        root = find(exclusive_keys[0])
+        group = groups.get(root)
+        if group is None:
+            group = groups[root] = []
+            schedule.tasks.append(group)
+            schedule.exclusive_groups += 1
+        group.append(position)
+    return schedule
+
+
+class AccessPathLockManager:
+    """One lock per access-path key, created on first use.
+
+    The scheduler already keeps exclusive claims of one batch on disjoint
+    tasks, so within a batch these locks never contend; they additionally
+    serialize mutating access across *concurrent* batches issued from
+    different threads.  Keys are never removed: the registry stays small
+    (one entry per (table, column) ever claimed) and a lock outliving a
+    dropped table is harmless.
+    """
+
+    def __init__(self) -> None:
+        self._locks: Dict[PathKey, threading.Lock] = {}
+        self._registry_guard = threading.Lock()
+
+    def lock_for(self, key: PathKey) -> threading.Lock:
+        """The lock guarding ``key`` (created on first request)."""
+        with self._registry_guard:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = self._locks[key] = threading.Lock()
+            return lock
+
+    @contextmanager
+    def locked(self, claims: Sequence[AccessPathClaim]):
+        """Hold the locks of every exclusive claim (sorted, deadlock-free)."""
+        keys = sorted({claim.key for claim in claims if claim.exclusive})
+        locks = [self.lock_for(key) for key in keys]
+        for lock in locks:
+            lock.acquire()
+        try:
+            yield
+        finally:
+            for lock in reversed(locks):
+                lock.release()

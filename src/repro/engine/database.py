@@ -23,10 +23,19 @@ any adaptive strategy name (``"cracking"``, ``"adaptive-merging"``,
 Additionally a table can be put under **sideways cracking** for a selection
 attribute (:meth:`enable_sideways`), which takes over multi-column
 select/project queries on that attribute.
+
+Batches (:meth:`Database.execute_many`) run under **per-access-path
+concurrency control** (:mod:`repro.engine.concurrency`): queries through
+access paths that physically reorganise on read serialize per path in
+submission order, while queries through read-only paths fan out over a
+thread pool — with answers and cost counters bit-identical to sequential
+execution either way.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
@@ -42,6 +51,11 @@ from repro.core.strategies import SearchStrategy, available_strategies, create_s
 from repro.cost.counters import CostCounters
 from repro.cost.stats import QueryStatistics, WorkloadStatistics
 from repro.cost.timer import Timer
+from repro.engine.concurrency import (
+    AccessPathLockManager,
+    BatchExecutionReport,
+    schedule_batch,
+)
 from repro.engine.executor import Executor, QueryResult
 from repro.engine.planner import Plan, Planner
 from repro.engine.query import Query
@@ -72,6 +86,17 @@ class Database:
         self._deleted_rows: Dict[str, set] = {}
         # table -> sorted tombstone array, rebuilt lazily when stale
         self._tombstone_cache: Dict[str, np.ndarray] = {}
+        # guards tombstone-set mutation and cache rebuild: parallel batch
+        # workers read tombstones concurrently, and without the lock two
+        # rebuilds could race a concurrent delete mid-iteration
+        self._tombstone_lock = threading.Lock()
+        # per-access-path execution locks used by execute_many
+        self._path_locks = AccessPathLockManager()
+        # guards engine-level bookkeeping (queries_executed,
+        # last_batch_report) against concurrently issued batches
+        self._engine_stats_lock = threading.Lock()
+        #: introspection record of the most recent execute_many call
+        self.last_batch_report: Optional[BatchExecutionReport] = None
         self.memory = MemoryTracker()
         self.planner = Planner(self)
         self.executor = Executor(self)
@@ -291,9 +316,12 @@ class Database:
         if not 0 <= rowid < owning_table.row_count:
             raise KeyError(f"unknown row identifier {rowid} in table {table!r}")
         deleted = self._deleted_rows.setdefault(table, set())
-        if rowid in deleted:
-            return
-        deleted.add(rowid)
+        # mutate the tombstone set under the lock so a concurrent cache
+        # rebuild never iterates a set that changes size underneath it
+        with self._tombstone_lock:
+            if rowid in deleted:
+                return
+            deleted.add(rowid)
         for (owner, column_name), path in self._access_paths.items():
             if owner == table and getattr(path, "supports_updates", False):
                 path.delete(rowid, counters)
@@ -348,16 +376,27 @@ class Database:
         """Sorted tombstone positions of ``table`` (None when there are none).
 
         The array is cached and rebuilt lazily; tombstone sets only grow, so
-        a length mismatch is the complete staleness signal.
+        a length mismatch is the complete staleness signal.  Parallel batch
+        workers call this concurrently: the fast path reads the published
+        (immutable once published) array without locking, while a stale or
+        missing cache is rebuilt under ``_tombstone_lock`` — build first,
+        publish the finished array last, and re-check staleness under the
+        lock so concurrent workers never duplicate or tear a rebuild.
         """
         deleted = self._deleted_rows.get(table)
         if not deleted:
             return None
         cached = self._tombstone_cache.get(table)
-        if cached is None or len(cached) != len(deleted):
-            cached = np.fromiter(deleted, dtype=np.int64, count=len(deleted))
-            cached.sort()
-            self._tombstone_cache[table] = cached
+        if cached is not None and len(cached) == len(deleted):
+            return cached
+        with self._tombstone_lock:
+            # another worker may have rebuilt while this one waited
+            cached = self._tombstone_cache.get(table)
+            if cached is None or len(cached) != len(deleted):
+                rebuilt = np.fromiter(deleted, dtype=np.int64, count=len(deleted))
+                rebuilt.sort()
+                self._tombstone_cache[table] = rebuilt
+                cached = rebuilt
         return cached
 
     def visible_positions(self, table: str, positions: np.ndarray) -> np.ndarray:
@@ -444,19 +483,33 @@ class Database:
         return self.planner.plan(query)
 
     def execute(self, query: Query) -> QueryResult:
-        """Plan and execute a query, recording per-query statistics."""
+        """Plan and execute a query, recording per-query statistics.
+
+        This single-query front door takes **no** access-path locks (the
+        per-query classification cost would burden every workload): like
+        DML, it must not be called concurrently with a running
+        :meth:`execute_many` batch that touches the same mutating access
+        paths.  Issue concurrent work as batches — the batch scheduler
+        serializes mutating paths across concurrently issued batches.
+        """
         result = self._execute_single(query)
-        self.queries_executed += 1
+        with self._engine_stats_lock:
+            self.queries_executed += 1
         return result
 
-    def _execute_single(self, query: Query) -> QueryResult:
-        """Plan and execute one query without touching shared bookkeeping."""
+    def _execute_single(
+        self, query: Query, plan: Optional[Plan] = None
+    ) -> QueryResult:
+        """Plan (unless pre-planned) and execute one query without touching
+        shared bookkeeping; stamps the executing thread on the result."""
         counters = CostCounters()
         timer = Timer()
-        plan = self.planner.plan(query)
+        if plan is None:
+            plan = self.planner.plan(query)
         with timer:
             result = self.executor.execute(plan, counters)
         result.elapsed_seconds = timer.elapsed
+        result.worker = threading.current_thread().name
         return result
 
     def execute_many(
@@ -467,36 +520,84 @@ class Database:
     ) -> List[QueryResult]:
         """Execute a batch of queries, each with its own :class:`CostCounters`.
 
-        Results are returned in submission order.  With ``parallel=True`` the
-        batch fans out over a thread pool, but queries that touch the *same
-        table* stay on one worker and run in submission order: adaptive
-        access paths (cracking et al.) physically reorganise themselves
-        during a selection, so two concurrent queries over one table could
-        race on the same cracker column.  Queries over different tables share
-        no physical structures and run fully concurrently.
+        Results are returned in submission order.  With ``parallel=True``
+        the batch fans out over a thread pool under **per-access-path**
+        concurrency control (:mod:`repro.engine.concurrency`): every
+        planned query is classified by the (table, column) access paths it
+        dispatches through and by whether each path physically reorganises
+        itself during a selection — the ``reorganizes_on_read`` capability
+        flag of the configured strategy.
+
+        * Queries touching only *read-only* paths — plain scans, full
+          offline indexes, converged adaptive structures (a fully sorted
+          cracked column, a fully merged adaptive-merging index, a
+          converged hybrid with sorted final pieces) — fan out freely, any
+          number at a time, sharing lock-free tombstone snapshots.
+        * Queries touching a *mutating* path (cracking, stochastic
+          cracking, updatable/partitioned variants before convergence,
+          online and soft-index tuners, sideways cracking) serialize per
+          access path, in submission order — so cracking ``T.a`` no longer
+          blocks scanning ``T.b``, while two cracks of ``T.a`` never race.
+
+        Because mutating paths execute their queries in submission order
+        and read-only paths cannot change during the batch (DML must not
+        run concurrently with a batch), every result — positions, columns,
+        aggregates and cost counters — is bit-identical to sequential
+        execution.  Classification happens once, before the first query
+        runs, for the sequential path as well, so both modes traverse the
+        same code paths.  The task decomposition and the worker fan-out of
+        the last call are exposed as :attr:`last_batch_report`.
+
+        ``max_workers`` must be a positive worker count (or None for the
+        default: one worker per independent task, capped at the CPU count).
         """
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(
+                f"max_workers must be a positive worker count, got {max_workers}"
+            )
         queries = list(queries)
-        if not parallel or len(queries) <= 1:
-            return [self.execute(query) for query in queries]
+        if not queries:
+            self.last_batch_report = BatchExecutionReport(parallel=parallel)
+            return []
 
-        groups: Dict[str, List[int]] = {}
-        for position, query in enumerate(queries):
-            groups.setdefault(query.table, []).append(position)
-
+        plans = [self.planner.plan(query) for query in queries]
+        schedule = schedule_batch(self, plans)
         results: List[Optional[QueryResult]] = [None] * len(queries)
 
-        def run_group(positions: List[int]) -> None:
+        def run_task(positions: List[int]) -> None:
             for position in positions:
-                results[position] = self._execute_single(queries[position])
+                claims = schedule.claims[position]
+                with self._path_locks.locked(claims):
+                    results[position] = self._execute_single(
+                        queries[position], plans[position]
+                    )
 
-        workers = max_workers or len(groups)
-        with ThreadPoolExecutor(
-            max_workers=max(1, workers), thread_name_prefix="repro-batch"
-        ) as pool:
-            futures = [pool.submit(run_group, g) for g in groups.values()]
-            for future in futures:
-                future.result()
-        self.queries_executed += len(queries)
+        if not parallel or len(schedule.tasks) <= 1:
+            for task in schedule.tasks:
+                run_task(task)
+        else:
+            workers = max_workers or min(
+                len(schedule.tasks), max(2, os.cpu_count() or 2)
+            )
+            with ThreadPoolExecutor(
+                max_workers=max(1, workers), thread_name_prefix="repro-batch"
+            ) as pool:
+                futures = [pool.submit(run_task, task) for task in schedule.tasks]
+                for future in futures:
+                    future.result()
+
+        worker_names = tuple(sorted({r.worker for r in results if r is not None}))
+        with self._engine_stats_lock:
+            self.queries_executed += len(queries)
+            self.last_batch_report = BatchExecutionReport(
+                query_count=len(queries),
+                task_count=len(schedule.tasks),
+                exclusive_groups=schedule.exclusive_groups,
+                read_only_queries=schedule.read_only_queries,
+                parallel=parallel,
+                workers_used=len(worker_names),
+                worker_names=worker_names,
+            )
         return results
 
     def run_workload(

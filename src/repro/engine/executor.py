@@ -30,6 +30,8 @@ class QueryResult:
     counters: CostCounters = field(default_factory=CostCounters)
     elapsed_seconds: float = 0.0
     plan_description: str = ""
+    #: name of the thread that executed the query (batch fan-out visibility)
+    worker: str = ""
 
     @property
     def row_count(self) -> int:

@@ -45,6 +45,20 @@ class Plan:
     query: Query
     steps: List[PlanStep] = field(default_factory=list)
 
+    def access_path_steps(self) -> List[PlanStep]:
+        """Steps that dispatch through a (table, column) access path.
+
+        These are the steps whose execution can touch a shared physical
+        structure — the batch scheduler
+        (:mod:`repro.engine.concurrency`) classifies a query's concurrency
+        claims from exactly this list.  Refinement, reconstruction and
+        aggregation steps read immutable base columns only and are absent.
+        """
+        return [
+            step for step in self.steps
+            if step.operator in ("scan_select", "index_select", "sideways_select")
+        ]
+
     def explain(self) -> str:
         """Human-readable plan description (EXPLAIN-style)."""
         lines = [f"plan for: {self.query.description or self.query.table}"]

@@ -36,6 +36,93 @@ class TestCorrectness:
         assert np.array_equal(a.values, b.values)
 
 
+class _ScriptedRNG:
+    """Deterministic stand-in for the column's random generator."""
+
+    def __init__(self, positions):
+        self.positions = list(positions)
+
+    def integers(self, start, end):
+        if self.positions:
+            return self.positions.pop(0)
+        return start
+
+
+class TestAuxiliaryPivotRetry:
+    """Regression: an unlucky DDR draw must not abort the shrink loop.
+
+    A random position holding the piece minimum yields a pivot with
+    ``pivot <= piece.low``, which cannot cut the piece — but it does not
+    prove the piece degenerate.  The shrink loop must retry a bounded
+    number of alternate positions before giving up.
+    """
+
+    def _column(self):
+        values = np.array(
+            [50, 10, 60, 10, 70, 80, 90, 95, 85, 75, 65, 55], dtype=np.int64
+        )
+        cracked = StochasticCrackedColumn(
+            values, variant="mdd1r", size_threshold_fraction=0.2, seed=0
+        )
+        cracked.search(None, None)  # materialise without cracking
+        cracked.crack_at(10.0)  # bounded piece: low becomes the minimum value
+        return cracked
+
+    def test_minimum_draw_is_retried(self):
+        cracked = self._column()
+        pieces_before = cracked.piece_count
+        # first draw lands on a minimum-valued element (position 1 holds 10,
+        # equal to the piece's low bound); second draw is cuttable (70)
+        cracked._rng = _ScriptedRNG([1, 4])
+        cracked._shrink_piece_containing(70.0, None, recursive=False)
+        assert cracked.index.has_boundary(70.0)
+        assert cracked.piece_count == pieces_before + 1
+        cracked.check_invariants()
+
+    def test_existing_boundary_draw_is_retried(self):
+        cracked = self._column()
+        cracked.crack_at(70.0)
+        pieces_before = cracked.piece_count
+        # first draw lands on 70 — already a boundary value, uncuttable —
+        # the retry then lands on 90, which cuts
+        piece = cracked.index.piece_for_value(90.0)
+        segment = cracked.values[piece.start:piece.end]
+        position_of_70 = piece.start + int(np.flatnonzero(segment == 70)[0])
+        position_of_90 = piece.start + int(np.flatnonzero(segment == 90)[0])
+        cracked._rng = _ScriptedRNG([position_of_70, position_of_90])
+        cracked._shrink_piece_containing(90.0, None, recursive=False)
+        assert cracked.index.has_boundary(90.0)
+        assert cracked.piece_count == pieces_before + 1
+        cracked.check_invariants()
+
+    def test_degenerate_piece_terminates(self):
+        values = np.full(200, 42, dtype=np.int64)
+        cracked = StochasticCrackedColumn(
+            values, variant="ddr", size_threshold_fraction=0.01, seed=5
+        )
+        result = cracked.search(10, 50)  # must not loop forever
+        assert len(result) == 200
+        cracked.check_invariants()
+
+    def test_seeded_duplicate_heavy_workload_stays_correct(self, reference):
+        rng = np.random.default_rng(11)
+        # minimum-heavy data: a third of all rows carry the smallest value,
+        # so random draws frequently land on an uncuttable position
+        values = np.concatenate(
+            [np.zeros(3_000, dtype=np.int64),
+             rng.integers(0, 10_000, size=6_000).astype(np.int64)]
+        )
+        rng.shuffle(values)
+        cracked = StochasticCrackedColumn(values, variant="ddr", seed=11)
+        for _ in range(25):
+            low = int(rng.integers(0, 9_000))
+            high = low + int(rng.integers(1, 1_000))
+            assert set(cracked.search(low, high).tolist()) == reference(
+                values, low, high
+            )
+        cracked.check_invariants()
+
+
 class TestRobustness:
     def _sequential_costs(self, column, n_queries=60, width=200):
         costs = []
