@@ -29,11 +29,16 @@ True
 from repro.core.adaptive_index import AdaptiveIndex
 from repro.core.strategies import available_strategies, create_strategy
 from repro.engine.database import Database
+from repro.engine.query import Query, QueryBuilder
+from repro.engine.session import Session
 from repro.version import __version__
 
 __all__ = [
     "AdaptiveIndex",
     "Database",
+    "Query",
+    "QueryBuilder",
+    "Session",
     "available_strategies",
     "create_strategy",
     "__version__",

@@ -11,12 +11,13 @@ writing any Python:
 ``python -m repro demo``
     a tiny guided run of database cracking showing per-query cost collapse;
 ``python -m repro updates``
-    drive a mixed query/insert/delete workload through the Database DML
-    (insert_row/delete_row) for any indexing strategy and report update
-    throughput and per-query cost;
+    drive a mixed query/insert/delete workload through the lock-aware
+    session front door (``Database.session()`` — queries via the fluent
+    builder, DML fenced on the table gate) for any indexing strategy and
+    report update throughput and per-query cost;
 ``python -m repro batch``
     execute a batch of same-table range queries through
-    ``Database.execute_many`` sequentially and (with ``--parallel``) under
+    ``Session.execute_many`` sequentially and (with ``--parallel``) under
     per-access-path concurrency control, verify the answers are identical,
     and report wall-clock plus the observed worker fan-out.
 
@@ -343,7 +344,6 @@ def _command_updates(args: argparse.Namespace) -> int:
 
     from repro.cost.model import DEFAULT_MAIN_MEMORY_MODEL
     from repro.engine.database import Database
-    from repro.engine.query import Query
     from repro.workloads.updates import mixed_update_workload
 
     if args.strategy != "scan" and args.strategy not in available_strategies():
@@ -389,27 +389,32 @@ def _command_updates(args: argparse.Namespace) -> int:
     update_seconds = 0.0
     query_seconds = 0.0
     update_count = 0
-    for operation in stream:
-        if operation.kind == "insert":
-            started = time.perf_counter()
-            live_rowids.append(database.insert_row("data", {"key": operation.value}))
-            update_seconds += time.perf_counter() - started
-            update_count += 1
-        elif operation.kind == "delete":
-            if live_rowids:
-                victim = live_rowids.pop(int(rng.integers(0, len(live_rowids))))
+    with database.session(name="updates-cli") as session:
+        for operation in stream:
+            if operation.kind == "insert":
                 started = time.perf_counter()
-                database.delete_row("data", victim)
+                live_rowids.append(
+                    session.insert_row("data", {"key": operation.value})
+                )
                 update_seconds += time.perf_counter() - started
                 update_count += 1
-        else:
-            query = operation.query
-            started = time.perf_counter()
-            result = database.execute(
-                Query.range_query("data", "key", query.low, query.high)
-            )
-            query_seconds += time.perf_counter() - started
-            query_costs.append(DEFAULT_MAIN_MEMORY_MODEL.cost(result.counters))
+            elif operation.kind == "delete":
+                if live_rowids:
+                    victim = live_rowids.pop(int(rng.integers(0, len(live_rowids))))
+                    started = time.perf_counter()
+                    session.delete_row("data", victim)
+                    update_seconds += time.perf_counter() - started
+                    update_count += 1
+            else:
+                query = operation.query
+                started = time.perf_counter()
+                result = (
+                    session.query("data")
+                    .where("key", query.low, query.high)
+                    .run()
+                )
+                query_seconds += time.perf_counter() - started
+                query_costs.append(DEFAULT_MAIN_MEMORY_MODEL.cost(result.counters))
 
     mean_cost = float(np.mean(query_costs)) if query_costs else 0.0
     tail = query_costs[-max(1, len(query_costs) // 10):]
@@ -477,12 +482,14 @@ def _command_batch(args: argparse.Namespace) -> int:
         database.create_table("data", {"key": values})
         if args.mode != "scan":
             database.set_indexing("data", "key", args.mode)
-        started = time.perf_counter()
-        results = database.execute_many(
-            queries, parallel=parallel, max_workers=args.max_workers
-        )
-        elapsed = time.perf_counter() - started
-        return results, elapsed, database.last_batch_report
+        with database.session(name="batch-cli") as session:
+            started = time.perf_counter()
+            results = session.execute_many(
+                queries, parallel=parallel, max_workers=args.max_workers
+            )
+            elapsed = time.perf_counter() - started
+            report = session.stats().last_batch_report
+        return results, elapsed, report
 
     sequential_results, sequential_seconds, report = run(parallel=False)
     print(

@@ -7,19 +7,31 @@ owns tables, each table's columns can be put under any indexing mode
 strategy), and queries are planned and executed through the same operators
 regardless of the mode — physical design differences stay invisible to the
 query author, exactly as adaptive indexing promises.
+
+The front door is the :class:`~repro.engine.session.Session`
+(``db.session()``): one lock-aware API for single queries, pipelined
+futures, batches and DML, all interleaving safely across sessions and
+threads with results bit-identical to a sequential per-access-path
+ordering.
 """
 
 from repro.engine.database import Database
-from repro.engine.query import Query, RangeSelection
+from repro.engine.query import Aggregate, Query, QueryBuilder, RangeSelection
 from repro.engine.planner import Planner, PlanStep
 from repro.engine.executor import Executor, QueryResult
+from repro.engine.session import OperationRecord, Session, SessionStats
 
 __all__ = [
+    "Aggregate",
     "Database",
     "Query",
+    "QueryBuilder",
     "RangeSelection",
     "Planner",
     "PlanStep",
     "Executor",
     "QueryResult",
+    "OperationRecord",
+    "Session",
+    "SessionStats",
 ]

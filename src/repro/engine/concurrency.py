@@ -33,11 +33,17 @@ converges (for example, a cracked column that becomes fully sorted) in the
 middle of a batch keeps its exclusive claim until the batch ends, which is
 conservative but keeps scheduling deterministic.
 
-Scope of the protection: concurrency control covers queries issued
-*through batches* — concurrently issued ``execute_many`` calls serialize
-their mutating claims on the shared per-path locks.  The single-query
-``Database.execute`` front door and DML take no path locks and must not
-run concurrently with a batch touching the same mutating paths.
+Scope of the protection: since the session front door
+(:mod:`repro.engine.session`) every entry point — single-query
+``execute``, pipelined ``submit``, batches and DML — runs under the same
+two-level protocol.  Level one is a per-table :class:`TableGate` (a fair
+readers-writer gate): queries hold it shared, DML holds it exclusive, so
+an insert or delete issued mid-batch is *fenced* behind the in-flight
+cracks instead of racing the access-path rebuild.  Level two is the
+per-access-path lock of :class:`AccessPathLockManager`, serializing
+mutating selections per path.  Gates are always acquired before path
+locks, gates in sorted table order, path locks in sorted key order — a
+fixed two-level hierarchy, so the protocol is deadlock-free.
 """
 
 from __future__ import annotations
@@ -248,3 +254,126 @@ class AccessPathLockManager:
         finally:
             for lock in reversed(locks):
                 lock.release()
+
+
+class TableGate:
+    """A fair readers-writer gate fencing DML against in-flight queries.
+
+    Queries (single, pipelined, or whole batches) hold the gate *shared*:
+    any number run at once, with the per-access-path locks arbitrating
+    mutating selections among them.  DML holds the gate *exclusive*: an
+    insert, delete or update waits until every in-flight query on the
+    table drains, then appends rows / rebuilds access paths / mutates
+    tombstones with nothing else running on the table.  This is the
+    batch-aware DML queue of the session front door — DML issued
+    mid-batch queues on the gate instead of racing the rebuild.
+
+    The gate is writer-preferring: once a DML operation is waiting, newly
+    arriving readers queue behind it, so a continuous query stream cannot
+    starve updates (the workload shape adaptive indexing is built for —
+    queries vastly outnumber updates — makes the symmetric starvation
+    direction a non-issue).  Not reentrant: neither side may re-acquire.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._waiting_writers = 0
+        #: times a DML operation had to wait for in-flight queries (or
+        #: another DML op) to drain — the observable "fence" count
+        self.fenced_writes = 0
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer_active or self._waiting_writers:
+                self._condition.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            if self._writer_active or self._active_readers:
+                self.fenced_writes += 1
+            self._waiting_writers += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._condition.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer_active = False
+            self._condition.notify_all()
+
+    @contextmanager
+    def read(self):
+        """Hold the gate shared (query side)."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        """Hold the gate exclusive (DML side)."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    @property
+    def pending_writers(self) -> int:
+        """DML operations currently queued on the gate."""
+        with self._condition:
+            return self._waiting_writers
+
+
+class TableGateRegistry:
+    """One :class:`TableGate` per table name, created on first use.
+
+    Like the path-lock registry, entries are never removed: a gate
+    outliving a dropped table is harmless and the registry stays small.
+    Multi-table acquisition (a cross-table batch) must enter gates in
+    sorted table order; DML only ever holds one gate.
+    """
+
+    def __init__(self) -> None:
+        self._gates: Dict[str, TableGate] = {}
+        self._registry_guard = threading.Lock()
+
+    def gate(self, table: str) -> TableGate:
+        with self._registry_guard:
+            gate = self._gates.get(table)
+            if gate is None:
+                gate = self._gates[table] = TableGate()
+            return gate
+
+    @contextmanager
+    def read(self, tables: Sequence[str]):
+        """Hold the gates of ``tables`` shared (sorted, deadlock-free)."""
+        gates = [self.gate(name) for name in sorted(set(tables))]
+        entered: List[TableGate] = []
+        try:
+            for gate in gates:
+                gate.acquire_read()
+                entered.append(gate)
+            yield
+        finally:
+            for gate in reversed(entered):
+                gate.release_read()
+
+    @contextmanager
+    def write(self, table: str):
+        """Hold one table's gate exclusive (the DML side)."""
+        with self.gate(table).write():
+            yield

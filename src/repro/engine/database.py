@@ -24,20 +24,22 @@ Additionally a table can be put under **sideways cracking** for a selection
 attribute (:meth:`enable_sideways`), which takes over multi-column
 select/project queries on that attribute.
 
-Batches (:meth:`Database.execute_many`) run under **per-access-path
-concurrency control** (:mod:`repro.engine.concurrency`): queries through
-access paths that physically reorganise on read serialize per path in
-submission order, while queries through read-only paths fan out over a
-thread pool — with answers and cost counters bit-identical to sequential
-execution either way.
+Execution goes through the **session front door**
+(:mod:`repro.engine.session`): ``db.session()`` yields a handle whose
+``execute``/``submit``/``execute_many`` and DML methods all run under the
+same two-level concurrency protocol — a per-table readers-writer gate
+fencing DML against in-flight queries, plus the per-access-path locks of
+:mod:`repro.engine.concurrency` serializing mutating selections.  The
+historical ``Database.execute`` / ``execute_many`` / ``run_workload`` and
+DML methods remain as thin wrappers delegating to a shared default
+session, so every entry point is safe to use concurrently and results
+plus cost counters stay bit-identical to a sequential per-access-path
+ordering of the same operations.
 """
 
 from __future__ import annotations
 
-import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -49,16 +51,18 @@ from repro.columnstore.table import Table
 from repro.core.cracking.sideways import SidewaysCracker
 from repro.core.strategies import SearchStrategy, available_strategies, create_strategy
 from repro.cost.counters import CostCounters
-from repro.cost.stats import QueryStatistics, WorkloadStatistics
+from repro.cost.stats import WorkloadStatistics
 from repro.cost.timer import Timer
 from repro.engine.concurrency import (
     AccessPathLockManager,
     BatchExecutionReport,
-    schedule_batch,
+    TableGate,
+    TableGateRegistry,
 )
 from repro.engine.executor import Executor, QueryResult
 from repro.engine.planner import Plan, Planner
-from repro.engine.query import Query
+from repro.engine.query import Query, QueryBuilder
+from repro.engine.session import OperationRecord, Session
 from repro.indexes.full_index import FullIndex
 from repro.indexes.online_tuner import OnlineIndexTuner
 from repro.indexes.soft_index import SoftIndexManager
@@ -90,19 +94,57 @@ class Database:
         # workers read tombstones concurrently, and without the lock two
         # rebuilds could race a concurrent delete mid-iteration
         self._tombstone_lock = threading.Lock()
-        # per-access-path execution locks used by execute_many
+        # per-access-path execution locks shared by every session
         self._path_locks = AccessPathLockManager()
+        # per-table readers-writer gates: queries shared, DML exclusive
+        self._table_gates = TableGateRegistry()
         # guards engine-level bookkeeping (queries_executed,
-        # last_batch_report) against concurrently issued batches
+        # last_batch_report, the operation journal) across sessions
         self._engine_stats_lock = threading.Lock()
         #: introspection record of the most recent execute_many call
         self.last_batch_report: Optional[BatchExecutionReport] = None
+        #: when True, every session operation is appended to the journal
+        #: (the linearized history replayed by the sequential oracle)
+        self.record_journal = False
+        self._journal: List[OperationRecord] = []
+        self._op_sequence = 0
+        # shared session backing the legacy execute/execute_many/DML wrappers
+        self._wrapper_session: Optional[Session] = None
         self.memory = MemoryTracker()
         self.planner = Planner(self)
         self.executor = Executor(self)
         self.queries_executed = 0
         self.rows_inserted = 0
         self.rows_deleted = 0
+
+    # -- sessions -----------------------------------------------------------------
+
+    def session(
+        self, name: Optional[str] = None, max_workers: Optional[int] = None
+    ) -> Session:
+        """Open a lock-aware session handle (use it context-managed).
+
+        All sessions on one database interleave safely: queries, pipelined
+        futures, batches and DML from any of them are equivalent to a
+        sequential per-access-path ordering of the same operations.
+        """
+        return Session(self, name=name, max_workers=max_workers)
+
+    def _default_session(self) -> Session:
+        """The shared session behind the legacy ``Database`` entry points."""
+        with self._engine_stats_lock:
+            if self._wrapper_session is None:
+                self._wrapper_session = Session(self, name=f"{self.name}-default")
+            return self._wrapper_session
+
+    def query(self, table: str) -> QueryBuilder:
+        """Fluent query builder bound to the default session.
+
+        ``db.query("T").where("a", lo, hi).select("b").agg("sum", "b").run()``
+        desugars to a :class:`Query` and executes it lock-aware.
+        """
+        session = self._default_session()
+        return QueryBuilder(table, runner=session.execute, submitter=session.submit)
 
     # -- schema management --------------------------------------------------------
 
@@ -237,6 +279,21 @@ class Database:
     ) -> int:
         """Insert one row (a mapping column-name -> value); returns its rowid.
 
+        Thin wrapper delegating to the default session: the insert holds
+        the table gate exclusive (fenced against in-flight queries and
+        batches) and every access-path absorb/rebuild runs under that
+        path's lock.  See :meth:`Session.insert_row`.
+        """
+        return self._default_session().insert_row(table, values, counters)
+
+    def _insert_row_locked(
+        self,
+        table: str,
+        values: Mapping[str, Union[int, float]],
+        counters: Optional[CostCounters] = None,
+    ) -> int:
+        """Insert one row; the caller holds the table's write gate.
+
         The row is appended to every column of the table, so existing row
         positions never shift.  Every configured access path stays
         consistent: updatable strategies absorb the insert through their
@@ -253,16 +310,23 @@ class Database:
         self.memory.set_usage(f"table:{table}", owning_table.nbytes)
         for (owner, column_name), mode in list(self._modes.items()):
             if owner == table:
-                self._absorb_insert(
-                    table, column_name, mode, values[column_name], rowid, counters
-                )
+                # the rebuild/absorb additionally holds the owning
+                # access-path lock, so even a caller that bypasses the
+                # gates cannot race a selection through this path
+                with self._path_locks.lock_for(("path", table, column_name)):
+                    self._absorb_insert(
+                        table, column_name, mode, values[column_name], rowid,
+                        counters,
+                    )
         # sideways cracker maps are non-incremental copies: drop them so they
         # re-materialise (and replay the crack history) from the grown table
-        for cracker in self._sideways.get(table, {}).values():
-            for cracker_map in list(cracker.maps.values()):
-                cracker.budget.release(cracker_map.nbytes)
-            cracker.maps.clear()
-        self.rows_inserted += 1
+        with self._path_locks.lock_for(("sideways", table)):
+            for cracker in self._sideways.get(table, {}).values():
+                for cracker_map in list(cracker.maps.values()):
+                    cracker.budget.release(cracker_map.nbytes)
+                cracker.maps.clear()
+        with self._engine_stats_lock:
+            self.rows_inserted += 1
         return rowid
 
     def _absorb_insert(
@@ -305,6 +369,19 @@ class Database:
     ) -> None:
         """Delete the row identified by ``rowid`` (idempotent).
 
+        Thin wrapper delegating to the default session (fenced on the
+        table gate).  See :meth:`Session.delete_row`.
+        """
+        self._default_session().delete_row(table, rowid, counters)
+
+    def _delete_row_locked(
+        self,
+        table: str,
+        rowid: int,
+        counters: Optional[CostCounters] = None,
+    ) -> None:
+        """Delete one row; the caller holds the table's write gate.
+
         The base columns are not compacted — the position is tombstoned so
         every other rowid stays stable — and updatable access paths queue a
         pending delete, merged on demand by the next query that touches the
@@ -324,13 +401,15 @@ class Database:
             deleted.add(rowid)
         for (owner, column_name), path in self._access_paths.items():
             if owner == table and getattr(path, "supports_updates", False):
-                path.delete(rowid, counters)
-                self.memory.set_usage(
-                    f"index:{table}.{column_name}", path.nbytes
-                )
+                with self._path_locks.lock_for(("path", table, column_name)):
+                    path.delete(rowid, counters)
+                    self.memory.set_usage(
+                        f"index:{table}.{column_name}", path.nbytes
+                    )
         if counters is not None:
             counters.record_move(1)
-        self.rows_deleted += 1
+        with self._engine_stats_lock:
+            self.rows_deleted += 1
 
     def update_row(
         self,
@@ -340,6 +419,20 @@ class Database:
         counters: Optional[CostCounters] = None,
     ) -> int:
         """Update = delete the old row + insert the changed one; returns the new rowid.
+
+        Thin wrapper delegating to the default session: both halves run
+        under one table-gate fence.  See :meth:`Session.update_row`.
+        """
+        return self._default_session().update_row(table, rowid, values, counters)
+
+    def _update_row_locked(
+        self,
+        table: str,
+        rowid: int,
+        values: Mapping[str, Union[int, float]],
+        counters: Optional[CostCounters] = None,
+    ) -> int:
+        """Update one row; the caller holds the table's write gate.
 
         ``values`` names the columns to change; unmentioned columns keep the
         old row's values.  This mirrors how the update machinery treats an
@@ -369,8 +462,8 @@ class Database:
             owning_table.column(name).dtype.validate_array(
                 np.atleast_1d(np.asarray(value))
             )
-        self.delete_row(table, rowid, counters)
-        return self.insert_row(table, row, counters)
+        self._delete_row_locked(table, rowid, counters)
+        return self._insert_row_locked(table, row, counters)
 
     def _tombstones(self, table: str) -> Optional[np.ndarray]:
         """Sorted tombstone positions of ``table`` (None when there are none).
@@ -485,17 +578,13 @@ class Database:
     def execute(self, query: Query) -> QueryResult:
         """Plan and execute a query, recording per-query statistics.
 
-        This single-query front door takes **no** access-path locks (the
-        per-query classification cost would burden every workload): like
-        DML, it must not be called concurrently with a running
-        :meth:`execute_many` batch that touches the same mutating access
-        paths.  Issue concurrent work as batches — the batch scheduler
-        serializes mutating paths across concurrently issued batches.
+        Thin wrapper delegating to the default session: the query holds
+        its table's gate shared and the exclusive locks of every mutating
+        access path it dispatches through, so this front door is safe to
+        call concurrently with batches, pipelined sessions and DML.  See
+        :meth:`Session.execute`.
         """
-        result = self._execute_single(query)
-        with self._engine_stats_lock:
-            self.queries_executed += 1
-        return result
+        return self._default_session().execute(query)
 
     def _execute_single(
         self, query: Query, plan: Optional[Plan] = None
@@ -520,106 +609,82 @@ class Database:
     ) -> List[QueryResult]:
         """Execute a batch of queries, each with its own :class:`CostCounters`.
 
-        Results are returned in submission order.  With ``parallel=True``
-        the batch fans out over a thread pool under **per-access-path**
-        concurrency control (:mod:`repro.engine.concurrency`): every
-        planned query is classified by the (table, column) access paths it
-        dispatches through and by whether each path physically reorganises
-        itself during a selection — the ``reorganizes_on_read`` capability
-        flag of the configured strategy.
-
-        * Queries touching only *read-only* paths — plain scans, full
-          offline indexes, converged adaptive structures (a fully sorted
-          cracked column, a fully merged adaptive-merging index, a
-          converged hybrid with sorted final pieces) — fan out freely, any
-          number at a time, sharing lock-free tombstone snapshots.
-        * Queries touching a *mutating* path (cracking, stochastic
-          cracking, updatable/partitioned variants before convergence,
-          online and soft-index tuners, sideways cracking) serialize per
-          access path, in submission order — so cracking ``T.a`` no longer
-          blocks scanning ``T.b``, while two cracks of ``T.a`` never race.
-
-        Because mutating paths execute their queries in submission order
-        and read-only paths cannot change during the batch (DML must not
-        run concurrently with a batch), every result — positions, columns,
-        aggregates and cost counters — is bit-identical to sequential
-        execution.  Classification happens once, before the first query
-        runs, for the sequential path as well, so both modes traverse the
-        same code paths.  The task decomposition and the worker fan-out of
-        the last call are exposed as :attr:`last_batch_report`.
-
-        ``max_workers`` must be a positive worker count (or None for the
-        default: one worker per independent task, capped at the CPU count).
+        Thin wrapper delegating to the default session.  Results come back
+        in submission order; with ``parallel=True`` the batch fans out over
+        a thread pool under per-access-path concurrency control — queries
+        through read-only paths (scans, full indexes, converged adaptive
+        structures) run any number at a time, queries through mutating
+        paths (cracking et al.) serialize per path in submission order, so
+        answers and cost counters stay bit-identical to sequential
+        execution.  The batch holds the gates of every referenced table
+        shared for its duration, so DML issued meanwhile queues behind it
+        instead of racing the in-flight cracks.  The task decomposition of
+        the last call is exposed as :attr:`last_batch_report`.  See
+        :meth:`Session.execute_many`.
         """
-        if max_workers is not None and max_workers < 1:
-            raise ValueError(
-                f"max_workers must be a positive worker count, got {max_workers}"
-            )
-        queries = list(queries)
-        if not queries:
-            self.last_batch_report = BatchExecutionReport(parallel=parallel)
-            return []
-
-        plans = [self.planner.plan(query) for query in queries]
-        schedule = schedule_batch(self, plans)
-        results: List[Optional[QueryResult]] = [None] * len(queries)
-
-        def run_task(positions: List[int]) -> None:
-            for position in positions:
-                claims = schedule.claims[position]
-                with self._path_locks.locked(claims):
-                    results[position] = self._execute_single(
-                        queries[position], plans[position]
-                    )
-
-        if not parallel or len(schedule.tasks) <= 1:
-            for task in schedule.tasks:
-                run_task(task)
-        else:
-            workers = max_workers or min(
-                len(schedule.tasks), max(2, os.cpu_count() or 2)
-            )
-            with ThreadPoolExecutor(
-                max_workers=max(1, workers), thread_name_prefix="repro-batch"
-            ) as pool:
-                futures = [pool.submit(run_task, task) for task in schedule.tasks]
-                for future in futures:
-                    future.result()
-
-        worker_names = tuple(sorted({r.worker for r in results if r is not None}))
-        with self._engine_stats_lock:
-            self.queries_executed += len(queries)
-            self.last_batch_report = BatchExecutionReport(
-                query_count=len(queries),
-                task_count=len(schedule.tasks),
-                exclusive_groups=schedule.exclusive_groups,
-                read_only_queries=schedule.read_only_queries,
-                parallel=parallel,
-                workers_used=len(worker_names),
-                worker_names=worker_names,
-            )
-        return results
+        return self._default_session().execute_many(
+            queries, parallel=parallel, max_workers=max_workers
+        )
 
     def run_workload(
         self, queries: Iterable[Query], strategy_label: str = ""
     ) -> WorkloadStatistics:
-        """Execute a sequence of queries, returning per-query statistics."""
-        statistics = WorkloadStatistics(strategy=strategy_label)
-        for index, query in enumerate(queries):
-            result = self.execute(query)
-            statistics.append(
-                QueryStatistics(
-                    query_index=index,
-                    elapsed_seconds=result.elapsed_seconds,
-                    counters=result.counters,
-                    result_count=result.row_count,
-                    strategy=strategy_label,
-                    description=query.description,
+        """Execute a sequence of queries, returning per-query statistics.
+
+        Thin wrapper delegating to the default session (see
+        :meth:`Session.run_workload`).
+        """
+        return self._default_session().run_workload(queries, strategy_label)
+
+    # -- linearization journal ------------------------------------------------------------
+
+    def _journal_record(
+        self, kind: str, table: str, payload, result, session: str = ""
+    ) -> int:
+        """Stamp one operation with the next linearization sequence number.
+
+        Called by sessions while the operation still holds its gate / path
+        locks, so sequence order restricted to any single access path (and
+        to any single table's DML-vs-query order) matches the order the
+        operations actually touched that path.  Records are only kept when
+        :attr:`record_journal` is set; the sequence always advances.  The
+        ``queries_executed`` counter piggybacks on the same critical
+        section — every query flows through here exactly once.
+        """
+        with self._engine_stats_lock:
+            sequence = self._op_sequence
+            self._op_sequence += 1
+            if kind == "query":
+                self.queries_executed += 1
+            if self.record_journal:
+                self._journal.append(
+                    OperationRecord(
+                        sequence=sequence,
+                        kind=kind,
+                        table=table,
+                        payload=payload,
+                        result=result,
+                        session=session,
+                    )
                 )
-            )
-        return statistics
+        return sequence
+
+    def operation_journal(self) -> List[OperationRecord]:
+        """Snapshot of the recorded operation journal, in sequence order."""
+        with self._engine_stats_lock:
+            return list(self._journal)
+
+    def clear_journal(self) -> None:
+        """Drop all recorded journal entries (the sequence keeps advancing)."""
+        with self._engine_stats_lock:
+            self._journal.clear()
 
     # -- introspection --------------------------------------------------------------------
+
+    def table_gate(self, table: str) -> TableGate:
+        """The readers-writer gate fencing DML on ``table`` (introspection:
+        ``fenced_writes`` counts DML operations that had to wait)."""
+        return self._table_gates.gate(table)
 
     def rebalance_stats(self) -> List[Dict[str, object]]:
         """One record per partitioned access path: partition load and

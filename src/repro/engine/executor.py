@@ -32,6 +32,10 @@ class QueryResult:
     plan_description: str = ""
     #: name of the thread that executed the query (batch fan-out visibility)
     worker: str = ""
+    #: engine-wide linearization stamp assigned by the session front door
+    #: (-1 when the query bypassed it); orders this query against every
+    #: other session operation per access path
+    sequence: int = -1
 
     @property
     def row_count(self) -> int:

@@ -5,6 +5,13 @@ query workload, records per-query logical costs and wall-clock times, and
 reports the benchmark's two metrics (initialization cost of the first query,
 convergence point) plus total cost — everything the experiment scripts under
 ``benchmarks/`` need to regenerate the figures listed in EXPERIMENTS.md.
+
+Two execution surfaces are offered: :meth:`run_strategy` drives a bare
+strategy object (the historical micro-benchmark path), while
+:meth:`run_in_engine` routes the same workload through a full
+``Database`` session — planner, executor, table gate and access-path
+locks included — so engine-level experiments (concurrent sessions,
+DML-during-batch) report metrics comparable to the strategy-level runs.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from repro.cost.counters import CostCounters
 from repro.cost.model import CostModel, DEFAULT_MAIN_MEMORY_MODEL
 from repro.cost.stats import QueryStatistics, WorkloadStatistics
 from repro.cost.timer import Timer
+from repro.engine.database import Database
 from repro.workloads.generators import RangeQuery
 from repro.workloads.metrics import (
     convergence_point,
@@ -193,6 +201,71 @@ class AdaptiveIndexingBenchmark:
             final_nbytes=strategy.nbytes,
             robustness=robustness_ratio(per_query) if per_query else 1.0,
             final_structure=strategy.structure_description,
+        )
+
+    def run_in_engine(
+        self, mode: str, label: Optional[str] = None, **options
+    ) -> StrategyRunResult:
+        """Run the workload through a Database session (the engine front door).
+
+        Builds a fresh single-table database, puts its key column under
+        ``mode`` (any managed mode or registered strategy; ``"scan"``
+        leaves it unindexed) and executes every query through the
+        lock-aware session builder.  For a pure selection workload the
+        recorded counters are identical to :meth:`run_strategy`'s — the
+        engine dispatches to the same structures — so both surfaces feed
+        the same summary tables.
+        """
+        label = label or f"engine:{mode}"
+        database = Database(f"bench-{mode}")
+        database.create_table("data", {"key": self.values})
+        if mode != "scan":
+            database.set_indexing("data", "key", mode, **options)
+        statistics = WorkloadStatistics(strategy=label)
+        total_timer = Timer()
+        with total_timer, database.session(name=label) as session:
+            for index, query in enumerate(self.queries):
+                result = (
+                    session.query("data").where("key", query.low, query.high).run()
+                )
+                statistics.append(
+                    QueryStatistics(
+                        query_index=index,
+                        elapsed_seconds=result.elapsed_seconds,
+                        counters=result.counters,
+                        result_count=result.row_count,
+                        strategy=label,
+                        description=f"[{query.low}, {query.high})",
+                    )
+                )
+        path = database.access_path("data", "key")
+        structure = next(
+            (
+                record["structure"]
+                for record in database.physical_design_report()
+                if record["column"] == "key"
+            ),
+            "",
+        )
+        per_query = statistics.per_query_cost(self.cost_model)
+        return StrategyRunResult(
+            strategy=label,
+            statistics=statistics,
+            initialization_overhead=initialization_overhead(
+                statistics, self._scan_cost, self.cost_model
+            ),
+            convergence_query=convergence_point(
+                statistics,
+                self._full_index_cost,
+                tolerance=self.convergence_tolerance,
+                consecutive=self.convergence_consecutive,
+                model=self.cost_model,
+            ),
+            total_cost=sum(per_query),
+            total_seconds=statistics.total_seconds,
+            final_nbytes=int(getattr(path, "nbytes", 0) or 0),
+            robustness=robustness_ratio(per_query) if per_query else 1.0,
+            final_structure=structure,
         )
 
     def run(

@@ -1,0 +1,344 @@
+"""Unit tests for the session front door, the table gate and the builder."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine.concurrency import TableGate
+from repro.engine.database import Database
+from repro.engine.query import Aggregate, Query, QueryBuilder, RangeSelection
+
+
+@pytest.fixture
+def database(rng):
+    db = Database("session-test")
+    size = 4000
+    db.create_table(
+        "facts",
+        {
+            "a": rng.integers(0, 10_000, size=size).astype(np.int64),
+            "b": rng.integers(0, 1_000, size=size).astype(np.int64),
+            "c": rng.uniform(0, 100, size=size),
+        },
+    )
+    return db
+
+
+def reference_positions(db, low, high, column="a", table="facts"):
+    values = db.table(table)[column].values
+    return set(np.flatnonzero((values >= low) & (values < high)).tolist())
+
+
+class TestSessionLifecycle:
+    def test_context_manager_closes(self, database):
+        with database.session(name="s") as session:
+            assert not session.closed
+            assert session.name == "s"
+        assert session.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            session.execute(Query.range_query("facts", "a", 0, 10))
+        with pytest.raises(RuntimeError, match="closed"):
+            session.insert_row("facts", {"a": 1, "b": 2, "c": 3.0})
+
+    def test_close_is_idempotent(self, database):
+        session = database.session()
+        session.close()
+        session.close()
+
+    def test_sessions_get_distinct_default_names(self, database):
+        assert database.session().name != database.session().name
+
+    def test_max_workers_validated(self, database):
+        with pytest.raises(ValueError, match="positive worker count"):
+            database.session(max_workers=0)
+
+    def test_close_drains_submitted_work(self, database):
+        database.set_indexing("facts", "a", "cracking")
+        session = database.session()
+        futures = [
+            session.submit(Query.range_query("facts", "a", low, low + 500))
+            for low in range(0, 4000, 500)
+        ]
+        session.close()
+        assert all(future.done() for future in futures)
+
+
+class TestSessionExecution:
+    def test_execute_matches_database_front_door(self, database):
+        database.set_indexing("facts", "a", "cracking")
+        with database.session() as session:
+            result = session.execute(Query.range_query("facts", "a", 1000, 3000))
+        assert set(result.positions.tolist()) == reference_positions(
+            database, 1000, 3000
+        )
+
+    def test_submit_returns_future_with_same_answer(self, database):
+        database.set_indexing("facts", "a", "adaptive-merging")
+        with database.session() as session:
+            future = session.submit(Query.range_query("facts", "a", 500, 2500))
+            result = future.result()
+        assert set(result.positions.tolist()) == reference_positions(
+            database, 500, 2500
+        )
+
+    def test_results_carry_linearization_sequence(self, database):
+        with database.session() as session:
+            first = session.execute(Query.range_query("facts", "a", 0, 100))
+            second = session.execute(Query.range_query("facts", "a", 0, 100))
+        assert 0 <= first.sequence < second.sequence
+
+    def test_execute_many_reports_on_session_and_database(self, database):
+        queries = [
+            Query.range_query("facts", "a", low, low + 500)
+            for low in range(0, 2000, 500)
+        ]
+        with database.session() as session:
+            results = session.execute_many(queries, parallel=True)
+            report = session.stats().last_batch_report
+        assert len(results) == len(queries)
+        assert report is database.last_batch_report
+        assert report.query_count == len(queries)
+
+    def test_session_stats_count_operations(self, database):
+        with database.session() as session:
+            session.execute(Query.range_query("facts", "a", 0, 100))
+            session.submit(Query.range_query("facts", "a", 0, 100)).result()
+            session.execute_many([Query.range_query("facts", "a", 0, 50)])
+            rowid = session.insert_row("facts", {"a": 1, "b": 2, "c": 3.0})
+            session.update_row("facts", rowid, {"a": 2})
+            session.delete_row("facts", 0)
+            stats = session.stats()
+        assert stats.queries_executed == 3
+        assert stats.batches_executed == 1
+        assert stats.operations_submitted == 1
+        assert stats.rows_inserted == 1
+        assert stats.rows_updated == 1
+        assert stats.rows_deleted == 1
+
+    def test_submitted_dml_applies(self, database):
+        database.set_indexing("facts", "a", "updatable-cracking")
+        with database.session() as session:
+            rowid = session.submit_insert(
+                "facts", {"a": 42_000, "b": 0, "c": 0.0}
+            ).result()
+            assert rowid == 4000
+            new_rowid = session.submit_update(
+                "facts", rowid, {"a": 43_000}
+            ).result()
+            session.submit_delete("facts", 0).result()
+            result = session.query("facts").where("a", 42_000, 44_000).run()
+        assert set(result.positions.tolist()) == {new_rowid}
+        assert database.visible_row_count("facts") == 4000
+
+    def test_concurrent_sessions_share_one_database(self, database):
+        database.set_indexing("facts", "a", "cracking")
+        answers = {}
+
+        def run(name, low):
+            with database.session(name=name) as session:
+                result = session.execute(
+                    Query.range_query("facts", "a", low, low + 1000)
+                )
+                answers[name] = (low, set(result.positions.tolist()))
+
+        threads = [
+            threading.Thread(target=run, args=(f"s{i}", i * 1000))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for low, positions in answers.values():
+            assert positions == reference_positions(database, low, low + 1000)
+
+
+class TestQueryBuilder:
+    def test_builder_desugars_to_query(self, database):
+        query = (
+            database.query("facts")
+            .where("a", 10, 20)
+            .where("b", None, 500)
+            .select("c")
+            .agg("sum", "c")
+            .describe("demo")
+            .build()
+        )
+        assert query == Query(
+            table="facts",
+            selections=[RangeSelection("a", 10, 20), RangeSelection("b", None, 500)],
+            projections=["c"],
+            aggregates=[Aggregate("c", "sum")],
+            description="demo",
+        )
+
+    def test_builder_run_and_submit(self, database):
+        result = database.query("facts").where("a", 1000, 2000).run()
+        assert set(result.positions.tolist()) == reference_positions(
+            database, 1000, 2000
+        )
+        future = database.query("facts").where("a", 1000, 2000).submit()
+        assert np.array_equal(future.result().positions, result.positions)
+
+    def test_builder_on_session(self, database):
+        with database.session() as session:
+            result = (
+                session.query("facts")
+                .where("a", 0, 5000)
+                .agg("count", "c")
+                .run()
+            )
+        assert result.aggregates["count(c)"] == result.row_count
+
+    def test_duplicate_where_rejected_eagerly(self, database):
+        builder = database.query("facts").where("a", 0, 10)
+        with pytest.raises(ValueError, match="duplicate selection"):
+            builder.where("a", 20, 30)
+
+    def test_unknown_aggregate_rejected_eagerly(self, database):
+        with pytest.raises(ValueError, match="unknown aggregate function"):
+            database.query("facts").agg("median", "c")
+
+    def test_unbound_builder_cannot_run(self):
+        builder = QueryBuilder("facts").where("a", 0, 1)
+        assert builder.build().table == "facts"
+        with pytest.raises(RuntimeError, match="not bound"):
+            builder.run()
+        with pytest.raises(RuntimeError, match="not bound"):
+            builder.submit()
+
+    def test_select_collapses_duplicates(self):
+        query = QueryBuilder("facts").select("c", "b", "c").build()
+        assert query.projections == ["c", "b"]
+
+    def test_builder_requires_table(self):
+        with pytest.raises(ValueError, match="must name a table"):
+            QueryBuilder("")
+
+
+class TestAggregateValidation:
+    @pytest.mark.parametrize("function", ["count", "sum", "min", "max", "mean"])
+    def test_known_functions_accepted(self, function):
+        assert Aggregate("c", function).function == function
+
+    def test_unknown_function_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown aggregate function"):
+            Aggregate("c", "median")
+
+    def test_query_construction_rejects_bad_aggregate(self):
+        with pytest.raises(ValueError, match="unknown aggregate function"):
+            Query(table="t", aggregates=[Aggregate("c", "stddev")])
+
+
+class TestTableGate:
+    def test_writer_waits_for_readers(self):
+        gate = TableGate()
+        gate.acquire_read()
+        acquired = threading.Event()
+
+        def writer():
+            with gate.write():
+                acquired.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        assert not acquired.wait(0.1)
+        assert gate.pending_writers == 1
+        gate.release_read()
+        assert acquired.wait(2.0)
+        thread.join()
+        assert gate.fenced_writes == 1
+
+    def test_waiting_writer_fences_new_readers(self):
+        gate = TableGate()
+        gate.acquire_read()
+        writer_done = threading.Event()
+        reader_entered = threading.Event()
+
+        def writer():
+            with gate.write():
+                pass
+            writer_done.set()
+
+        def late_reader():
+            with gate.read():
+                reader_entered.set()
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        while gate.pending_writers == 0:
+            pass  # wait until the writer is queued
+        reader_thread = threading.Thread(target=late_reader)
+        reader_thread.start()
+        # the late reader queues behind the waiting writer
+        assert not reader_entered.wait(0.1)
+        gate.release_read()
+        assert writer_done.wait(2.0)
+        assert reader_entered.wait(2.0)
+        writer_thread.join()
+        reader_thread.join()
+
+    def test_readers_share(self):
+        gate = TableGate()
+        gate.acquire_read()
+        gate.acquire_read()
+        gate.release_read()
+        gate.release_read()
+        assert gate.fenced_writes == 0
+
+
+class TestDMLFencing:
+    def test_dml_blocks_until_inflight_queries_drain(self, database):
+        gate = database.table_gate("facts")
+        gate.acquire_read()  # stand in for an in-flight query/batch
+        inserted = threading.Event()
+
+        def dml():
+            database.insert_row("facts", {"a": 1, "b": 2, "c": 3.0})
+            inserted.set()
+
+        thread = threading.Thread(target=dml)
+        thread.start()
+        assert not inserted.wait(0.1), "insert was not fenced"
+        gate.release_read()
+        assert inserted.wait(2.0)
+        thread.join()
+        assert gate.fenced_writes == 1
+        assert database.table("facts").row_count == 4001
+
+    def test_insert_rebuild_holds_owning_path_lock(self, database, monkeypatch):
+        """ROADMAP follow-up 3: the access-path rebuild on insert runs
+        under the owning path's lock, even via the legacy wrapper."""
+        import repro.engine.database as database_module
+
+        database.set_indexing("facts", "a", "cracking")
+        lock = database._path_locks.lock_for(("path", "facts", "a"))
+        original = database_module.create_strategy
+        observed = {}
+
+        def checking_create(*args, **kwargs):
+            observed["locked"] = lock.locked()
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(database_module, "create_strategy", checking_create)
+        database.insert_row("facts", {"a": 1, "b": 2, "c": 3.0})
+        assert observed["locked"] is True
+
+    def test_updatable_absorb_holds_owning_path_lock(self, database):
+        database.set_indexing("facts", "a", "updatable-cracking")
+        path = database.access_path("facts", "a")
+        lock = database._path_locks.lock_for(("path", "facts", "a"))
+        original = path.insert
+        observed = {}
+
+        def checking_insert(*args, **kwargs):
+            observed["locked"] = lock.locked()
+            return original(*args, **kwargs)
+
+        path.insert = checking_insert
+        try:
+            database.insert_row("facts", {"a": 1, "b": 2, "c": 3.0})
+        finally:
+            del path.insert
+        assert observed["locked"] is True
