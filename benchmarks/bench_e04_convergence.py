@@ -12,14 +12,12 @@ the run, and with a 2x-of-full-index tolerance, mirroring the "without
 incurring any overhead" reading of the benchmark.
 """
 
-import numpy as np
 import pytest
 
 from bench_common import (
     QUERY_COUNT,
     make_column,
     print_summary,
-    run_comparison,
     tail_mean,
 )
 from repro.cost.model import DEFAULT_MAIN_MEMORY_MODEL

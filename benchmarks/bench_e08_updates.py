@@ -12,7 +12,7 @@ carrying pending updates longer.
 import numpy as np
 import pytest
 
-from bench_common import SCALE, make_column, make_spec
+from bench_common import SCALE, make_column
 from repro.core.cracking.updates import UpdatableCrackedColumn
 from repro.cost.counters import CostCounters
 from repro.cost.model import DEFAULT_MAIN_MEMORY_MODEL

@@ -15,8 +15,6 @@ import pytest
 
 from bench_common import SCALE
 from repro.cost.model import DEFAULT_MAIN_MEMORY_MODEL
-from repro.engine.database import Database
-from repro.engine.query import Aggregate, Query, RangeSelection
 from repro.workloads.tpch_like import (
     TPCHLikeConfig,
     build_database,

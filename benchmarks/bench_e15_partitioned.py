@@ -12,7 +12,6 @@ and with ``parallel=True`` wall-clock drops on multi-core machines while the
 logical cost stays *identical* to the sequential partitioned run.
 """
 
-import numpy as np
 import pytest
 
 from bench_common import (

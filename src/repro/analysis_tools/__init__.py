@@ -1,0 +1,30 @@
+"""Repo-specific software-engineering tooling for the adaptive-indexing kernel.
+
+Adaptive indexing makes *reads* mutate physical state — every query cracks
+or merges the store — so the engine's correctness hinges on a hand-maintained
+lock discipline (table gates → access-path locks → object stats locks, see
+``docs/CONCURRENCY.md``).  This package machine-checks that discipline once
+so every future PR inherits it:
+
+* :mod:`repro.analysis_tools.guards` — the ``@guarded_by`` convention: a
+  class decorator declaring which lock protects each shared mutable
+  attribute, readable both at runtime (``__guarded_attributes__``) and
+  statically by the linter;
+* :mod:`repro.analysis_tools.reprolint` — the concurrency-invariant static
+  analyzer (stdlib ``ast`` only): guarded-attribute writes outside their
+  lock, lock-order back-edges, missing ``reorganizes_on_read``
+  declarations, unlocked counter increments, and blocking calls under a
+  path lock.  Run it as ``python -m repro.analysis_tools.reprolint
+  src/repro`` or ``repro lint``;
+* :mod:`repro.analysis_tools.pystyle` — a dependency-free equivalent of
+  the minimal ruff rule set checked in as ``ruff.toml`` (unused imports,
+  undefined names), used by CI where ruff is not installed.
+
+The runtime complement — a lock-order witness that turns the property
+suites into deadlock detectors under ``REPRO_LOCK_WITNESS=1`` — lives with
+the locks themselves in :mod:`repro.engine.concurrency`.
+"""
+
+from repro.analysis_tools.guards import guarded_by
+
+__all__ = ["guarded_by"]

@@ -1,0 +1,65 @@
+"""The ``@guarded_by`` convention: declare which lock protects an attribute.
+
+The engine's concurrency protocol guards shared mutable state with three
+layers of locks (table gates, access-path locks, per-object stats locks).
+The *association* between an attribute and its lock used to live only in
+comments; this module makes it a structured declaration that is
+
+* executable — the decorator attaches a ``__guarded_attributes__`` mapping
+  (attribute name → lock attribute name) to the class, merged across base
+  classes, so tests and debuggers can introspect the discipline; and
+* statically analyzable — :mod:`repro.analysis_tools.reprolint` reads the
+  decorator call out of the AST and reports any write to a declared
+  attribute that does not happen inside a ``with <owner>.<lock>`` block.
+
+Usage::
+
+    @guarded_by(
+        queries_processed="_stats_lock",
+        partition_splits="_stats_lock",
+    )
+    class PartitionedCrackedColumn:
+        ...
+
+The decorator is intentionally free of runtime enforcement: the point is a
+single, checkable source of truth, not per-access overhead on hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type, TypeVar
+
+T = TypeVar("T")
+
+
+def guarded_by(**attribute_locks: str):
+    """Class decorator declaring ``attribute="lock_attribute"`` pairs.
+
+    Each keyword names a shared mutable attribute of the class and the
+    lock attribute (a ``threading.Lock``/``RLock``/``Condition`` held via
+    ``with``) that must protect every write to it outside ``__init__``.
+    Declarations merge with (and may override) those of base classes.
+    """
+    if not attribute_locks:
+        raise ValueError("guarded_by() needs at least one attribute=lock pair")
+    for attribute, lock_name in attribute_locks.items():
+        if not isinstance(lock_name, str) or not lock_name:
+            raise ValueError(
+                f"guarded_by({attribute}=...) needs a non-empty lock "
+                f"attribute name, got {lock_name!r}"
+            )
+
+    def decorate(cls: Type[T]) -> Type[T]:
+        merged: Dict[str, str] = {}
+        for base in reversed(cls.__mro__[1:]):
+            merged.update(getattr(base, "__guarded_attributes__", {}))
+        merged.update(attribute_locks)
+        cls.__guarded_attributes__ = merged
+        return cls
+
+    return decorate
+
+
+def guarded_attributes(cls: type) -> Dict[str, str]:
+    """The merged attribute → lock mapping of ``cls`` (empty if undeclared)."""
+    return dict(getattr(cls, "__guarded_attributes__", {}))

@@ -1,0 +1,461 @@
+"""A minimal stdlib style checker: unused imports and undefined names.
+
+The repository pins ``ruff`` rules ``F401`` (imported but unused) and
+``F821`` (undefined name) in ``ruff.toml``; this module enforces exactly
+those two rules with nothing but :mod:`ast`, so CI can run the gate in
+environments where ruff is not installed.  Rule semantics follow ruff's:
+
+* **F401** — a name bound by an ``import`` that is never referenced in the
+  module and not re-exported.  ``__init__.py`` modules are exempt (imports
+  there *are* the public surface), as are ``from __future__`` imports,
+  explicit re-exports (``import x as x`` / ``from y import x as x``) and
+  names listed in ``__all__``.
+* **F821** — a name referenced but neither bound in an enclosing scope,
+  a builtin, nor introduced by a star import (a module containing
+  ``from x import *`` skips F821, matching pyflakes' capitulation).
+
+Binding collection is flow-insensitive on purpose: a name assigned
+anywhere in a scope counts as bound everywhere in it, trading
+use-before-assignment detection for zero false positives.
+
+Suppression: a ``# noqa`` comment on the flagged line silences it,
+optionally scoped as ``# noqa: F401``.
+
+Usage::
+
+    python -m repro.analysis_tools.pystyle [paths...]
+
+Exit status: 0 clean, 1 findings, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import builtins
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+_BUILTIN_NAMES = set(dir(builtins)) | {"__file__", "__builtins__"}
+
+_NOQA_PATTERN = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+_IDENTIFIER = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+@dataclass
+class StyleFinding:
+    code: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+# -- scope model ----------------------------------------------------------------
+
+
+class _Scope:
+    """One lexical scope: bound names plus whether it chains to its parent.
+
+    Class bodies bind names their methods cannot see, so lookups from a
+    nested function skip class scopes, exactly like the language does.
+    """
+
+    __slots__ = ("kind", "bound", "globals_declared")
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind  # "module" | "function" | "class" | "comprehension"
+        self.bound: Set[str] = set()
+        self.globals_declared: Set[str] = set()
+
+
+class _BindingCollector(ast.NodeVisitor):
+    """Collect every name a statement list binds, without descending into
+    nested scopes (those get their own collection pass)."""
+
+    def __init__(self) -> None:
+        self.bound: Set[str] = set()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.bound.add(node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.bound.add(node.name)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.bound.add(node.name)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass  # own scope
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        pass  # own scope
+
+    visit_SetComp = visit_DictComp = visit_GeneratorExp = visit_ListComp
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.bound.add((alias.asname or alias.name).split(".")[0])
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            if alias.name != "*":
+                self.bound.add(alias.asname or alias.name)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            self.bound.add(node.id)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name:
+            self.bound.add(node.name)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.bound.update(node.names)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self.bound.update(node.names)
+
+
+def _bindings_of(nodes: Iterable[ast.AST]) -> Set[str]:
+    collector = _BindingCollector()
+    for node in nodes:
+        collector.visit(node)
+    return collector.bound
+
+
+def _arg_names(arguments: ast.arguments) -> Set[str]:
+    names = set()
+    for arg in (
+        list(arguments.posonlyargs)
+        + list(arguments.args)
+        + list(arguments.kwonlyargs)
+    ):
+        names.add(arg.arg)
+    if arguments.vararg:
+        names.add(arguments.vararg.arg)
+    if arguments.kwarg:
+        names.add(arguments.kwarg.arg)
+    return names
+
+
+class _UndefinedNameChecker(ast.NodeVisitor):
+    """F821: every loaded name must resolve through the scope chain."""
+
+    def __init__(self, path: str, findings: List[StyleFinding]) -> None:
+        self.path = path
+        self.findings = findings
+        self.scopes: List[_Scope] = []
+
+    # -- scope plumbing --------------------------------------------------------
+
+    def _push(self, kind: str, bound: Set[str]) -> None:
+        scope = _Scope(kind)
+        scope.bound = bound
+        self.scopes.append(scope)
+
+    def _resolves(self, name: str) -> bool:
+        if name in _BUILTIN_NAMES:
+            return True
+        skip_class = False
+        for scope in reversed(self.scopes):
+            if scope.kind == "class" and skip_class:
+                continue
+            if name in scope.bound:
+                return True
+            if scope.kind in ("function", "comprehension"):
+                skip_class = True
+        return False
+
+    def _check_load(self, node: ast.Name) -> None:
+        if not self._resolves(node.id):
+            self.findings.append(
+                StyleFinding(
+                    "F821", self.path, node.lineno,
+                    f"undefined name `{node.id}`",
+                )
+            )
+
+    # -- visitors --------------------------------------------------------------
+
+    def check_module(self, tree: ast.Module) -> None:
+        self._push("module", _bindings_of(tree.body))
+        for statement in tree.body:
+            self.visit(statement)
+        self.scopes.pop()
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._check_load(node)
+
+    def _visit_function(self, node) -> None:
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            self.visit(default)
+        for annotation in self._annotations(node):
+            self.visit(annotation)
+        bound = _arg_names(node.args) | _bindings_of(node.body)
+        self._push("function", bound)
+        for statement in node.body:
+            self.visit(statement)
+        self.scopes.pop()
+
+    @staticmethod
+    def _annotations(node) -> Iterator[ast.AST]:
+        for arg in (
+            list(node.args.posonlyargs)
+            + list(node.args.args)
+            + list(node.args.kwonlyargs)
+            + [node.args.vararg, node.args.kwarg]
+        ):
+            if arg is not None and arg.annotation is not None:
+                yield arg.annotation
+        if node.returns is not None:
+            yield node.returns
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            self.visit(default)
+        self._push("function", _arg_names(node.args) | _bindings_of([node.body]))
+        self.visit(node.body)
+        self.scopes.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        for base in list(node.bases) + [kw.value for kw in node.keywords]:
+            self.visit(base)
+        self._push("class", _bindings_of(node.body))
+        for statement in node.body:
+            self.visit(statement)
+        self.scopes.pop()
+
+    def _visit_comprehension(self, node) -> None:
+        # the leftmost iterable evaluates in the enclosing scope
+        self.visit(node.generators[0].iter)
+        bound: Set[str] = set()
+        for comp in node.generators:
+            bound |= _bindings_of([comp.target])
+        self._push("comprehension", bound)
+        for index, comp in enumerate(node.generators):
+            if index > 0:
+                self.visit(comp.iter)
+            for condition in comp.ifs:
+                self.visit(condition)
+        if isinstance(node, ast.DictComp):
+            self.visit(node.key)
+            self.visit(node.value)
+        else:
+            self.visit(node.elt)
+        self.scopes.pop()
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+
+# -- the per-module check -------------------------------------------------------
+
+
+@dataclass
+class _ImportBinding:
+    name: str
+    line: int
+    source: str  # rendered form for the message
+    explicit_reexport: bool
+
+
+def _collect_imports(tree: ast.Module) -> List[_ImportBinding]:
+    imports: List[_ImportBinding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = (alias.asname or alias.name).split(".")[0]
+                imports.append(
+                    _ImportBinding(
+                        bound, node.lineno, alias.name,
+                        alias.asname == alias.name,
+                    )
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                module = "." * node.level + (node.module or "")
+                imports.append(
+                    _ImportBinding(
+                        bound, node.lineno, f"{module}.{alias.name}",
+                        alias.asname == alias.name,
+                    )
+                )
+    return imports
+
+
+def _names_used(tree: ast.Module) -> Set[str]:
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            used.add(node.id)
+        elif isinstance(node, (ast.AnnAssign, ast.arg)):
+            annotation = node.annotation
+            if isinstance(annotation, ast.Constant) and isinstance(
+                annotation.value, str
+            ):
+                used.update(_IDENTIFIER.findall(annotation.value))
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # forward references in subscripted annotations ("List['Foo']")
+            # and __all__ entries land here; identifier-shaped strings are
+            # cheap to over-approximate as uses
+            if node.value.isidentifier():
+                used.add(node.value)
+    return used
+
+
+def _exported_names(tree: ast.Module) -> Set[str]:
+    exported: Set[str] = set()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        for constant in ast.walk(value):
+            if isinstance(constant, ast.Constant) and isinstance(
+                constant.value, str
+            ):
+                exported.add(constant.value)
+    return exported
+
+
+def _has_star_import(tree: ast.Module) -> bool:
+    return any(
+        isinstance(node, ast.ImportFrom)
+        and any(alias.name == "*" for alias in node.names)
+        for node in ast.walk(tree)
+    )
+
+
+def _noqa_lines(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Line -> suppressed codes (None = all codes) for ``# noqa`` comments."""
+    suppressions: Dict[int, Optional[Set[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA_PATTERN.search(text)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes:
+            suppressions[lineno] = {
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            }
+        else:
+            suppressions[lineno] = None
+    return suppressions
+
+
+def check_module(path: Path) -> List[StyleFinding]:
+    """All F401/F821 findings of one module (after ``# noqa`` filtering)."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [
+            StyleFinding(
+                "E999", str(path), error.lineno or 1,
+                f"syntax error: {error.msg}",
+            )
+        ]
+    findings: List[StyleFinding] = []
+
+    if path.name != "__init__.py":
+        used = _names_used(tree)
+        exported = _exported_names(tree)
+        for binding in _collect_imports(tree):
+            if binding.explicit_reexport:
+                continue
+            if binding.name in used or binding.name in exported:
+                continue
+            findings.append(
+                StyleFinding(
+                    "F401", str(path), binding.line,
+                    f"`{binding.source}` imported but unused",
+                )
+            )
+
+    if not _has_star_import(tree):
+        _UndefinedNameChecker(str(path), findings).check_module(tree)
+
+    suppressions = _noqa_lines(source)
+    kept = []
+    for finding in findings:
+        codes = suppressions.get(finding.line, "missing")
+        if codes == "missing" or (
+            codes is not None and finding.code not in codes
+        ):
+            kept.append(finding)
+    return sorted(kept, key=lambda f: (f.path, f.line, f.code))
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis_tools.pystyle",
+        description="stdlib F401/F821 checker (see ruff.toml for the pinned rules)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests", "benchmarks"],
+        help="files or directories to check (default: src tests benchmarks)",
+    )
+    try:
+        options = parser.parse_args(argv)
+    except SystemExit as exit_error:
+        return 2 if exit_error.code not in (0, None) else 0
+    findings: List[StyleFinding] = []
+    checked = 0
+    for path in iter_python_files(options.paths):
+        checked += 1
+        findings.extend(check_module(path))
+    for finding in findings:
+        print(finding.render())
+    status = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"pystyle: {checked} file(s) checked, {status}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,844 @@
+"""reprolint — concurrency-invariant static analysis for the repro engine.
+
+Adaptive indexing makes reads mutate physical state, so the engine lives or
+dies by its lock discipline: **table gates** (level 0) are acquired before
+**access-path locks** (level 1), which are acquired before **per-object
+stats locks** (level 2, leaves).  This analyzer walks the source tree with
+nothing but :mod:`ast` and reports violations of that discipline:
+
+``RL001`` guarded-attribute write outside its declared lock
+    An attribute declared via :func:`repro.analysis_tools.guards.guarded_by`
+    is assigned, augmented, deleted, subscript-stored or mutated through a
+    known mutating method (``append``/``pop``/...) outside a ``with
+    <owner>.<lock>`` block naming the declared lock.
+``RL002`` lock acquisition violating the documented order
+    Acquisition edges are collected from lexical ``with`` nesting (including
+    ``ExitStack.enter_context``).  Each nested acquisition must strictly
+    increase the lock level (gate → path → stats); stats locks are leaves
+    under which nothing may be acquired, and multi-gate / multi-path
+    acquisition must go through the sorting helpers
+    (``TableGateRegistry.read`` / ``AccessPathLockManager.locked``), never
+    through nested ``with`` blocks.
+``RL003`` ``SearchStrategy`` subclass without an explicit
+    ``reorganizes_on_read`` declaration: every registered strategy (a
+    subclass defining a non-empty ``name``) must declare the capability
+    flag itself or inherit it from an intermediate base — silently relying
+    on the ``SearchStrategy`` default hides the scheduling contract.
+``RL004`` counter attribute mutated via ``+=`` outside any lock
+    In classes that own (or inherit) a lock — the marker that instances are
+    shared across threads — bare increments of counter-shaped attributes
+    (``*_count``, ``queries_processed``, split/merge/row counters) lose
+    updates under concurrent readers.
+``RL005`` blocking call while a path lock is statically held
+    ``Future.result()`` / ``.join()`` / gate acquisition inside a ``with
+    <path lock>`` block can deadlock against the batch scheduler.
+
+Findings carry ``file:line``, the rule id and a fix hint.  Suppressions
+live in a checked-in TOML baseline (every entry needs a ``reason``) or as
+inline ``# reprolint: ignore[RL00x]`` comments.  Run::
+
+    python -m repro.analysis_tools.reprolint src/repro [--format=text|json]
+
+Exit status is 0 when every finding is suppressed (or none exist), 1
+otherwise, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+try:  # Python >= 3.11; the container and CI both satisfy this
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - pre-3.11 fallback
+    tomllib = None
+
+
+RULES = {
+    "RL001": "guarded attribute written outside its declared lock",
+    "RL002": "lock acquisition violates the gate → path → stats order",
+    "RL003": "SearchStrategy subclass without explicit reorganizes_on_read",
+    "RL004": "counter attribute mutated via += outside any lock",
+    "RL005": "blocking call while a path lock is held",
+}
+
+#: lock levels of the documented protocol (lower acquires first)
+LEVEL_GATE, LEVEL_PATH, LEVEL_STATS = 0, 1, 2
+_LEVEL_NAMES = {LEVEL_GATE: "gate", LEVEL_PATH: "path", LEVEL_STATS: "stats"}
+
+#: method names that mutate their receiver (list/dict/set mutators)
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "add", "discard", "update", "setdefault", "sort", "reverse",
+}
+
+#: attribute-name shapes treated as shared counters by RL004
+_COUNTER_SUFFIXES = (
+    "_count", "_counts", "_processed", "_executed", "_submitted",
+    "_inserted", "_deleted", "_updated", "_splits", "_merges", "_writes",
+)
+_COUNTER_NAMES = {"visits", "fenced_writes"}
+
+#: blocking attribute-call names for RL005
+_BLOCKING_CALLS = {"result", "join", "acquire_read", "acquire_write"}
+
+#: methods where unguarded writes are fine: the object is not shared yet
+#: (or is being torn down by its last owner); methods named ``_init_*`` are
+#: constructor helpers by convention, invoked before the instance escapes
+_EXEMPT_METHODS = {"__init__", "__new__", "__del__", "__post_init__"}
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    symbol: str
+    message: str
+    hint: str = ""
+    attribute: str = ""
+    suppressed_by: str = ""  # "", "baseline" or "inline"
+
+    def key(self) -> Tuple[str, str, int]:
+        return (self.rule, self.path, self.line)
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule} [{self.symbol}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class ClassInfo:
+    """Statically collected facts about one class definition."""
+
+    name: str
+    module: str
+    bases: List[str] = field(default_factory=list)
+    #: attribute → lock attribute, from the @guarded_by decorator
+    guards: Dict[str, str] = field(default_factory=dict)
+    #: lock attributes created in the class body (self._x = threading.Lock())
+    own_locks: Set[str] = field(default_factory=set)
+    #: names assigned or defined directly in the class body
+    declared: Set[str] = field(default_factory=set)
+    line: int = 0
+
+
+def _attr_chain_root(node: ast.expr) -> Tuple[Optional[ast.expr], List[str]]:
+    """Decompose ``a.b.c`` into (root expression ``a``, ["b", "c"])."""
+    chain: List[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    chain.reverse()
+    return node, chain
+
+
+def _is_self(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id in ("self", "cls")
+
+
+def _expr_text(node: ast.expr) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse covers all our inputs
+        return ast.dump(node)
+
+
+def _looks_like_lock_name(name: str) -> bool:
+    lowered = name.lower()
+    return (
+        "lock" in lowered
+        or "mutex" in lowered
+        or lowered.endswith("_guard")
+        or lowered.endswith("_condition")
+        or lowered == "_condition"
+    )
+
+
+def classify_lock_expr(expr: ast.expr) -> Optional[Tuple[int, str, str]]:
+    """Classify a ``with``-item as a lock acquisition.
+
+    Returns ``(level, token, base_text)`` or None.  ``token`` identifies the
+    lock class in the static acquisition graph; ``base_text`` is the
+    source of the owner expression (used to match guarded writes to the
+    lock of the *same* object).
+    """
+    # gate level: <something gate-ish>.read(...) / .write(...)
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+        method = expr.func.attr
+        owner = expr.func.value
+        owner_text = _expr_text(owner)
+        if method in ("read", "write") and "gate" in owner_text.lower():
+            return (LEVEL_GATE, f"gate.{method}", owner_text)
+        # path level: <path lock manager>.locked(...) / .lock_for(...)
+        if method in ("locked", "lock_for") and "path_lock" in owner_text.lower():
+            return (LEVEL_PATH, "path", owner_text)
+    # stats level: a bare lock attribute (with self._stats_lock: ...)
+    if isinstance(expr, ast.Attribute) and _looks_like_lock_name(expr.attr):
+        return (LEVEL_STATS, f"stats.{expr.attr}", _expr_text(expr.value))
+    if isinstance(expr, ast.Name) and _looks_like_lock_name(expr.id):
+        return (LEVEL_STATS, f"stats.{expr.id}", "")
+    return None
+
+
+def _is_counter_name(name: str) -> bool:
+    return name in _COUNTER_NAMES or name.endswith(_COUNTER_SUFFIXES)
+
+
+def _is_lock_factory(value: ast.expr) -> bool:
+    """True for ``threading.Lock()`` / ``RLock()`` / ``Condition()`` calls."""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else ""
+    )
+    return name in ("Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore")
+
+
+class _ClassIndexer(ast.NodeVisitor):
+    """First pass: collect every class, its guards, locks and declarations."""
+
+    def __init__(self, module: str) -> None:
+        self.module = module
+        self.classes: List[ClassInfo] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        info = ClassInfo(name=node.name, module=self.module, line=node.lineno)
+        for base in node.bases:
+            _, chain = _attr_chain_root(base)
+            if chain:
+                info.bases.append(chain[-1])
+            elif isinstance(base, ast.Name):
+                info.bases.append(base.id)
+        for decorator in node.decorator_list:
+            if (
+                isinstance(decorator, ast.Call)
+                and isinstance(decorator.func, (ast.Name, ast.Attribute))
+            ):
+                func_name = (
+                    decorator.func.id
+                    if isinstance(decorator.func, ast.Name)
+                    else decorator.func.attr
+                )
+                if func_name == "guarded_by":
+                    for keyword in decorator.keywords:
+                        if keyword.arg and isinstance(
+                            keyword.value, ast.Constant
+                        ) and isinstance(keyword.value.value, str):
+                            info.guards[keyword.arg] = keyword.value.value
+        for statement in node.body:
+            if isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        info.declared.add(target.id)
+            elif isinstance(statement, ast.AnnAssign):
+                if isinstance(statement.target, ast.Name):
+                    info.declared.add(statement.target.id)
+            elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.declared.add(statement.name)
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign) and _is_lock_factory(sub.value):
+                for target in sub.targets:
+                    root, chain = _attr_chain_root(target)
+                    if _is_self(root) and len(chain) == 1:
+                        info.own_locks.add(chain[0])
+        self.classes.append(info)
+        self.generic_visit(node)
+
+
+class ClassRegistry:
+    """Cross-module class index with inheritance resolution by simple name."""
+
+    def __init__(self) -> None:
+        self.by_name: Dict[str, ClassInfo] = {}
+
+    def add(self, info: ClassInfo) -> None:
+        # last definition wins; simple names are unique in this tree
+        self.by_name[info.name] = info
+
+    def _ancestors(self, name: str, seen: Optional[Set[str]] = None) -> List[ClassInfo]:
+        seen = seen if seen is not None else set()
+        result: List[ClassInfo] = []
+        info = self.by_name.get(name)
+        if info is None or name in seen:
+            return result
+        seen.add(name)
+        result.append(info)
+        for base in info.bases:
+            result.extend(self._ancestors(base, seen))
+        return result
+
+    def merged_guards(self, name: str) -> Dict[str, str]:
+        merged: Dict[str, str] = {}
+        for info in reversed(self._ancestors(name)):
+            merged.update(info.guards)
+        return merged
+
+    def owns_lock(self, name: str) -> bool:
+        return any(
+            info.own_locks or info.guards for info in self._ancestors(name)
+        )
+
+    def is_subclass_of(self, name: str, base: str) -> bool:
+        return any(info.name == base for info in self._ancestors(name)[1:])
+
+    def declares_below(self, name: str, attribute: str, stop: str) -> bool:
+        """True when ``name`` or an ancestor strictly below ``stop`` declares
+        ``attribute`` in its own body."""
+        for info in self._ancestors(name):
+            if info.name == stop:
+                continue
+            if attribute in info.declared:
+                return True
+        return False
+
+    def global_guard_locks(self, attribute: str) -> Set[str]:
+        """Every lock name any class declares for ``attribute``."""
+        locks: Set[str] = set()
+        for info in self.by_name.values():
+            if attribute in info.guards:
+                locks.add(info.guards[attribute])
+        return locks
+
+
+@dataclass
+class _HeldLock:
+    level: int
+    token: str
+    base: str
+    line: int
+
+
+class _FunctionAnalyzer(ast.NodeVisitor):
+    """Second pass over one module: emit findings with the global registry."""
+
+    def __init__(
+        self,
+        path: str,
+        registry: ClassRegistry,
+        findings: List[Finding],
+        graph: Dict[Tuple[str, str], Tuple[str, int]],
+    ) -> None:
+        self.path = path
+        self.registry = registry
+        self.findings = findings
+        self.graph = graph
+        self.class_stack: List[ClassInfo] = []
+        self.function_stack: List[str] = []
+        self.held: List[_HeldLock] = []
+        #: local names assigned from constructor-ish calls (fresh objects)
+        self.fresh_locals: List[Set[str]] = []
+
+    # -- helpers -----------------------------------------------------------------
+
+    @property
+    def symbol(self) -> str:
+        parts = [info.name for info in self.class_stack] + self.function_stack
+        return ".".join(parts) or "<module>"
+
+    def _report(self, rule: str, node: ast.AST, message: str, hint: str = "",
+                attribute: str = "") -> None:
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                symbol=self.symbol,
+                message=message,
+                hint=hint,
+                attribute=attribute,
+            )
+        )
+
+    def _in_exempt_method(self) -> bool:
+        if not self.function_stack:
+            return False
+        name = self.function_stack[-1]
+        return name in _EXEMPT_METHODS or name.startswith("_init_")
+
+    def _locks_held(self) -> bool:
+        return bool(self.held)
+
+    def _holds_lock(self, owner_text: str, lock_name: str) -> bool:
+        for held in self.held:
+            if held.level != LEVEL_STATS:
+                continue
+            if held.token == f"stats.{lock_name}" and held.base == owner_text:
+                return True
+        return False
+
+    def _is_fresh_local(self, node: ast.expr) -> bool:
+        if not isinstance(node, ast.Name):
+            return False
+        return any(node.id in frame for frame in self.fresh_locals)
+
+    # -- structure ---------------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        info = self.registry.by_name.get(node.name)
+        self.class_stack.append(
+            info if info is not None else ClassInfo(node.name, self.path)
+        )
+        self._check_strategy_declaration(node)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def _check_strategy_declaration(self, node: ast.ClassDef) -> None:
+        name = node.name
+        if not self.registry.is_subclass_of(name, "SearchStrategy"):
+            return
+        info = self.registry.by_name.get(name)
+        has_name = info is not None and "name" in info.declared
+        if not has_name:
+            return  # abstract intermediates don't register themselves
+        if not self.registry.declares_below(
+            name, "reorganizes_on_read", stop="SearchStrategy"
+        ):
+            self._report(
+                "RL003",
+                node,
+                f"strategy {name} relies on the implicit SearchStrategy "
+                f"default for reorganizes_on_read",
+                hint="declare `reorganizes_on_read = True/False` (or a "
+                     "property) on the class so the batch scheduler's "
+                     "contract is explicit",
+                attribute="reorganizes_on_read",
+            )
+
+    def _enter_function(self, node) -> None:
+        self.function_stack.append(node.name)
+        self.fresh_locals.append(set())
+
+    def _leave_function(self) -> None:
+        self.function_stack.pop()
+        self.fresh_locals.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+        self.generic_visit(node)
+        self._leave_function()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    # -- lock tracking -----------------------------------------------------------
+
+    def _acquire(self, classified: Tuple[int, str, str], node: ast.AST) -> _HeldLock:
+        level, token, base = classified
+        line = getattr(node, "lineno", 0)
+        if self.held:
+            top = self.held[-1]
+            self.graph.setdefault((top.token, token), (self.path, line))
+            if top.level == LEVEL_STATS:
+                self._report(
+                    "RL002",
+                    node,
+                    f"acquiring {token} while holding leaf lock {top.token} "
+                    f"(held since line {top.line})",
+                    hint="stats locks are leaves of the protocol: release "
+                         "before taking any other lock",
+                )
+            elif level <= top.level:
+                self._report(
+                    "RL002",
+                    node,
+                    f"acquiring {_LEVEL_NAMES[level]}-level {token} while "
+                    f"holding {_LEVEL_NAMES[top.level]}-level {top.token} "
+                    f"(held since line {top.line}) — back-edge in the "
+                    f"gate → path → stats order",
+                    hint="acquire gates before path locks before stats "
+                         "locks; multi-gate/multi-path acquisition must go "
+                         "through TableGateRegistry.read / "
+                         "AccessPathLockManager.locked (which sort)",
+                )
+        held = _HeldLock(level=level, token=token, base=base, line=line)
+        self.held.append(held)
+        return held
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: List[_HeldLock] = []
+        for item in node.items:
+            classified = classify_lock_expr(item.context_expr)
+            if classified is not None:
+                acquired.append(self._acquire(classified, item.context_expr))
+            else:
+                self.visit(item.context_expr)
+        # ExitStack.enter_context(lock_expr) acquires for the block's rest
+        for statement in node.body:
+            for call in [
+                sub for sub in ast.walk(statement)
+                if isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "enter_context"
+                and sub.args
+            ]:
+                classified = classify_lock_expr(call.args[0])
+                if classified is not None:
+                    acquired.append(self._acquire(classified, call.args[0]))
+            self.visit(statement)
+        for _ in acquired:
+            self.held.pop()
+
+    visit_AsyncWith = visit_With
+
+    # -- RL001 / RL004: writes ---------------------------------------------------
+
+    def _written_attributes(self, node: ast.AST) -> List[Tuple[ast.expr, str]]:
+        """(owner expression, attribute) pairs written to by ``node``."""
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        writes: List[Tuple[ast.expr, str]] = []
+        for target in targets:
+            for element in self._flatten_target(target):
+                while isinstance(element, ast.Subscript):
+                    element = element.value
+                root, chain = _attr_chain_root(element)
+                if root is not None and chain:
+                    writes.append((root, chain[0]))
+        return writes
+
+    @staticmethod
+    def _flatten_target(target: ast.expr) -> List[ast.expr]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            result = []
+            for element in target.elts:
+                result.extend(_FunctionAnalyzer._flatten_target(element))
+            return result
+        return [target]
+
+    def _check_guarded_write(self, owner: ast.expr, attribute: str,
+                             node: ast.AST) -> None:
+        if self._in_exempt_method() or self._is_fresh_local(owner):
+            return
+        owner_text = _expr_text(owner)
+        lock_name: Optional[str] = None
+        if _is_self(owner) and self.class_stack:
+            lock_name = self.registry.merged_guards(
+                self.class_stack[-1].name
+            ).get(attribute)
+        else:
+            locks = self.registry.global_guard_locks(attribute)
+            if len(locks) == 1:
+                lock_name = next(iter(locks))
+        if lock_name is None:
+            return
+        if self._holds_lock(owner_text, lock_name):
+            return
+        self._report(
+            "RL001",
+            node,
+            f"write to guarded attribute {owner_text}.{attribute} outside "
+            f"`with {owner_text}.{lock_name}`",
+            hint=f"wrap the mutation in `with {owner_text}.{lock_name}:` "
+                 f"(declared via @guarded_by), or move it into __init__",
+            attribute=attribute,
+        )
+
+    def _check_counter_write(self, node: ast.AugAssign) -> None:
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return
+        target = node.target
+        root, chain = _attr_chain_root(target)
+        if root is None or len(chain) != 1 or not _is_self(root):
+            return
+        attribute = chain[0]
+        if not _is_counter_name(attribute):
+            return
+        if self._in_exempt_method() or self._locks_held():
+            return
+        if not self.class_stack or not self.registry.owns_lock(
+            self.class_stack[-1].name
+        ):
+            return
+        self._report(
+            "RL004",
+            node,
+            f"counter self.{attribute} incremented outside any lock in a "
+            f"lock-owning class — concurrent readers lose updates",
+            hint="hold the owning stats lock (e.g. `with self._stats_lock:`) "
+                 "around the increment",
+            attribute=attribute,
+        )
+
+    def _handle_write_statement(self, node: ast.AST) -> None:
+        for owner, attribute in self._written_attributes(node):
+            self._check_guarded_write(owner, attribute, node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # record fresh locals: `x = SomeCall(...)` cannot be shared yet
+        if (
+            self.fresh_locals
+            and isinstance(node.value, ast.Call)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            self.fresh_locals[-1].add(node.targets[0].id)
+        self._handle_write_statement(node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._handle_write_statement(node)
+        self._check_counter_write(node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._handle_write_statement(node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        self._handle_write_statement(node)
+        self.generic_visit(node)
+
+    # -- RL001 (mutating calls) / RL005 (blocking calls) --------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            receiver = node.func.value
+            if method in _MUTATING_METHODS and isinstance(receiver, ast.Attribute):
+                root, chain = _attr_chain_root(receiver)
+                if root is not None and chain:
+                    self._check_guarded_write(root, chain[0], node)
+            if method in _BLOCKING_CALLS and any(
+                held.level == LEVEL_PATH for held in self.held
+            ):
+                holder = next(h for h in self.held if h.level == LEVEL_PATH)
+                self._report(
+                    "RL005",
+                    node,
+                    f"blocking call .{method}() while path lock held "
+                    f"(since line {holder.line}) can deadlock the batch "
+                    f"scheduler",
+                    hint="collect futures/gate work outside the path-lock "
+                         "critical section and block on them after release",
+                )
+        self.generic_visit(node)
+
+
+# -- driver ----------------------------------------------------------------------
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+    return files
+
+
+def analyze_paths(paths: Sequence[str]) -> Tuple[
+    List[Finding], Dict[Tuple[str, str], Tuple[str, int]]
+]:
+    """Run every rule over ``paths``; returns (findings, acquisition graph)."""
+    files = iter_python_files(paths)
+    registry = ClassRegistry()
+    parsed: List[Tuple[Path, ast.Module, List[str]]] = []
+    findings: List[Finding] = []
+    for file_path in files:
+        source = file_path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(file_path))
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    rule="RL000",
+                    path=str(file_path),
+                    line=error.lineno or 0,
+                    symbol="<module>",
+                    message=f"syntax error: {error.msg}",
+                )
+            )
+            continue
+        indexer = _ClassIndexer(str(file_path))
+        indexer.visit(tree)
+        for info in indexer.classes:
+            registry.add(info)
+        parsed.append((file_path, tree, source.splitlines()))
+
+    graph: Dict[Tuple[str, str], Tuple[str, int]] = {}
+    for file_path, tree, lines in parsed:
+        analyzer = _FunctionAnalyzer(str(file_path), registry, findings, graph)
+        analyzer.visit(tree)
+        _apply_inline_suppressions(findings, str(file_path), lines)
+    findings.sort(key=Finding.key)
+    return findings, graph
+
+
+def _apply_inline_suppressions(
+    findings: List[Finding], path: str, lines: List[str]
+) -> None:
+    for finding in findings:
+        if finding.path != path or finding.suppressed_by:
+            continue
+        if 1 <= finding.line <= len(lines):
+            text = lines[finding.line - 1]
+            marker = text.rfind("# reprolint: ignore")
+            if marker == -1:
+                continue
+            tail = text[marker + len("# reprolint: ignore"):].strip()
+            if not tail or finding.rule in tail:
+                finding.suppressed_by = "inline"
+
+
+def load_baseline(path: Path) -> List[Dict[str, str]]:
+    """Parse the TOML baseline; every suppression must carry a reason."""
+    if tomllib is None:  # pragma: no cover - pre-3.11 fallback
+        raise RuntimeError("tomllib unavailable; cannot read the baseline")
+    data = tomllib.loads(path.read_text())
+    entries = data.get("suppress", [])
+    for entry in entries:
+        if not entry.get("rule") or not entry.get("path"):
+            raise ValueError(f"baseline entry needs rule and path: {entry}")
+        if not str(entry.get("reason", "")).strip():
+            raise ValueError(
+                f"baseline entry for {entry.get('path')} needs a non-empty "
+                f"reason — suppressions must be explicit and commented"
+            )
+    return entries
+
+
+def apply_baseline(findings: List[Finding], entries: List[Dict[str, str]]) -> List[str]:
+    """Mark baselined findings; returns messages for unused entries."""
+    used = [False] * len(entries)
+    for finding in findings:
+        if finding.suppressed_by:
+            continue
+        for position, entry in enumerate(entries):
+            if entry["rule"] != finding.rule:
+                continue
+            normalized = finding.path.replace("\\", "/")
+            if not normalized.endswith(entry["path"].replace("\\", "/")):
+                continue
+            if entry.get("symbol") and entry["symbol"] != finding.symbol:
+                continue
+            if entry.get("attribute") and entry["attribute"] != finding.attribute:
+                continue
+            finding.suppressed_by = "baseline"
+            used[position] = True
+            break
+    return [
+        f"unused baseline entry: {entry['rule']} {entry['path']} "
+        f"{entry.get('symbol', '')}".rstrip()
+        for entry, was_used in zip(entries, used)
+        if not was_used
+    ]
+
+
+def render_json(
+    findings: List[Finding],
+    graph: Dict[Tuple[str, str], Tuple[str, int]],
+    unused_baseline: List[str],
+) -> str:
+    active = [f for f in findings if not f.suppressed_by]
+    payload = {
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "symbol": f.symbol,
+                "attribute": f.attribute,
+                "message": f.message,
+                "hint": f.hint,
+                "suppressed_by": f.suppressed_by,
+            }
+            for f in findings
+        ],
+        "acquisition_graph": [
+            {
+                "from": source,
+                "to": destination,
+                "first_seen": {"path": where[0], "line": where[1]},
+            }
+            for (source, destination), where in sorted(graph.items())
+        ],
+        "summary": {
+            "total": len(findings),
+            "active": len(active),
+            "suppressed": len(findings) - len(active),
+            "unused_baseline_entries": unused_baseline,
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="concurrency-invariant static analysis for the repro engine",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="finding output format",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="TOML",
+        help="suppression baseline (default: ./reprolint.toml when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        findings, graph = analyze_paths(args.paths)
+    except FileNotFoundError as error:
+        print(f"reprolint: {error}", file=sys.stderr)
+        return 2
+
+    unused_baseline: List[str] = []
+    if not args.no_baseline:
+        baseline_path = Path(args.baseline) if args.baseline else Path("reprolint.toml")
+        if args.baseline and not baseline_path.exists():
+            print(f"reprolint: no baseline at {baseline_path}", file=sys.stderr)
+            return 2
+        if baseline_path.exists():
+            try:
+                entries = load_baseline(baseline_path)
+            except ValueError as error:
+                print(f"reprolint: bad baseline: {error}", file=sys.stderr)
+                return 2
+            unused_baseline = apply_baseline(findings, entries)
+
+    active = [f for f in findings if not f.suppressed_by]
+    if args.format == "json":
+        print(render_json(findings, graph, unused_baseline))
+    else:
+        for finding in active:
+            print(finding.render())
+        for message in unused_baseline:
+            print(f"warning: {message}", file=sys.stderr)
+        suppressed = len(findings) - len(active)
+        print(
+            f"reprolint: {len(active)} finding(s) "
+            f"({suppressed} suppressed, {len(graph)} acquisition edge(s) "
+            f"observed)",
+            file=sys.stderr,
+        )
+    return 1 if active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

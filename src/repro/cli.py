@@ -191,6 +191,31 @@ def _build_parser() -> argparse.ArgumentParser:
              "per independent task, capped at the CPU count)",
     )
     batch.add_argument("--seed", type=int, default=0, help="random seed")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run reprolint, the concurrency-invariant static analyzer",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="TOML",
+        help="suppression baseline (default: ./reprolint.toml when present)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    lint.add_argument(
+        "--style", action="store_true",
+        help="also run the pystyle checker (unused imports, undefined names)",
+    )
     return parser
 
 
@@ -520,6 +545,21 @@ def _command_batch(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _command_lint(args) -> int:
+    """Delegate to reprolint (and optionally pystyle) with the parsed flags."""
+    from repro.analysis_tools import pystyle, reprolint
+
+    lint_argv = list(args.paths) + ["--format", args.format]
+    if args.no_baseline:
+        lint_argv.append("--no-baseline")
+    elif args.baseline is not None:
+        lint_argv += ["--baseline", args.baseline]
+    status = reprolint.main(lint_argv)
+    if args.style:
+        status = max(status, pystyle.main(list(args.paths)))
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (returns the process exit code)."""
     parser = _build_parser()
@@ -534,6 +574,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_updates(args)
     if args.command == "batch":
         return _command_batch(args)
+    if args.command == "lint":
+        return _command_lint(args)
     parser.print_help()
     return 1
 

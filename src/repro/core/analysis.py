@@ -12,7 +12,7 @@ tutorial's open topics) can reason about convergence explicitly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

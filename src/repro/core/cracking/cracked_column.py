@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.analysis_tools.guards import guarded_by
 from repro.columnstore.bulk import binary_search_count
 from repro.columnstore.column import Column
 from repro.core.cracking.cracker_index import CrackerIndex, Piece
@@ -22,6 +23,7 @@ from repro.core.cracking.crack_engine import crack_range
 from repro.cost.counters import CostCounters
 
 
+@guarded_by(queries_processed="_stats_lock")
 class CrackedColumn:
     """Cracker column + cracker index + adaptive select operator.
 

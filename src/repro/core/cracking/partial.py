@@ -17,7 +17,7 @@ small) fall back to scanning the base column for that part of the range.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np

@@ -31,6 +31,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from repro.analysis_tools.guards import guarded_by
 from repro.columnstore.column import Column
 from repro.core.hybrids.final_partition import FinalPartition
 from repro.core.hybrids.initial_partitions import (
@@ -43,6 +44,7 @@ from repro.core.merging.intervals import IntervalSet
 from repro.cost.counters import CostCounters
 
 
+@guarded_by(queries_processed="_stats_lock")
 class HybridIndex:
     """Adaptive index combining one initial-partition and one final-partition mode."""
 

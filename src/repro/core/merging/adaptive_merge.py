@@ -16,10 +16,11 @@ Behaviour (Graefe & Kuno, EDBT 2010):
 from __future__ import annotations
 
 import threading
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
+from repro.analysis_tools.guards import guarded_by
 from repro.columnstore.bulk import binary_search_count
 from repro.columnstore.column import Column
 from repro.core.merging.intervals import IntervalSet
@@ -27,6 +28,7 @@ from repro.core.merging.runs import SortedRun, create_runs
 from repro.cost.counters import CostCounters
 
 
+@guarded_by(queries_processed="_stats_lock")
 class AdaptiveMergingIndex:
     """Adaptive merging over sorted runs with a growing final partition."""
 

@@ -8,7 +8,7 @@ fully-optimized") and (b) convergence can be measured structurally.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 
 class IntervalSet:

@@ -15,7 +15,7 @@ its own lighter-weight run representation for bulk extraction.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -73,6 +73,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.analysis_tools.guards import guarded_by
 from repro.columnstore.column import Column
 from repro.core.cracking.cracked_column import CrackedColumn
 from repro.core.cracking.cracker_index import CrackerIndex, Piece
@@ -334,6 +335,7 @@ class ColumnPartition:
         return left, right
 
 
+@guarded_by(_pool="_pool_lock")
 class _PartitionedFanOut:
     """Shared thread-pool fan-out machinery of the partitioned columns.
 
@@ -469,6 +471,11 @@ class _PartitionedFanOut:
             )
 
 
+@guarded_by(
+    queries_processed="_stats_lock",
+    partition_splits="_stats_lock",
+    partition_merges="_stats_lock",
+)
 class PartitionedCrackedColumn(_PartitionedFanOut):
     """A column sharded into contiguous partitions, each cracked independently.
 
@@ -646,7 +653,8 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
             left, right = children
             left.visits = right.visits = parent.visits // 2
             self._partitions[candidate:candidate + 1] = [left, right]
-            self.partition_splits += 1
+            with self._stats_lock:
+                self.partition_splits += 1
 
     # -- the adaptive select operator -----------------------------------------
 
@@ -938,6 +946,11 @@ class UpdatableColumnPartition:
         return left, right
 
 
+@guarded_by(
+    queries_processed="_stats_lock",
+    partition_splits="_stats_lock",
+    partition_merges="_stats_lock",
+)
 class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
     """Partitioned cracking with first-class inserts, deletes and updates.
 
@@ -1146,7 +1159,8 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
             if children is None:
                 return
             self._partitions[candidate:candidate + 1] = list(children)
-            self.partition_splits += 1
+            with self._stats_lock:
+                self.partition_splits += 1
 
     def _maybe_merge(self, counters: Optional[CostCounters]) -> None:
         """Merge one pair of cold, value-adjacent partitions (main thread only).
@@ -1187,7 +1201,8 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
                 (min(lows) if lows else None, max(highs) if highs else None),
             )
             self._partitions[i:i + 2] = [merged]
-            self.partition_merges += 1
+            with self._stats_lock:
+                self.partition_merges += 1
             return
 
     # -- updates ----------------------------------------------------------------

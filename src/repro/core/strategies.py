@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.analysis_tools.guards import guarded_by
 from repro.columnstore.column import Column
 from repro.columnstore.select import RangePredicate, scan_select
 from repro.core.cracking.cracked_column import CrackedColumn
@@ -37,6 +38,7 @@ def _as_array(column: Union[Column, np.ndarray]) -> np.ndarray:
     return column.values if isinstance(column, Column) else np.asarray(column)
 
 
+@guarded_by(queries_processed="_stats_lock")
 class SearchStrategy(ABC):
     """A named range-search technique over one column."""
 
@@ -283,7 +285,8 @@ class UpdatableCrackingStrategy(SearchStrategy):
     name = "updatable-cracking"
     supports_updates = True
     # pending insert/delete queues merge on demand during every search, so
-    # the inherited reorganizes_on_read=True is permanent for this strategy
+    # reads reorganize permanently for this strategy
+    reorganizes_on_read = True
 
     def __init__(self, column, **options):
         super().__init__(column, **options)
@@ -337,7 +340,8 @@ class PartitionedUpdatableCrackingStrategy(SearchStrategy):
     name = "partitioned-updatable-cracking"
     supports_updates = True
     # pending insert/delete queues merge on demand during every search, so
-    # the inherited reorganizes_on_read=True is permanent for this strategy
+    # reads reorganize permanently for this strategy
+    reorganizes_on_read = True
 
     def __init__(self, column, **options):
         super().__init__(column, **options)

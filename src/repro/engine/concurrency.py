@@ -48,14 +48,268 @@ fixed two-level hierarchy, so the protocol is deadlock-free.
 
 from __future__ import annotations
 
+import logging
+import os
 import threading
+import traceback
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis_tools.guards import guarded_by
+
+logger = logging.getLogger(__name__)
 
 #: access-path key: ("path", table, column) or ("sideways", table)
 PathKey = Tuple[str, ...]
+
+
+# -- runtime lock-order witness -------------------------------------------------
+#
+# The static analyzer (repro.analysis_tools.reprolint) checks the documented
+# acquisition order lexically; the witness checks it *dynamically*, across
+# call boundaries the analyzer cannot see.  Every instrumented acquisition
+# pushes onto a thread-local held-lock stack and records the edge
+# (top-of-stack -> new lock) into a global acquisition-order graph.  An edge
+# that would close a cycle — or that acquires a table gate while a path lock
+# is held (rank regression) — is a potential deadlock and is reported with
+# both stacks: the acquiring thread's, and the sample stack recorded when
+# the conflicting edge was first observed.
+#
+# Off by default with zero overhead beyond one global read per acquisition;
+# enabled by ``REPRO_LOCK_WITNESS=1`` (raise) / ``=log`` (warn only) or
+# programmatically via :func:`enable_lock_witness`.
+
+
+class LockOrderViolation(RuntimeError):
+    """A lock acquisition violated the two-level order (possible deadlock)."""
+
+
+#: acquisition ranks: gates strictly before path locks
+_WITNESS_RANKS = {"gate": 0, "path": 1}
+
+
+@guarded_by(_edges="_graph_lock", _violations="_graph_lock")
+class LockOrderWitness:
+    """Thread-local held-lock stacks feeding a global acquisition graph.
+
+    Nodes are lock names (``gate:<table>``, ``path:<key>``); a directed
+    edge ``a -> b`` means some thread acquired ``b`` while holding ``a``.
+    The graph is append-only and shared by every thread; violating edges
+    are reported (never added), so the published graph stays acyclic.
+    """
+
+    def __init__(self, mode: str = "raise") -> None:
+        if mode not in ("raise", "log"):
+            raise ValueError(f"witness mode must be 'raise' or 'log', got {mode!r}")
+        self.mode = mode
+        self._tls = threading.local()
+        self._graph_lock = threading.Lock()
+        #: edge -> formatted stack of the thread that first recorded it
+        self._edges: Dict[Tuple[str, str], str] = {}
+        #: violation messages (also raised in ``raise`` mode)
+        self._violations: List[str] = []
+
+    # -- per-thread state ------------------------------------------------------
+
+    def held(self) -> List[str]:
+        """This thread's held-lock stack (outermost first)."""
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    # -- graph inspection ------------------------------------------------------
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """Every acquisition-order edge observed so far (sorted)."""
+        with self._graph_lock:
+            return sorted(self._edges)
+
+    def violations(self) -> List[str]:
+        """Messages of every violation reported so far."""
+        with self._graph_lock:
+            return list(self._violations)
+
+    def is_acyclic(self) -> bool:
+        """True when the observed acquisition graph has no cycle."""
+        edges = self.edges()
+        adjacent: Dict[str, List[str]] = {}
+        for source, target in edges:
+            adjacent.setdefault(source, []).append(target)
+        done: Dict[str, bool] = {}  # False = on stack, True = finished
+
+        def visit(node: str) -> bool:
+            state = done.get(node)
+            if state is False:
+                return False
+            if state is True:
+                return True
+            done[node] = False
+            for successor in adjacent.get(node, ()):
+                if not visit(successor):
+                    return False
+            done[node] = True
+            return True
+
+        return all(visit(node) for node in adjacent)
+
+    # -- recording -------------------------------------------------------------
+
+    def acquired(self, name: str) -> None:
+        """Record that the current thread acquired ``name``."""
+        stack = self.held()
+        if stack:
+            self._check_edge(stack[-1], name)
+        stack.append(name)
+
+    def released(self, name: str) -> None:
+        """Record that the current thread released ``name``."""
+        stack = self.held()
+        # releases may be out of LIFO order: drop the innermost occurrence
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return
+
+    # -- internals -------------------------------------------------------------
+
+    @staticmethod
+    def _rank(name: str) -> int:
+        return _WITNESS_RANKS.get(name.split(":", 1)[0], len(_WITNESS_RANKS))
+
+    def _find_path(self, source: str, target: str) -> Optional[List[str]]:
+        """Nodes of a path ``source -> ... -> target``, or None (lock held)."""
+        parents: Dict[str, str] = {source: source}
+        frontier = [source]
+        while frontier:
+            node = frontier.pop()
+            for edge_source, edge_target in self._edges:
+                if edge_source != node or edge_target in parents:
+                    continue
+                parents[edge_target] = node
+                if edge_target == target:
+                    path = [target]
+                    while path[-1] != source:
+                        path.append(parents[path[-1]])
+                    return path[::-1]
+                frontier.append(edge_target)
+        return None
+
+    def _check_edge(self, holding: str, acquiring: str) -> None:
+        edge = (holding, acquiring)
+        sample = "".join(traceback.format_stack(limit=16))
+        with self._graph_lock:
+            if edge in self._edges:
+                return
+            problem = None
+            conflict_stack = ""
+            if holding == acquiring:
+                problem = f"re-acquisition of non-reentrant lock {acquiring!r}"
+            elif self._rank(acquiring) < self._rank(holding):
+                problem = (
+                    f"rank regression: acquired {acquiring!r} while holding "
+                    f"{holding!r} (table gates must be taken before path locks)"
+                )
+            else:
+                reverse = self._find_path(acquiring, holding)
+                if reverse is not None:
+                    problem = (
+                        "cycle-forming edge: "
+                        + " -> ".join(reverse + [acquiring])
+                    )
+                    first_hop = (reverse[0], reverse[1])
+                    conflict_stack = self._edges.get(first_hop, "")
+            if problem is None:
+                self._edges[edge] = sample
+                return
+            message = (
+                f"lock-order violation ({problem})\n"
+                f"held by this thread: {self.held() + [acquiring]}\n"
+                f"--- acquiring thread stack ---\n{sample}"
+            )
+            if conflict_stack:
+                message += (
+                    f"--- stack that first recorded the conflicting edge ---\n"
+                    f"{conflict_stack}"
+                )
+            self._violations.append(message)
+        if self.mode == "raise":
+            raise LockOrderViolation(message)
+        logger.warning(message)
+
+
+_WITNESS: Optional[LockOrderWitness] = None
+
+
+def lock_witness() -> Optional[LockOrderWitness]:
+    """The active witness, or None when witnessing is disabled."""
+    return _WITNESS
+
+
+def enable_lock_witness(mode: str = "raise") -> LockOrderWitness:
+    """Install (and return) a fresh witness; replaces any previous one."""
+    global _WITNESS
+    _WITNESS = LockOrderWitness(mode)
+    return _WITNESS
+
+
+def disable_lock_witness() -> None:
+    """Remove the active witness (instrumentation reverts to no-ops)."""
+    global _WITNESS
+    _WITNESS = None
+
+
+_env_witness = os.environ.get("REPRO_LOCK_WITNESS", "").strip().lower()
+if _env_witness in {"1", "true", "raise", "strict"}:
+    enable_lock_witness("raise")
+elif _env_witness in {"log", "warn"}:
+    enable_lock_witness("log")
+del _env_witness
+
+
+class _WitnessedLock:
+    """Thin path-lock wrapper reporting acquisitions to the witness.
+
+    ``threading.Lock`` cannot be subclassed, so :meth:`lock_for` hands out
+    this wrapper (same underlying lock, so raw and witnessed handles
+    interoperate) whenever a witness is active.
+    """
+
+    __slots__ = ("_lock", "_name")
+
+    def __init__(self, lock: threading.Lock, name: str) -> None:
+        self._lock = lock
+        self._name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            witness = _WITNESS
+            if witness is not None:
+                try:
+                    witness.acquired(self._name)
+                except BaseException:
+                    # never leave the lock held when the witness raises
+                    self._lock.release()
+                    raise
+        return acquired
+
+    def release(self) -> None:
+        witness = _WITNESS
+        if witness is not None:
+            witness.released(self._name)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> "_WitnessedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
 
 
 @dataclass(frozen=True)
@@ -219,6 +473,7 @@ def schedule_batch(database, plans: Sequence) -> BatchSchedule:
     return schedule
 
 
+@guarded_by(_locks="_registry_guard", _witnessed="_registry_guard")
 class AccessPathLockManager:
     """One lock per access-path key, created on first use.
 
@@ -232,15 +487,29 @@ class AccessPathLockManager:
 
     def __init__(self) -> None:
         self._locks: Dict[PathKey, threading.Lock] = {}
+        self._witnessed: Dict[PathKey, "_WitnessedLock"] = {}
         self._registry_guard = threading.Lock()
 
-    def lock_for(self, key: PathKey) -> threading.Lock:
-        """The lock guarding ``key`` (created on first request)."""
+    def lock_for(self, key: PathKey):
+        """The lock guarding ``key`` (created on first request).
+
+        With a lock witness active the lock comes wrapped in a (cached,
+        so identity is stable) :class:`_WitnessedLock`; raw and witnessed
+        handles share the underlying lock and interoperate freely.
+        """
+        witness_active = _WITNESS is not None
         with self._registry_guard:
             lock = self._locks.get(key)
             if lock is None:
                 lock = self._locks[key] = threading.Lock()
-            return lock
+            if not witness_active:
+                return lock
+            wrapped = self._witnessed.get(key)
+            if wrapped is None:
+                parts = key[1:] if key and key[0] == "path" else key
+                name = "path:" + ":".join(map(str, parts))
+                wrapped = self._witnessed[key] = _WitnessedLock(lock, name)
+            return wrapped
 
     @contextmanager
     def locked(self, claims: Sequence[AccessPathClaim]):
@@ -256,6 +525,12 @@ class AccessPathLockManager:
                 lock.release()
 
 
+@guarded_by(
+    _active_readers="_condition",
+    _writer_active="_condition",
+    _waiting_writers="_condition",
+    fenced_writes="_condition",
+)
 class TableGate:
     """A fair readers-writer gate fencing DML against in-flight queries.
 
@@ -275,11 +550,13 @@ class TableGate:
     direction a non-issue).  Not reentrant: neither side may re-acquire.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name: Optional[str] = None) -> None:
         self._condition = threading.Condition()
         self._active_readers = 0
         self._writer_active = False
         self._waiting_writers = 0
+        #: witness node name (the registry passes the table name)
+        self._witness_name = f"gate:{name}" if name else f"gate:@{id(self):x}"
         #: times a DML operation had to wait for in-flight queries (or
         #: another DML op) to drain — the observable "fence" count
         self.fenced_writes = 0
@@ -289,8 +566,21 @@ class TableGate:
             while self._writer_active or self._waiting_writers:
                 self._condition.wait()
             self._active_readers += 1
+        witness = _WITNESS
+        if witness is not None:
+            try:
+                witness.acquired(self._witness_name)
+            except BaseException:
+                # never leave the gate held when the witness raises; the
+                # failed acquisition was not pushed, so the nested
+                # witness.released call is a harmless no-op
+                self.release_read()
+                raise
 
     def release_read(self) -> None:
+        witness = _WITNESS
+        if witness is not None:
+            witness.released(self._witness_name)
         with self._condition:
             self._active_readers -= 1
             if self._active_readers == 0:
@@ -307,8 +597,18 @@ class TableGate:
             finally:
                 self._waiting_writers -= 1
             self._writer_active = True
+        witness = _WITNESS
+        if witness is not None:
+            try:
+                witness.acquired(self._witness_name)
+            except BaseException:
+                self.release_write()
+                raise
 
     def release_write(self) -> None:
+        witness = _WITNESS
+        if witness is not None:
+            witness.released(self._witness_name)
         with self._condition:
             self._writer_active = False
             self._condition.notify_all()
@@ -338,6 +638,7 @@ class TableGate:
             return self._waiting_writers
 
 
+@guarded_by(_gates="_registry_guard")
 class TableGateRegistry:
     """One :class:`TableGate` per table name, created on first use.
 
@@ -355,7 +656,7 @@ class TableGateRegistry:
         with self._registry_guard:
             gate = self._gates.get(table)
             if gate is None:
-                gate = self._gates[table] = TableGate()
+                gate = self._gates[table] = TableGate(name=table)
             return gate
 
     @contextmanager

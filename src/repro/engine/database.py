@@ -44,6 +44,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
+from repro.analysis_tools.guards import guarded_by
 from repro.columnstore.column import Column
 from repro.columnstore.select import RangePredicate
 from repro.columnstore.storage import MemoryTracker, StorageBudget
@@ -71,6 +72,19 @@ from repro.indexes.soft_index import SoftIndexManager
 _MANAGED_MODES = ("scan", "full-index", "online", "soft")
 
 
+@guarded_by(
+    # tombstone state: parallel batch workers read concurrently with DML
+    _deleted_rows="_tombstone_lock",
+    _tombstone_cache="_tombstone_lock",
+    # engine-level bookkeeping shared by every session
+    queries_executed="_engine_stats_lock",
+    rows_inserted="_engine_stats_lock",
+    rows_deleted="_engine_stats_lock",
+    last_batch_report="_engine_stats_lock",
+    _journal="_engine_stats_lock",
+    _op_sequence="_engine_stats_lock",
+    _wrapper_session="_engine_stats_lock",
+)
 class Database:
     """An in-memory column-store database with pluggable physical design."""
 
@@ -175,8 +189,9 @@ class Database:
             k: v for k, v in self._access_paths.items() if k[0] != name
         }
         self._sideways.pop(name, None)
-        self._deleted_rows.pop(name, None)
-        self._tombstone_cache.pop(name, None)
+        with self._tombstone_lock:
+            self._deleted_rows.pop(name, None)
+            self._tombstone_cache.pop(name, None)
         self.memory.remove(f"table:{name}")
 
     def table(self, name: str) -> Table:
@@ -392,10 +407,10 @@ class Database:
         rowid = int(rowid)
         if not 0 <= rowid < owning_table.row_count:
             raise KeyError(f"unknown row identifier {rowid} in table {table!r}")
-        deleted = self._deleted_rows.setdefault(table, set())
-        # mutate the tombstone set under the lock so a concurrent cache
-        # rebuild never iterates a set that changes size underneath it
+        # mutate the tombstone map and set under the lock so a concurrent
+        # cache rebuild never iterates a set that changes size underneath it
         with self._tombstone_lock:
+            deleted = self._deleted_rows.setdefault(table, set())
             if rowid in deleted:
                 return
             deleted.add(rowid)
@@ -483,6 +498,12 @@ class Database:
         if cached is not None and len(cached) == len(deleted):
             return cached
         with self._tombstone_lock:
+            # the table may have been dropped (and even recreated) while this
+            # worker waited: re-read the live set and never publish an array
+            # built from a stale set identity into the cache of the new table
+            deleted = self._deleted_rows.get(table)
+            if not deleted:
+                return None
             # another worker may have rebuilt while this one waited
             cached = self._tombstone_cache.get(table)
             if cached is None or len(cached) != len(deleted):

@@ -17,7 +17,7 @@ from repro.columnstore.operators import aggregate as aggregate_values
 from repro.columnstore.reconstruct import late_reconstruct
 from repro.columnstore.select import RangePredicate, refine_select, scan_select
 from repro.cost.counters import CostCounters
-from repro.engine.planner import Plan, PlanStep
+from repro.engine.planner import Plan
 
 
 @dataclass

@@ -18,7 +18,7 @@ executor interprets them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.engine.query import Query, RangeSelection
 

@@ -18,7 +18,7 @@ from.  A detached builder (constructed directly) can still ``build()``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 
 #: aggregate functions the executor implements (see

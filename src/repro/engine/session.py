@@ -45,6 +45,7 @@ from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Iterable, List, Mapping, Optional, Sequence, Union
 
+from repro.analysis_tools.guards import guarded_by
 from repro.cost.counters import CostCounters
 from repro.cost.stats import QueryStatistics, WorkloadStatistics
 from repro.engine.concurrency import BatchExecutionReport, schedule_batch, classify_plan
@@ -91,6 +92,12 @@ class SessionStats:
 _SESSION_IDS = itertools.count(1)
 
 
+@guarded_by(
+    _pool="_lock",
+    _futures="_lock",
+    _closed="_lock",
+    _stats="_lock",
+)
 class Session:
     """A lock-aware handle on a :class:`~repro.engine.database.Database`.
 

@@ -12,7 +12,7 @@ sample was unrepresentative) that motivates online and adaptive indexing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.indexes.whatif import HypotheticalIndex, WhatIfAnalyzer, WorkloadQuery
 

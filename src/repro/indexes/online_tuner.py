@@ -16,8 +16,8 @@ a large penalty — the two weaknesses adaptive indexing removes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 import numpy as np
 

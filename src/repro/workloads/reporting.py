@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from repro.cost.model import CostModel, DEFAULT_MAIN_MEMORY_MODEL
 from repro.workloads.benchmark import BenchmarkResult

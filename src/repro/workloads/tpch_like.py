@@ -22,7 +22,6 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.columnstore.table import Table
 from repro.engine.database import Database
 from repro.engine.query import Aggregate, Query, RangeSelection
 

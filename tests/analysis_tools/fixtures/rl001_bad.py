@@ -1,0 +1,27 @@
+"""RL001 fixture: writes to @guarded_by attributes outside their lock.
+
+This file is *parsed* by reprolint in tests, never imported or executed.
+"""
+
+import threading
+
+from repro.analysis_tools.guards import guarded_by
+
+
+@guarded_by(_items="_lock", total_count="_lock")
+class GuardedBag:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+        self.total_count = 0
+
+    def add_unlocked(self, item):
+        self._items.append(item)  # expect[RL001]
+
+    def replace_unlocked(self, items):
+        self._items = list(items)  # expect[RL001]
+
+    def add_locked(self, item):
+        with self._lock:
+            self._items.append(item)
+            self.total_count += 1

@@ -1,0 +1,22 @@
+"""RL001 fixture (clean): every guarded write happens under its lock."""
+
+import threading
+
+from repro.analysis_tools.guards import guarded_by
+
+
+@guarded_by(_items="_lock", total_count="_lock")
+class GuardedBag:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+        self.total_count = 0
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+            self.total_count += 1
+
+    def replace(self, items):
+        with self._lock:
+            self._items = list(items)

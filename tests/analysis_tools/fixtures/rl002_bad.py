@@ -1,0 +1,24 @@
+"""RL002 fixture: lock acquisitions against the documented order.
+
+The engine's protocol is table gates -> path locks -> stats locks; this
+snippet nests them backwards.  Parsed by reprolint in tests, never run.
+"""
+
+import threading
+
+
+class BackwardsEngine:
+    def __init__(self, path_locks, table_gates):
+        self._path_locks = path_locks
+        self._table_gates = table_gates
+        self._stats_lock = threading.Lock()
+
+    def gate_under_path_lock(self, key, table):
+        with self._path_locks.lock_for(key):
+            with self._table_gates.read([table]):  # expect[RL002]
+                pass
+
+    def path_lock_under_stats_lock(self, key):
+        with self._stats_lock:
+            with self._path_locks.lock_for(key):  # expect[RL002]
+                pass

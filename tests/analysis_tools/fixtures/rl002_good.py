@@ -1,0 +1,16 @@
+"""RL002 fixture (clean): gates, then path locks, then stats locks."""
+
+import threading
+
+
+class OrderedEngine:
+    def __init__(self, path_locks, table_gates):
+        self._path_locks = path_locks
+        self._table_gates = table_gates
+        self._stats_lock = threading.Lock()
+
+    def full_stack(self, key, table):
+        with self._table_gates.read([table]):
+            with self._path_locks.lock_for(key):
+                with self._stats_lock:
+                    pass

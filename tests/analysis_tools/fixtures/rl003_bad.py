@@ -1,0 +1,17 @@
+"""RL003 fixture: a registered strategy hiding behind the inherited default.
+
+``reorganizes_on_read`` drives batch scheduling (shared vs exclusive
+claims), so every concrete strategy must declare it explicitly.  Parsed
+by reprolint in tests, never run.
+"""
+
+
+class SearchStrategy:
+    reorganizes_on_read = True
+
+
+class SneakyStrategy(SearchStrategy):  # expect[RL003]
+    name = "sneaky"
+
+    def search(self, low, high, counters=None):
+        return []

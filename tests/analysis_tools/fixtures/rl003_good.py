@@ -1,0 +1,13 @@
+"""RL003 fixture (clean): the scheduling capability is declared."""
+
+
+class SearchStrategy:
+    reorganizes_on_read = True
+
+
+class HonestStrategy(SearchStrategy):
+    name = "honest"
+    reorganizes_on_read = False
+
+    def search(self, low, high, counters=None):
+        return []

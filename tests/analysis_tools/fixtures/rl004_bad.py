@@ -1,0 +1,22 @@
+"""RL004 fixture: counters bumped with += outside any lock.
+
+Applies to classes that own (or inherit) a lock: their counters are read
+by other threads, so unlocked read-modify-write increments lose updates.
+Parsed by reprolint in tests, never run.
+"""
+
+import threading
+
+
+class Telemetry:
+    def __init__(self):
+        self._stats_lock = threading.Lock()
+        self.queries_processed = 0
+        self.rows_inserted = 0
+
+    def bump_unlocked(self):
+        self.queries_processed += 1  # expect[RL004]
+
+    def bump_locked(self, rows):
+        with self._stats_lock:
+            self.rows_inserted += rows

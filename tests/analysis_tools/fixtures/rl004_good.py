@@ -1,0 +1,15 @@
+"""RL004 fixture (clean): every counter increment holds the stats lock."""
+
+import threading
+
+
+class Telemetry:
+    def __init__(self):
+        self._stats_lock = threading.Lock()
+        self.queries_processed = 0
+        self.rows_inserted = 0
+
+    def bump(self, rows):
+        with self._stats_lock:
+            self.queries_processed += 1
+            self.rows_inserted += rows

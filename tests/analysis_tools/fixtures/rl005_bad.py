@@ -1,0 +1,15 @@
+"""RL005 fixture: blocking while statically holding a path lock.
+
+A ``Future.result()`` (or gate acquisition) under a path lock can wait on
+work that needs that very lock — a deadlock the type system cannot see.
+Parsed by reprolint in tests, never run.
+"""
+
+
+class Runner:
+    def __init__(self, path_locks):
+        self._path_locks = path_locks
+
+    def wait_under_lock(self, key, future):
+        with self._path_locks.lock_for(key):
+            return future.result()  # expect[RL005]

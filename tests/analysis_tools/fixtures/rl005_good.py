@@ -1,0 +1,11 @@
+"""RL005 fixture (clean): collect results after releasing the path lock."""
+
+
+class Runner:
+    def __init__(self, path_locks):
+        self._path_locks = path_locks
+
+    def wait_after_lock(self, key, future):
+        with self._path_locks.lock_for(key):
+            pass
+        return future.result()

@@ -1,0 +1,64 @@
+"""Tests for the @guarded_by declaration decorator."""
+
+import pytest
+
+from repro.analysis_tools.guards import guarded_attributes, guarded_by
+
+
+class TestGuardedBy:
+    def test_declarations_are_attached(self):
+        @guarded_by(_items="_lock", count="_stats_lock")
+        class Sample:
+            pass
+
+        assert guarded_attributes(Sample) == {
+            "_items": "_lock",
+            "count": "_stats_lock",
+        }
+
+    def test_declarations_merge_across_inheritance(self):
+        @guarded_by(_base_state="_lock")
+        class Base:
+            pass
+
+        @guarded_by(_child_state="_child_lock")
+        class Child(Base):
+            pass
+
+        assert guarded_attributes(Child) == {
+            "_base_state": "_lock",
+            "_child_state": "_child_lock",
+        }
+
+    def test_subclass_can_rebind_an_attribute_to_another_lock(self):
+        @guarded_by(_state="_lock")
+        class Base:
+            pass
+
+        @guarded_by(_state="_other_lock")
+        class Child(Base):
+            pass
+
+        assert guarded_attributes(Child)["_state"] == "_other_lock"
+        assert guarded_attributes(Base)["_state"] == "_lock"
+
+    def test_empty_declaration_is_rejected(self):
+        with pytest.raises(ValueError):
+            guarded_by()
+
+    def test_blank_lock_name_is_rejected(self):
+        with pytest.raises(ValueError):
+            guarded_by(_items="")
+
+    def test_undecorated_class_has_no_guards(self):
+        class Plain:
+            pass
+
+        assert guarded_attributes(Plain) == {}
+
+    def test_engine_classes_declare_their_guards(self):
+        from repro.engine.concurrency import TableGate
+        from repro.engine.database import Database
+
+        assert guarded_attributes(TableGate)["_active_readers"] == "_condition"
+        assert guarded_attributes(Database)["_deleted_rows"] == "_tombstone_lock"

@@ -1,0 +1,123 @@
+"""Tests for the stdlib F401/F821 checker backing the ruff.toml rule set."""
+
+from pathlib import Path
+
+from repro.analysis_tools import pystyle
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def check(tmp_path, source, name="sample.py"):
+    module = tmp_path / name
+    module.write_text(source)
+    return pystyle.check_module(module)
+
+
+class TestUnusedImports:
+    def test_unused_import_is_flagged(self, tmp_path):
+        findings = check(tmp_path, "import os\n\nprint('hi')\n")
+        assert [(f.code, f.line) for f in findings] == [("F401", 1)]
+
+    def test_used_import_is_clean(self, tmp_path):
+        findings = check(tmp_path, "import os\n\nprint(os.sep)\n")
+        assert findings == []
+
+    def test_unused_from_import_names_the_binding(self, tmp_path):
+        findings = check(tmp_path, "from typing import List, Dict\nx: List = []\n")
+        assert [(f.code, f.line) for f in findings] == [("F401", 1)]
+        assert "Dict" in findings[0].message
+
+    def test_init_modules_are_exempt(self, tmp_path):
+        findings = check(tmp_path, "import os\n", name="__init__.py")
+        assert findings == []
+
+    def test_future_imports_are_exempt(self, tmp_path):
+        findings = check(tmp_path, "from __future__ import annotations\n")
+        assert findings == []
+
+    def test_dunder_all_counts_as_use(self, tmp_path):
+        findings = check(
+            tmp_path, "from os import sep\n__all__ = ['sep']\n"
+        )
+        assert findings == []
+
+    def test_explicit_reexport_is_exempt(self, tmp_path):
+        findings = check(tmp_path, "from os import sep as sep\n")
+        assert findings == []
+
+    def test_string_annotation_counts_as_use(self, tmp_path):
+        findings = check(
+            tmp_path,
+            "from decimal import Decimal\n\n"
+            "def f(x: 'Decimal') -> None:\n    pass\n",
+        )
+        assert findings == []
+
+    def test_noqa_silences_the_line(self, tmp_path):
+        findings = check(tmp_path, "import os  # noqa: F401\n")
+        assert findings == []
+
+    def test_noqa_with_other_code_does_not_silence(self, tmp_path):
+        findings = check(tmp_path, "import os  # noqa: F821\n")
+        assert [f.code for f in findings] == ["F401"]
+
+
+class TestUndefinedNames:
+    def test_undefined_name_is_flagged(self, tmp_path):
+        findings = check(tmp_path, "def f():\n    return missing_name\n")
+        assert [(f.code, f.line) for f in findings] == [("F821", 2)]
+
+    def test_builtins_and_locals_resolve(self, tmp_path):
+        findings = check(
+            tmp_path,
+            "def f(xs):\n    total = sum(xs)\n    return total\n",
+        )
+        assert findings == []
+
+    def test_class_scope_is_invisible_to_methods(self, tmp_path):
+        findings = check(
+            tmp_path,
+            "class C:\n"
+            "    setting = 1\n"
+            "    def read(self):\n"
+            "        return setting\n",
+        )
+        assert [(f.code, f.line) for f in findings] == [("F821", 4)]
+
+    def test_comprehension_targets_resolve(self, tmp_path):
+        findings = check(
+            tmp_path, "def f(xs):\n    return [x * x for x in xs]\n"
+        )
+        assert findings == []
+
+    def test_star_import_disables_the_rule(self, tmp_path):
+        findings = check(
+            tmp_path, "from os.path import *\n\nprint(join('a', 'b'))\n"
+        )
+        assert findings == []
+
+    def test_global_declaration_resolves(self, tmp_path):
+        findings = check(
+            tmp_path,
+            "counter = 0\n\n"
+            "def bump():\n"
+            "    global counter\n"
+            "    counter += 1\n",
+        )
+        assert findings == []
+
+
+class TestRealTree:
+    def test_src_tests_benchmarks_are_clean(self):
+        status = pystyle.main(
+            [
+                str(REPO_ROOT / "src"),
+                str(REPO_ROOT / "tests"),
+                str(REPO_ROOT / "benchmarks"),
+            ]
+        )
+        assert status == 0
+
+    def test_ruff_config_pins_the_same_rules(self):
+        config = (REPO_ROOT / "ruff.toml").read_text()
+        assert '"F401"' in config and '"F821"' in config

@@ -1,6 +1,5 @@
 """Unit tests for the AdaptiveIndex facade."""
 
-import numpy as np
 import pytest
 
 from repro.core.adaptive_index import AdaptiveIndex

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.analysis import (
-    StructureReport,
     analyze,
     analyze_adaptive_merging,
     analyze_cracked_column,

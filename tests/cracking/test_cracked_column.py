@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.columnstore.column import Column
 from repro.core.cracking.cracked_column import CrackedColumn
 from repro.cost.counters import CostCounters
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.columnstore.storage import StorageBudget
-from repro.columnstore.table import Table
 from repro.core.cracking.sideways import SidewaysCracker
 from repro.cost.counters import CostCounters
 

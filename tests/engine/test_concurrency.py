@@ -11,7 +11,6 @@ import threading
 import numpy as np
 import pytest
 
-from repro.core.strategies import create_strategy
 from repro.engine.concurrency import (
     AccessPathLockManager,
     classify_plan,

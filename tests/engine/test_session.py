@@ -280,10 +280,22 @@ class TestTableGate:
         reader_thread.join()
 
     def test_readers_share(self):
+        # two reader *threads*: the gate is not reentrant, so a second
+        # shared acquisition from the same thread would be a latent
+        # deadlock under writer preference (the lock witness flags it)
         gate = TableGate()
         gate.acquire_read()
-        gate.acquire_read()
-        gate.release_read()
+        second_entered = threading.Event()
+
+        def second_reader():
+            gate.acquire_read()
+            second_entered.set()
+            gate.release_read()
+
+        thread = threading.Thread(target=second_reader)
+        thread.start()
+        assert second_entered.wait(timeout=5.0)
+        thread.join(timeout=5.0)
         gate.release_read()
         assert gate.fenced_writes == 0
 

@@ -1,9 +1,7 @@
 """Unit tests for the full (offline) index."""
 
 import numpy as np
-import pytest
 
-from repro.columnstore.column import Column
 from repro.columnstore.select import RangePredicate
 from repro.cost.counters import CostCounters
 from repro.indexes.full_index import FullIndex

@@ -1,6 +1,5 @@
 """Unit tests for what-if analysis, the offline tuner, online tuner and soft indexes."""
 
-import numpy as np
 import pytest
 
 from repro.columnstore.column import Column

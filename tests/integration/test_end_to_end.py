@@ -4,10 +4,8 @@ import numpy as np
 import pytest
 
 from repro import AdaptiveIndex, Database, available_strategies
-from repro.columnstore.storage import StorageBudget
 from repro.core.cracking.updates import UpdatableCrackedColumn
-from repro.cost.counters import CostCounters
-from repro.engine.query import Aggregate, Query, RangeSelection
+from repro.engine.query import Query
 from repro.workloads.benchmark import AdaptiveIndexingBenchmark
 from repro.workloads.generators import (
     WorkloadSpec,

@@ -1,7 +1,6 @@
 """Unit tests for the adaptive merging index."""
 
 import numpy as np
-import pytest
 
 from repro.core.merging.adaptive_merge import AdaptiveMergingIndex
 from repro.cost.counters import CostCounters

@@ -1,6 +1,5 @@
 """Unit tests for the command-line interface."""
 
-import pytest
 
 from repro.cli import main
 from repro.core.strategies import available_strategies
