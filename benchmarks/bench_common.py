@@ -135,3 +135,26 @@ def tail_mean(series: List[float], fraction: float = 0.1) -> float:
     """Mean of the last ``fraction`` of a per-query cost series."""
     count = max(1, int(len(series) * fraction))
     return float(np.mean(series[-count:]))
+
+
+def stats_snapshot(column, *attributes: str) -> Dict[str, int]:
+    """Atomically read a strategy's shared statistics counters.
+
+    Statistics like ``merges_performed`` / ``partition_splits`` are declared
+    ``@guarded_by(..., "_stats_lock")``: with a parallel fan-out column (or
+    the concurrent-session experiments) pool workers update them under the
+    object's stats lock, so reading them bare from the driver thread is a
+    data race — individually torn reads, and multi-attribute snapshots that
+    mix states from two different moments.  This helper takes the object's
+    ``_stats_lock`` (when it has one) around *all* requested reads, so the
+    returned dict is one consistent snapshot.
+
+    Objects without a ``_stats_lock`` are plain single-threaded structures
+    (e.g. :class:`UpdatableCrackedColumn`); their attributes are read
+    directly — the single benchmark driver thread is the only writer.
+    """
+    lock = getattr(column, "_stats_lock", None)
+    if lock is None:
+        return {name: getattr(column, name) for name in attributes}
+    with lock:
+        return {name: getattr(column, name) for name in attributes}

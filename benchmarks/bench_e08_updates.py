@@ -12,7 +12,7 @@ carrying pending updates longer.
 import numpy as np
 import pytest
 
-from bench_common import SCALE, make_column
+from bench_common import SCALE, make_column, stats_snapshot
 from repro.core.cracking.updates import UpdatableCrackedColumn
 from repro.cost.counters import CostCounters
 from repro.cost.model import DEFAULT_MAIN_MEMORY_MODEL
@@ -63,7 +63,7 @@ def run_experiment():
             "total": float(np.sum(costs)),
             "tail": float(np.mean(costs[-30:])),
             "max": float(np.max(costs)),
-            "merges": column.merges_performed,
+            "merges": stats_snapshot(column, "merges_performed")["merges_performed"],
         }
     return values, results
 

@@ -18,7 +18,7 @@ import time
 import numpy as np
 import pytest
 
-from bench_common import SCALE, make_column
+from bench_common import SCALE, make_column, stats_snapshot
 from repro.core.cracking.updates import UpdatableCrackedColumn
 from repro.core.partitioned import PartitionedUpdatableCrackedColumn
 from repro.cost.counters import CostCounters
@@ -87,12 +87,15 @@ def run_stream(values, stream, label):
                 update_count += 1
         else:
             counters = CostCounters()
-            merges_before = column.merges_performed
+            merges_before = stats_snapshot(column, "merges_performed")["merges_performed"]
             started = time.perf_counter()
             result = column.search(operation.query.low, operation.query.high, counters)
             query_seconds += time.perf_counter() - started
             per_query_costs.append(DEFAULT_MAIN_MEMORY_MODEL.cost(counters))
-            merges_per_query.append(column.merges_performed - merges_before)
+            merges_per_query.append(
+                stats_snapshot(column, "merges_performed")["merges_performed"]
+                - merges_before
+            )
             answers.append(np.sort(result))
     if hasattr(column, "close"):
         column.close()
@@ -135,7 +138,7 @@ def test_e16_partitioned_updates(benchmark):
         print(
             f"{label:>24s} {throughput:>12,.0f} "
             f"{float(np.sum(row['per_query'])):>14,.0f} {tail:>12,.0f} "
-            f"{row['column'].merges_performed:>8d}"
+            f"{stats_snapshot(row['column'], 'merges_performed')['merges_performed']:>8d}"
         )
 
     # every configuration answers the same mixed stream with exactly the

@@ -16,7 +16,7 @@ exactly the rowid sets of the unpartitioned oracle.
 import numpy as np
 import pytest
 
-from bench_common import SCALE
+from bench_common import SCALE, stats_snapshot
 from repro.core.cracking.cracked_column import CrackedColumn
 from repro.core.cracking.updates import UpdatableCrackedColumn
 from repro.core.partitioned import (
@@ -166,17 +166,19 @@ def test_e17_repartitioning(benchmark):
     )
     for label, row in updatable.items():
         column = row["column"]
+        stats = stats_snapshot(column, "partition_splits", "partition_merges")
         print(
             f"{label:>20s} {column.partition_count:>10d} "
-            f"{column.partition_splits:>7d} {column.partition_merges:>7d} "
+            f"{stats['partition_splits']:>7d} {stats['partition_merges']:>7d} "
             f"{row['max_rows'] / row['mean_rows']:>14.2f} "
             f"{float(np.sum(row['per_query'])):>14,.0f}"
         )
     for label, row in read_only.items():
         column = row["column"]
+        stats = stats_snapshot(column, "partition_splits", "partition_merges")
         print(
             f"{'zoom-' + label:>20s} {column.partition_count:>10d} "
-            f"{column.partition_splits:>7d} {column.partition_merges:>7d} "
+            f"{stats['partition_splits']:>7d} {stats['partition_merges']:>7d} "
             f"{'-':>14s} {'-':>14s}"
         )
 
@@ -204,7 +206,7 @@ def test_e17_repartitioning(benchmark):
         assert row["max_rows"] <= SPLIT_THRESHOLD * row["mean_rows"] + 1, (
             f"{label} failed to bound the partition skew"
         )
-        assert row["column"].partition_splits > 0
+        assert stats_snapshot(row["column"], "partition_splits")["partition_splits"] > 0
 
     # parallel fan-out does identical logical work
     assert updatable["adaptive-parallel"]["per_query"] == pytest.approx(
@@ -212,15 +214,18 @@ def test_e17_repartitioning(benchmark):
     )
 
     # the zoom-in stream provokes query-skew splits in the adaptive column
-    assert read_only["adaptive"]["column"].partition_splits > 0
+    assert stats_snapshot(
+        read_only["adaptive"]["column"], "partition_splits"
+    )["partition_splits"] > 0
 
 
 if __name__ == "__main__":
     updatable, oracle, read_only, read_oracle = run_experiment()
     for label, row in updatable.items():
         column = row["column"]
+        splits = stats_snapshot(column, "partition_splits")["partition_splits"]
         print(
             f"{label:>20s}: {column.partition_count} partitions, "
-            f"{column.partition_splits} splits, "
+            f"{splits} splits, "
             f"max/mean rows {row['max_rows'] / row['mean_rows']:.2f}"
         )

@@ -1,0 +1,195 @@
+"""E1 smoke: a tiny, deterministic slice of bench_e01 for CI drift detection.
+
+Runs the E1 strategy comparison (scan / sort-first / full-index / cracking /
+adaptive-merging) at a fixed tiny scale — independent of
+``REPRO_BENCH_SCALE`` — and records, per strategy, the cumulative logical
+counters (comparisons, tuple movements, tuples scanned) and the total
+wall-clock seconds.
+
+Two modes::
+
+    python benchmarks/smoke_e01.py --write            # (re)write the baseline
+    python benchmarks/smoke_e01.py --check            # diff against it
+
+``--check`` enforces two different contracts, matching what each number
+means:
+
+* **logical counters are compared exactly** — they are deterministic by
+  design (fixed seed, fixed scale, machine-independent), so *any* drift is
+  a real change to the cost model or the kernels and must be accompanied
+  by a baseline refresh in the same commit;
+* **wall-clock is compared with a relative tolerance** (default ±25 %,
+  override with ``REPRO_SMOKE_TOLERANCE``) — it bounds gross performance
+  regressions without flaking on machine noise; both the baseline and
+  each check take the per-strategy minimum over ``SMOKE_REPEATS`` runs,
+  which is the standard noise-robust estimator for tiny workloads.
+
+The baseline lives at the repository root as ``BENCH_e01_smoke.json``.
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+#: rows in the smoke column (fixed: the smoke ignores REPRO_BENCH_SCALE)
+SMOKE_ROWS = 5_000
+
+#: queries in the smoke workload
+SMOKE_QUERIES = 80
+
+#: default relative wall-clock tolerance for --check
+DEFAULT_TOLERANCE = 0.25
+
+#: wall-clock measurability floor (seconds): strategies that finish the
+#: whole smoke workload faster than this are dominated by scheduler and
+#: allocator noise, so their budget is computed from the floor instead of
+#: the (meaninglessly small) baseline sample
+MIN_MEASURABLE_SECONDS = 0.02
+
+#: timing repeats — the counters are identical across repeats (asserted),
+#: the wall-clock keeps the per-strategy minimum, which is far more stable
+#: than a single sample at these tiny absolute times
+SMOKE_REPEATS = 3
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_e01_smoke.json"
+
+
+def _run_once() -> dict:
+    from bench_common import CORE_STRATEGIES, make_column, make_spec, run_comparison
+    from repro.workloads.generators import random_workload
+
+    values = make_column(size=SMOKE_ROWS)
+    queries = random_workload(
+        make_spec(query_count=SMOKE_QUERIES, selectivity=0.01)
+    )
+    result = run_comparison(values, queries, CORE_STRATEGIES)
+    strategies = {}
+    for name, run in sorted(result.runs.items()):
+        stats = run.statistics
+        strategies[name] = {
+            "comparisons": int(
+                sum(q.counters.comparisons for q in stats.queries)
+            ),
+            "movements": int(
+                sum(q.counters.tuples_moved for q in stats.queries)
+            ),
+            "scans": int(
+                sum(q.counters.tuples_scanned for q in stats.queries)
+            ),
+            "wall_clock_seconds": round(stats.total_seconds, 6),
+        }
+    return strategies
+
+
+def run_smoke() -> dict:
+    """The E1 comparison at smoke scale; returns the serializable record."""
+    strategies = _run_once()
+    for _ in range(SMOKE_REPEATS - 1):
+        repeat = _run_once()
+        for name, current in strategies.items():
+            again = repeat[name]
+            for counter in ("comparisons", "movements", "scans"):
+                assert again[counter] == current[counter], (
+                    f"{name}: {counter} differs across repeats — the smoke "
+                    f"workload is supposed to be deterministic"
+                )
+            current["wall_clock_seconds"] = min(
+                current["wall_clock_seconds"], again["wall_clock_seconds"]
+            )
+    return {
+        "rows": SMOKE_ROWS,
+        "queries": SMOKE_QUERIES,
+        "strategies": strategies,
+    }
+
+
+def check(current: dict, baseline: dict, tolerance: float) -> list:
+    """Compare a fresh run against the baseline; returns failure messages."""
+    failures = []
+    if set(current["strategies"]) != set(baseline["strategies"]):
+        failures.append(
+            f"strategy set changed: baseline {sorted(baseline['strategies'])} "
+            f"vs current {sorted(current['strategies'])}"
+        )
+        return failures
+    for key in ("rows", "queries"):
+        if current[key] != baseline[key]:
+            failures.append(
+                f"smoke scale changed ({key}: {baseline[key]} -> "
+                f"{current[key]}); refresh the baseline deliberately"
+            )
+    for name, now in current["strategies"].items():
+        then = baseline["strategies"][name]
+        for counter in ("comparisons", "movements", "scans"):
+            if now[counter] != then[counter]:
+                failures.append(
+                    f"{name}: {counter} drifted {then[counter]} -> "
+                    f"{now[counter]} (logical counters are deterministic; "
+                    f"a real cost-model change must refresh the baseline)"
+                )
+        before_wall = then["wall_clock_seconds"]
+        after_wall = now["wall_clock_seconds"]
+        budget = max(before_wall, MIN_MEASURABLE_SECONDS) * (1.0 + tolerance)
+        if before_wall > 0 and after_wall > budget:
+            failures.append(
+                f"{name}: wall-clock regressed {before_wall:.4f}s -> "
+                f"{after_wall:.4f}s (> {budget:.4f}s budget: "
+                f"+{tolerance:.0%} over max(baseline, "
+                f"{MIN_MEASURABLE_SECONDS}s floor))"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="smoke_e01",
+        description="tiny deterministic E1 run for CI drift detection",
+    )
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument(
+        "--write", action="store_true",
+        help=f"write the baseline to {BASELINE_PATH.name}",
+    )
+    action.add_argument(
+        "--check", action="store_true",
+        help="run and compare against the checked-in baseline",
+    )
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), metavar="JSON",
+        help="baseline path (default: repository root BENCH_e01_smoke.json)",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_smoke()
+    baseline_path = Path(args.baseline)
+    if args.write:
+        baseline_path.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"smoke_e01: baseline written to {baseline_path}")
+        return 0
+
+    if not baseline_path.exists():
+        print(f"smoke_e01: no baseline at {baseline_path}", file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+    tolerance = float(
+        os.environ.get("REPRO_SMOKE_TOLERANCE", str(DEFAULT_TOLERANCE))
+    )
+    failures = check(record, baseline, tolerance)
+    for message in failures:
+        print(f"smoke_e01: {message}", file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        f"smoke_e01: OK — counters identical, wall-clock within "
+        f"±{tolerance:.0%} for {len(record['strategies'])} strategies"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

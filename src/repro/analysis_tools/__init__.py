@@ -18,13 +18,21 @@ so every future PR inherits it:
   src/repro`` or ``repro lint``;
 * :mod:`repro.analysis_tools.pystyle` — a dependency-free equivalent of
   the minimal ruff rule set checked in as ``ruff.toml`` (unused imports,
-  undefined names), used by CI where ruff is not installed.
+  undefined names), used by CI where ruff is not installed;
+* :mod:`repro.analysis_tools.reproperf` — the hot-path & cost-model static
+  analyzer: per-row-loop allocations (PF001), hoistable attribute reloads
+  (PF002), ``@charges`` cost-accounting soundness (PF003), loop-invariant
+  ``len()`` recomputation (PF004) and per-element Python-level calls that
+  block the typed-buffer migration (PF005).  Run it as ``python -m
+  repro.analysis_tools.reproperf`` or ``repro lint --perf``.
 
-The runtime complement — a lock-order witness that turns the property
-suites into deadlock detectors under ``REPRO_LOCK_WITNESS=1`` — lives with
-the locks themselves in :mod:`repro.engine.concurrency`.
+The runtime complements — a lock-order witness that turns the property
+suites into deadlock detectors under ``REPRO_LOCK_WITNESS=1``, and a
+cost-conformance witness that cross-checks counters against physical
+reorganization under ``REPRO_COST_WITNESS=1`` — live with the code they
+check, in :mod:`repro.engine.concurrency` and :mod:`repro.cost.witness`.
 """
 
-from repro.analysis_tools.guards import guarded_by
+from repro.analysis_tools.guards import charges, guarded_by
 
-__all__ = ["guarded_by"]
+__all__ = ["charges", "guarded_by"]

@@ -1,4 +1,4 @@
-"""The ``@guarded_by`` convention: declare which lock protects an attribute.
+"""Structured invariant declarations: ``@guarded_by`` and ``@charges``.
 
 The engine's concurrency protocol guards shared mutable state with three
 layers of locks (table gates, access-path locks, per-object stats locks).
@@ -21,15 +21,42 @@ Usage::
     class PartitionedCrackedColumn:
         ...
 
-The decorator is intentionally free of runtime enforcement: the point is a
-single, checkable source of truth, not per-access overhead on hot paths.
+``@charges`` applies the same pattern to the cost model: a kernel that
+physically compares or moves elements must charge the matching
+:class:`~repro.cost.counters.CostCounters` channel, or every paper figure
+built on those counters silently under-reports.  The decorator declares
+which channels a kernel touches::
+
+    @charges("comparisons", "movements")
+    def partition_two_way(values, rowids, pivot, counters):
+        ...
+
+and :mod:`repro.analysis_tools.reproperf` (rule PF003) checks the body
+actually records them.  Valid channel names are the logical cost channels
+of the reproduction: ``comparisons`` (value comparisons against pivots or
+bounds), ``movements`` (tuple moves/swaps, ``CostCounters.tuples_moved``),
+``scans`` (sequential touches), ``random_accesses`` and ``allocations``.
+
+Both decorators are intentionally free of runtime enforcement: the point
+is a single, checkable source of truth, not per-access overhead on hot
+paths.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Type, TypeVar
+from typing import Callable, Dict, Tuple, Type, TypeVar, Union
 
 T = TypeVar("T")
+
+#: channel name -> the CostCounters recording method PF003 accepts for it
+CHARGE_CHANNELS: Dict[str, Tuple[str, ...]] = {
+    "comparisons": ("record_comparisons",),
+    "movements": ("record_move",),
+    "scans": ("record_scan",),
+    "random_accesses": ("record_random_access",),
+    "allocations": ("record_allocation",),
+    "pieces": ("record_pieces",),
+}
 
 
 def guarded_by(**attribute_locks: str):
@@ -63,3 +90,36 @@ def guarded_by(**attribute_locks: str):
 def guarded_attributes(cls: type) -> Dict[str, str]:
     """The merged attribute → lock mapping of ``cls`` (empty if undeclared)."""
     return dict(getattr(cls, "__guarded_attributes__", {}))
+
+
+def charges(*channels: str) -> Callable[[T], T]:
+    """Declare the cost channels a kernel must charge on every mutating path.
+
+    Applies to functions and methods alike; on classes the declarations of
+    an overriding method replace (not merge with) the base method's, since
+    the attribute lives on the function object itself.  The declared tuple
+    is normalized (deduplicated, declaration order preserved) and attached
+    as ``__charged_counters__``.
+    """
+    if not channels:
+        raise ValueError("charges() needs at least one cost channel name")
+    normalized = []
+    for channel in channels:
+        if not isinstance(channel, str) or channel not in CHARGE_CHANNELS:
+            raise ValueError(
+                f"charges() got unknown cost channel {channel!r}; "
+                f"valid channels: {', '.join(sorted(CHARGE_CHANNELS))}"
+            )
+        if channel not in normalized:
+            normalized.append(channel)
+
+    def decorate(func: T) -> T:
+        func.__charged_counters__ = tuple(normalized)
+        return func
+
+    return decorate
+
+
+def charged_counters(func: Union[Callable, type]) -> Tuple[str, ...]:
+    """The channels ``func`` declares via ``@charges`` (empty if undeclared)."""
+    return tuple(getattr(func, "__charged_counters__", ()))

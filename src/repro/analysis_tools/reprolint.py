@@ -800,6 +800,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--no-baseline", action="store_true",
         help="ignore any baseline file (report every finding)",
     )
+    parser.add_argument(
+        "--strict-baseline", action="store_true",
+        help="fail (exit 1) when the baseline contains unused entries",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -829,7 +833,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for finding in active:
             print(finding.render())
         for message in unused_baseline:
-            print(f"warning: {message}", file=sys.stderr)
+            prefix = "error" if args.strict_baseline else "warning"
+            print(f"{prefix}: {message}", file=sys.stderr)
         suppressed = len(findings) - len(active)
         print(
             f"reprolint: {len(active)} finding(s) "
@@ -837,7 +842,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"observed)",
             file=sys.stderr,
         )
-    return 1 if active else 0
+    if active:
+        return 1
+    if args.strict_baseline and unused_baseline:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,924 @@
+"""reproperf — hot-path & cost-model static analysis for the repro kernels.
+
+The paper's headline results are *cost curves*: per-query comparisons and
+tuple movements that shrink as the index converges.  Two classes of bug
+silently falsify them — an uncharged compare/move site under-reports the
+logical cost model, and an accidental Python-level allocation or attribute
+reload inside a per-row loop bends every wall-clock figure.  This analyzer
+walks the kernel modules (``core/cracking``, ``core/merging``,
+``core/hybrids``, ``core/partitioned.py``) with nothing but :mod:`ast`:
+
+``PF001`` object allocation inside a hot loop
+    List/dict/set displays, comprehensions, generator expressions,
+    lambdas, ``list()``/``dict()``/``set()``/``tuple()``/``sorted()``
+    constructor calls, and fresh tuples fed to ``.append`` allocate a
+    Python object per iteration.
+``PF002`` repeated attribute loads inside a hot loop
+    The same ``self._values``-style attribute chain loaded two or more
+    times per iteration pays the CPython attribute-lookup tax each time;
+    hoist it to a local before the loop.  Chains that are rebound inside
+    the loop, or used only as call targets, are not flagged.
+``PF003`` cost-model soundness for ``@charges``-annotated kernels
+    A kernel decorated :func:`repro.analysis_tools.guards.charges` must
+    (a) record every channel it declares, (b) declare every channel it
+    records, and (c) charge element compare/move sites on the path that
+    executes them — a subscript store inside an ``if`` arm whose
+    ``record_move`` lives in the *other* arm is a silent cost leak.
+``PF004`` loop-invariant ``len()`` recomputed in a ``while`` condition
+    ``while i < len(values)`` re-measures ``values`` every iteration even
+    when the body never changes its length.
+``PF005`` per-element call into Python-level code from a hot loop
+    Each such call blocks the planned typed-buffer kernel migration (the
+    interpreter must re-enter per element); findings name the callee so
+    they double as the migration worklist.
+
+Findings carry ``file:line``, the rule id and a fix hint.  Suppressions
+live in a checked-in TOML baseline (``reproperf.toml``; every entry needs
+a ``reason``) or as inline ``# reproperf: ignore[PF00x]`` comments.  Run::
+
+    python -m repro.analysis_tools.reproperf [paths] [--format=text|json]
+
+Exit status is 0 when every finding is suppressed (or none exist), 1
+otherwise (or, with ``--strict-baseline``, when stale baseline entries
+remain), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis_tools.guards import CHARGE_CHANNELS
+
+try:  # Python >= 3.11; the container and CI both satisfy this
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - pre-3.11 fallback
+    tomllib = None
+
+
+RULES = {
+    "PF001": "object allocation inside a hot loop",
+    "PF002": "repeated attribute loads inside a hot loop",
+    "PF003": "@charges kernel with unsound cost accounting",
+    "PF004": "loop-invariant len() recomputed in a while condition",
+    "PF005": "per-element Python-level call from a hot loop",
+}
+
+#: the kernel modules the cost model lives in (relative to the repo root)
+DEFAULT_TARGETS = (
+    "src/repro/columnstore/bulk.py",
+    "src/repro/core/cracking",
+    "src/repro/core/merging",
+    "src/repro/core/hybrids",
+    "src/repro/core/partitioned.py",
+)
+
+#: record method -> channel (inverse of guards.CHARGE_CHANNELS)
+_RECORD_METHODS: Dict[str, str] = {
+    method: channel
+    for channel, methods in CHARGE_CHANNELS.items()
+    for method in methods
+}
+
+#: builtin constructors whose call allocates a fresh container
+_ALLOCATING_BUILTINS = {"list", "dict", "set", "tuple", "sorted"}
+
+#: roots whose methods dispatch to C, not bytecode (safe in hot loops)
+_NATIVE_ROOTS = {
+    "np", "numpy", "math", "bisect", "heapq", "itertools", "operator",
+    "threading", "os", "sys", "time", "array",
+}
+
+#: method names that resolve to C implementations on the builtin/ndarray
+#: types the kernels traffic in — calling them per element is cheap-ish
+#: and, more to the point, not a typed-buffer migration blocker
+_NATIVE_METHODS = {
+    # list / dict / set
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "add", "discard", "update", "setdefault", "get", "keys", "values",
+    "items", "sort", "reverse", "copy", "count", "index",
+    # ndarray / scalar
+    "astype", "tolist", "item", "fill", "searchsorted", "argsort",
+    "min", "max", "sum", "any", "all", "nonzero", "reshape", "view",
+    "take", "partition", "argpartition", "cumsum",
+    # str
+    "join", "split", "startswith", "endswith", "format", "strip",
+    # locks / sync primitives
+    "acquire", "release", "locked", "wait", "notify", "notify_all",
+}
+
+#: functions where hot-loop rules do not apply: construction, teardown,
+#: invariant checks and human-facing description helpers run off the
+#: per-query path
+_EXEMPT_FUNCTIONS = {"check_invariants", "describe", "structure_description"}
+_EXEMPT_DECORATORS = {"property", "cached_property"}
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    symbol: str
+    message: str
+    hint: str = ""
+    attribute: str = ""
+    suppressed_by: str = ""  # "", "baseline" or "inline"
+
+    def key(self) -> Tuple[str, str, int, str]:
+        return (self.rule, self.path, self.line, self.attribute)
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule} [{self.symbol}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def _attr_chain(node: ast.expr) -> Optional[Tuple[str, str]]:
+    """``a.b.c`` -> ("a", "a.b.c") when the chain is names all the way down."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name) or not parts:
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return node.id, ".".join(parts)
+
+
+def _expr_text(node: ast.expr) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse covers all our inputs
+        return ast.dump(node)
+
+
+def _iter_stop_at_functions(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested function/class scopes.
+
+    Scope-boundary children (nested defs, lambdas, classes) are yielded —
+    so rules can flag the boundary itself — but not entered.
+    """
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if current is not node and isinstance(
+            current,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _record_calls(node: ast.AST) -> Iterator[Tuple[str, ast.Call]]:
+    """(channel, call) pairs for every ``*.record_<x>(...)`` under ``node``."""
+    for sub in _iter_stop_at_functions(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in _RECORD_METHODS
+        ):
+            yield _RECORD_METHODS[sub.func.attr], sub
+
+
+class _ModuleAnalyzer(ast.NodeVisitor):
+    """Single pass over one module: emit PF findings."""
+
+    def __init__(self, path: str, findings: List[Finding]) -> None:
+        self.path = path
+        self.findings = findings
+        self.class_stack: List[str] = []
+        self.function_stack: List[str] = []
+        #: names that resolve to Python-level code: module-level defs plus
+        #: anything imported from the repro package itself
+        self.python_level_names: Set[str] = set()
+        self._seen: Set[Tuple[str, int, int, str]] = set()
+
+    # -- plumbing ----------------------------------------------------------------
+
+    @property
+    def symbol(self) -> str:
+        return ".".join(self.class_stack + self.function_stack) or "<module>"
+
+    def _report(self, rule: str, node: ast.AST, message: str, hint: str = "",
+                attribute: str = "") -> None:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        dedup = (rule, line, col, attribute)
+        if dedup in self._seen:
+            return
+        self._seen.add(dedup)
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.path,
+                line=line,
+                symbol=self.symbol,
+                message=message,
+                hint=hint,
+                attribute=attribute,
+            )
+        )
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for statement in node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.python_level_names.add(statement.name)
+            elif isinstance(statement, ast.ImportFrom):
+                module = statement.module or ""
+                if statement.level > 0 or module.split(".")[0] == "repro":
+                    for alias in statement.names:
+                        self.python_level_names.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    @staticmethod
+    def _is_exempt(node: ast.FunctionDef) -> bool:
+        name = node.name
+        if name in _EXEMPT_FUNCTIONS or name.startswith("_init_"):
+            return True
+        if name.startswith("__") and name.endswith("__") and name != "__call__":
+            return True
+        for decorator in node.decorator_list:
+            if isinstance(decorator, ast.Name) and decorator.id in _EXEMPT_DECORATORS:
+                return True
+            if isinstance(decorator, ast.Attribute) and decorator.attr in (
+                _EXEMPT_DECORATORS | {"setter", "getter", "deleter"}
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _charges_channels(node: ast.FunctionDef) -> Optional[List[str]]:
+        """The channels declared by an ``@charges`` decorator, or None."""
+        for decorator in node.decorator_list:
+            if not isinstance(decorator, ast.Call):
+                continue
+            func = decorator.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            if name != "charges":
+                continue
+            return [
+                argument.value
+                for argument in decorator.args
+                if isinstance(argument, ast.Constant)
+                and isinstance(argument.value, str)
+            ]
+        return None
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.function_stack.append(node.name)
+        if not self._is_exempt(node):
+            declared = self._charges_channels(node)
+            if declared is not None:
+                self._check_charges(node, declared)
+            self._scan_loops(node.body)
+        self.generic_visit(node)
+        self.function_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    # -- hot-loop rules (PF001 / PF002 / PF004 / PF005) ---------------------------
+
+    def _scan_loops(self, statements: Sequence[ast.stmt]) -> None:
+        """Find every loop in ``statements``, not crossing scope boundaries."""
+        for statement in statements:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                continue
+            if isinstance(statement, (ast.For, ast.While)):
+                self._check_loop(statement)
+            for _field, value in ast.iter_fields(statement):
+                if isinstance(value, list) and value and isinstance(
+                    value[0], ast.stmt
+                ):
+                    self._scan_loops(value)
+
+    def _loop_region(self, loop: ast.stmt) -> List[ast.AST]:
+        """Nodes evaluated once per iteration (body + ``while`` test)."""
+        region: List[ast.AST] = []
+        if isinstance(loop, ast.While):
+            region.extend(_iter_stop_at_functions(loop.test))
+        for statement in loop.body:
+            region.extend(_iter_stop_at_functions(statement))
+        return region
+
+    def _check_loop(self, loop: ast.stmt) -> None:
+        region = self._loop_region(loop)
+        self._check_allocations(region)
+        self._check_attribute_reloads(loop, region)
+        if isinstance(loop, ast.While):
+            self._check_invariant_len(loop)
+        self._check_python_calls(region)
+
+    def _check_allocations(self, region: Sequence[ast.AST]) -> None:
+        for node in region:
+            if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                 ast.GeneratorExp)):
+                kind = type(node).__name__
+                self._report(
+                    "PF001", node,
+                    f"{kind} allocates per iteration of the enclosing loop",
+                    hint="build the result once outside the loop, or fold "
+                         "the work into a vectorized kernel",
+                )
+            elif isinstance(node, ast.Lambda):
+                self._report(
+                    "PF001", node,
+                    "lambda creates a function object per iteration",
+                    hint="define the function once before the loop",
+                )
+            elif isinstance(node, (ast.List, ast.Set)) and isinstance(
+                getattr(node, "ctx", ast.Load()), ast.Load
+            ):
+                kind = "list" if isinstance(node, ast.List) else "set"
+                self._report(
+                    "PF001", node,
+                    f"{kind} display allocates per iteration of the "
+                    f"enclosing loop",
+                    hint="preallocate outside the loop or use a typed "
+                         "buffer/ndarray",
+                )
+            elif isinstance(node, ast.Dict):
+                self._report(
+                    "PF001", node,
+                    "dict display allocates per iteration of the enclosing "
+                    "loop",
+                    hint="preallocate outside the loop or use parallel "
+                         "arrays",
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ALLOCATING_BUILTINS
+            ):
+                self._report(
+                    "PF001", node,
+                    f"{node.func.id}() allocates a fresh container per "
+                    f"iteration of the enclosing loop",
+                    hint="hoist the construction out of the loop or operate "
+                         "on a preallocated buffer",
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "append"
+            ):
+                for argument in node.args:
+                    if isinstance(argument, ast.Tuple):
+                        self._report(
+                            "PF001", argument,
+                            "fresh tuple built per iteration just to be "
+                            "appended",
+                            hint="append to parallel lists (or preallocated "
+                                 "arrays) instead of boxing a tuple per "
+                                 "element",
+                        )
+
+    def _check_attribute_reloads(self, loop: ast.stmt,
+                                 region: Sequence[ast.AST]) -> None:
+        # names and chains rebound inside the loop make hoisting unsafe
+        stored_names: Set[str] = set()
+        stored_chains: Set[str] = set()
+        if isinstance(loop, ast.For):
+            for target in ast.walk(loop.target):
+                if isinstance(target, ast.Name):
+                    stored_names.add(target.id)
+        for node in region:
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                stored_names.add(node.id)
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                chain = _attr_chain(node)
+                if chain is not None:
+                    stored_chains.add(chain[1])
+
+        call_targets = {
+            id(node.func) for node in region
+            if isinstance(node, ast.Call)
+        }
+        attribute_parents = {
+            id(node.value) for node in region
+            if isinstance(node, ast.Attribute)
+        }
+        loads: Dict[str, List[ast.Attribute]] = {}
+        for node in region:
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue
+            if id(node) in call_targets:  # bound-method lookup, not data
+                continue
+            if id(node) in attribute_parents:  # only maximal chains count
+                continue
+            chain = _attr_chain(node)
+            if chain is None:
+                continue
+            root, text = chain
+            if root in stored_names or text in stored_chains:
+                continue
+            if any(text.startswith(stored + ".") for stored in stored_chains):
+                continue
+            loads.setdefault(text, []).append(node)
+
+        for text, nodes in loads.items():
+            if len(nodes) < 2:
+                continue
+            first = min(nodes, key=lambda n: (n.lineno, n.col_offset))
+            local = text.rsplit(".", 1)[-1]
+            self._report(
+                "PF002", first,
+                f"attribute chain `{text}` loaded {len(nodes)} times per "
+                f"iteration of the loop at line {loop.lineno}",
+                hint=f"hoist it to a local before the loop "
+                     f"(`{local} = {text}`) — attribute lookups are "
+                     f"per-iteration bytecode, locals are array slots",
+                attribute=text,
+            )
+
+    def _check_invariant_len(self, loop: ast.While) -> None:
+        for node in ast.walk(loop.test):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "len"
+                and len(node.args) == 1
+            ):
+                continue
+            argument = node.args[0]
+            if isinstance(argument, ast.Name):
+                root, text = argument.id, argument.id
+            else:
+                chain = _attr_chain(argument)
+                if chain is None:
+                    continue
+                root, text = chain
+            if self._length_changes(loop.body, root, text):
+                continue
+            self._report(
+                "PF004", loop,
+                f"`len({text})` recomputed every iteration of the while "
+                f"condition but the loop body never changes its length",
+                hint=f"hoist `n = len({text})` above the loop (or iterate "
+                     f"with `for`/`range`)",
+                attribute=text,
+            )
+
+    @staticmethod
+    def _length_changes(body: Sequence[ast.stmt], root: str, text: str) -> bool:
+        resizing = {"append", "extend", "insert", "pop", "remove", "clear"}
+        for statement in body:
+            for node in _iter_stop_at_functions(statement):
+                if isinstance(node, ast.Name) and node.id == root and isinstance(
+                    node.ctx, (ast.Store, ast.Del)
+                ):
+                    return True
+                if isinstance(node, ast.Attribute) and isinstance(
+                    node.ctx, (ast.Store, ast.Del)
+                ):
+                    chain = _attr_chain(node)
+                    if chain is not None and chain[1] == text:
+                        return True
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in resizing
+                    and _expr_text(node.func.value) == text
+                ):
+                    return True
+                if isinstance(node, ast.Subscript) and isinstance(
+                    node.ctx, ast.Del
+                ) and _expr_text(node.value) == text:
+                    return True
+        return False
+
+    def _check_python_calls(self, region: Sequence[ast.AST]) -> None:
+        for node in region:
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id not in self.python_level_names:
+                    continue
+                self._report(
+                    "PF005", node,
+                    f"call to Python-level function `{func.id}` per "
+                    f"iteration of the enclosing loop",
+                    hint="per-element interpreter re-entry blocks the "
+                         "typed-buffer kernel migration; batch the work or "
+                         "inline it as array operations",
+                    attribute=func.id,
+                )
+            elif isinstance(func, ast.Attribute):
+                method = func.attr
+                if method in _NATIVE_METHODS or method in _RECORD_METHODS:
+                    continue
+                if method.startswith("record_") or method.startswith("__"):
+                    continue
+                chain = _attr_chain(func)
+                if chain is not None and chain[0] in _NATIVE_ROOTS:
+                    continue
+                self._report(
+                    "PF005", node,
+                    f"call to Python-level method `{_expr_text(func)}` per "
+                    f"iteration of the enclosing loop",
+                    hint="per-element interpreter re-entry blocks the "
+                         "typed-buffer kernel migration; batch the work or "
+                         "push the loop into the callee",
+                    attribute=method,
+                )
+            elif isinstance(func, ast.Call):
+                self._report(
+                    "PF005", node,
+                    f"dynamically dispatched call "
+                    f"`{_expr_text(func)}(...)` per iteration of the "
+                    f"enclosing loop",
+                    hint="resolve the callable once before the loop",
+                    attribute="<dynamic>",
+                )
+
+    # -- PF003: @charges soundness ------------------------------------------------
+
+    def _check_charges(self, node: ast.FunctionDef, declared: List[str]) -> None:
+        recorded: Set[str] = set()
+        for channel, call in _record_calls(node):
+            recorded.add(channel)
+            if channel not in declared:
+                self._report(
+                    "PF003", call,
+                    f"kernel charges `{channel}` but @charges does not "
+                    f"declare it",
+                    hint=f"add \"{channel}\" to the @charges declaration so "
+                         f"the contract stays exhaustive",
+                    attribute=channel,
+                )
+        for channel in declared:
+            if channel not in recorded:
+                self._report(
+                    "PF003", node,
+                    f"kernel declares @charges(\"{channel}\") but never "
+                    f"records it",
+                    hint=f"charge counters.{CHARGE_CHANNELS[channel][0]}(...) "
+                         f"or drop the declaration",
+                    attribute=channel,
+                )
+        self._check_charge_paths(node.body, declared, frozenset())
+
+    @staticmethod
+    def _is_counters_guard(test: ast.expr) -> bool:
+        """True for ``if counters is not None:``-style accounting guards.
+
+        When ``counters`` is absent nothing *needs* charging, so a charge
+        under this guard is unconditional as far as the cost model goes.
+        """
+        return any(
+            isinstance(node, ast.Name) and node.id == "counters"
+            for node in ast.walk(test)
+        )
+
+    def _block_channels(self, statements: Sequence[ast.stmt]) -> Set[str]:
+        """Channels recorded unconditionally at this block level."""
+        channels: Set[str] = set()
+        conditional = (ast.If, ast.For, ast.While, ast.Match,
+                       ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        for statement in statements:
+            if isinstance(statement, ast.If) and self._is_counters_guard(
+                statement.test
+            ):
+                channels |= self._block_channels(statement.body)
+                continue
+            if isinstance(statement, conditional):
+                continue
+            if isinstance(statement, ast.With):
+                channels |= self._block_channels(statement.body)
+            elif isinstance(statement, ast.Try):
+                channels |= self._block_channels(statement.body)
+            else:
+                for channel, _call in _record_calls(statement):
+                    channels.add(channel)
+        return channels
+
+    def _check_charge_paths(self, statements: Sequence[ast.stmt],
+                            declared: List[str],
+                            inherited: frozenset) -> None:
+        available = frozenset(inherited | self._block_channels(statements))
+        for statement in statements:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                continue
+            for channel, site, what in self._mutation_sites(statement):
+                if channel not in declared:
+                    self._report(
+                        "PF003", site,
+                        f"kernel {what} but @charges does not declare "
+                        f"`{channel}`",
+                        hint=f"declare \"{channel}\" and charge "
+                             f"counters.{CHARGE_CHANNELS[channel][0]}(...) "
+                             f"next to the mutation",
+                        attribute=channel,
+                    )
+                elif channel not in available:
+                    self._report(
+                        "PF003", site,
+                        f"kernel {what} on a path that never charges "
+                        f"`{channel}`",
+                        hint=f"charge counters."
+                             f"{CHARGE_CHANNELS[channel][0]}(...) in the "
+                             f"same branch as the mutation (a charge in a "
+                             f"sibling branch does not cover this path)",
+                        attribute=channel,
+                    )
+            for _field, value in ast.iter_fields(statement):
+                if isinstance(value, list) and value and isinstance(
+                    value[0], ast.stmt
+                ):
+                    self._check_charge_paths(value, declared, available)
+
+    @staticmethod
+    def _mutation_sites(
+        statement: ast.stmt,
+    ) -> List[Tuple[str, ast.AST, str]]:
+        """(channel, node, description) triples directly in ``statement``.
+
+        Only the statement's own expressions are inspected — mutations in
+        nested blocks are visited by the recursive path walk so they check
+        against *their* path's charges, not this one's.
+        """
+        sites: List[Tuple[str, ast.AST, str]] = []
+
+        def scan_expressions(roots: Sequence[ast.AST]) -> None:
+            for root in roots:
+                for node in _iter_stop_at_functions(root):
+                    if isinstance(node, ast.Compare) and any(
+                        isinstance(side, ast.Subscript)
+                        for side in [node.left, *node.comparators]
+                    ):
+                        sites.append(
+                            ("comparisons", node, "compares elements")
+                        )
+
+        def target_moves(target: ast.expr) -> bool:
+            return any(
+                isinstance(sub, ast.Subscript)
+                for sub in ast.walk(target)
+            )
+
+        if isinstance(statement, ast.Assign):
+            if any(target_moves(target) for target in statement.targets):
+                sites.append(("movements", statement, "moves elements"))
+            scan_expressions([statement.value])
+        elif isinstance(statement, ast.AugAssign):
+            if target_moves(statement.target):
+                sites.append(("movements", statement, "moves elements"))
+            scan_expressions([statement.value])
+        elif isinstance(statement, ast.Expr):
+            call = statement.value
+            if (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in ("append", "extend", "insert")
+            ):
+                sites.append(("movements", statement, "moves elements"))
+            scan_expressions([statement.value])
+        elif isinstance(statement, (ast.If, ast.While)):
+            scan_expressions([statement.test])
+        elif isinstance(statement, ast.Return) and statement.value is not None:
+            scan_expressions([statement.value])
+        return sites
+
+
+# -- driver ----------------------------------------------------------------------
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+    return files
+
+
+def analyze_paths(paths: Sequence[str]) -> Tuple[
+    List[Finding], Dict[str, List[str]]
+]:
+    """Run every PF rule over ``paths``.
+
+    Returns ``(findings, worklist)`` where the worklist maps each PF005
+    callee (including baselined ones — they are the typed-buffer migration
+    inventory) to the ``path:line`` sites that call it per element.
+    """
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(file_path))
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    rule="PF000",
+                    path=str(file_path),
+                    line=error.lineno or 0,
+                    symbol="<module>",
+                    message=f"syntax error: {error.msg}",
+                )
+            )
+            continue
+        analyzer = _ModuleAnalyzer(str(file_path), findings)
+        analyzer.visit(tree)
+        _apply_inline_suppressions(findings, str(file_path), source.splitlines())
+    findings.sort(key=Finding.key)
+    worklist: Dict[str, List[str]] = {}
+    for finding in findings:
+        if finding.rule == "PF005" and finding.attribute:
+            worklist.setdefault(finding.attribute, []).append(
+                f"{finding.path}:{finding.line}"
+            )
+    return findings, worklist
+
+
+def _apply_inline_suppressions(
+    findings: List[Finding], path: str, lines: List[str]
+) -> None:
+    for finding in findings:
+        if finding.path != path or finding.suppressed_by:
+            continue
+        if 1 <= finding.line <= len(lines):
+            text = lines[finding.line - 1]
+            marker = text.rfind("# reproperf: ignore")
+            if marker == -1:
+                continue
+            tail = text[marker + len("# reproperf: ignore"):].strip()
+            if not tail or finding.rule in tail:
+                finding.suppressed_by = "inline"
+
+
+def load_baseline(path: Path) -> List[Dict[str, str]]:
+    """Parse the TOML baseline; every suppression must carry a reason."""
+    if tomllib is None:  # pragma: no cover - pre-3.11 fallback
+        raise RuntimeError("tomllib unavailable; cannot read the baseline")
+    data = tomllib.loads(path.read_text())
+    entries = data.get("suppress", [])
+    for entry in entries:
+        if not entry.get("rule") or not entry.get("path"):
+            raise ValueError(f"baseline entry needs rule and path: {entry}")
+        if not str(entry.get("reason", "")).strip():
+            raise ValueError(
+                f"baseline entry for {entry.get('path')} needs a non-empty "
+                f"reason — suppressions must be explicit and commented"
+            )
+    return entries
+
+
+def apply_baseline(findings: List[Finding], entries: List[Dict[str, str]]) -> List[str]:
+    """Mark baselined findings; returns messages for unused entries."""
+    used = [False] * len(entries)
+    for finding in findings:
+        if finding.suppressed_by:
+            continue
+        for position, entry in enumerate(entries):
+            if entry["rule"] != finding.rule:
+                continue
+            normalized = finding.path.replace("\\", "/")
+            if not normalized.endswith(entry["path"].replace("\\", "/")):
+                continue
+            if entry.get("symbol") and entry["symbol"] != finding.symbol:
+                continue
+            if entry.get("attribute") and entry["attribute"] != finding.attribute:
+                continue
+            finding.suppressed_by = "baseline"
+            used[position] = True
+            break
+    return [
+        f"unused baseline entry: {entry['rule']} {entry['path']} "
+        f"{entry.get('symbol', '')}".rstrip()
+        for entry, was_used in zip(entries, used)
+        if not was_used
+    ]
+
+
+def render_json(
+    findings: List[Finding],
+    worklist: Dict[str, List[str]],
+    unused_baseline: List[str],
+) -> str:
+    active = [f for f in findings if not f.suppressed_by]
+    payload = {
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "symbol": f.symbol,
+                "attribute": f.attribute,
+                "message": f.message,
+                "hint": f.hint,
+                "suppressed_by": f.suppressed_by,
+            }
+            for f in findings
+        ],
+        "migration_worklist": {
+            callee: sites for callee, sites in sorted(worklist.items())
+        },
+        "summary": {
+            "total": len(findings),
+            "active": len(active),
+            "suppressed": len(findings) - len(active),
+            "unused_baseline_entries": unused_baseline,
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reproperf",
+        description="hot-path & cost-model static analysis for the repro kernels",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_TARGETS),
+        help="files or directories to analyze (default: the kernel modules)",
+    )
+    parser.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="finding output format",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="TOML",
+        help="suppression baseline (default: ./reproperf.toml when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    parser.add_argument(
+        "--strict-baseline", action="store_true",
+        help="fail (exit 1) when the baseline contains unused entries",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        findings, worklist = analyze_paths(args.paths)
+    except FileNotFoundError as error:
+        print(f"reproperf: {error}", file=sys.stderr)
+        return 2
+
+    unused_baseline: List[str] = []
+    if not args.no_baseline:
+        baseline_path = Path(args.baseline) if args.baseline else Path("reproperf.toml")
+        if args.baseline and not baseline_path.exists():
+            print(f"reproperf: no baseline at {baseline_path}", file=sys.stderr)
+            return 2
+        if baseline_path.exists():
+            try:
+                entries = load_baseline(baseline_path)
+            except ValueError as error:
+                print(f"reproperf: bad baseline: {error}", file=sys.stderr)
+                return 2
+            unused_baseline = apply_baseline(findings, entries)
+
+    active = [f for f in findings if not f.suppressed_by]
+    if args.format == "json":
+        print(render_json(findings, worklist, unused_baseline))
+    else:
+        for finding in active:
+            print(finding.render())
+        for message in unused_baseline:
+            prefix = "error" if args.strict_baseline else "warning"
+            print(f"{prefix}: {message}", file=sys.stderr)
+        suppressed = len(findings) - len(active)
+        print(
+            f"reproperf: {len(active)} finding(s) ({suppressed} suppressed, "
+            f"{len(worklist)} callee(s) on the migration worklist)",
+            file=sys.stderr,
+        )
+    if active:
+        return 1
+    if args.strict_baseline and unused_baseline:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

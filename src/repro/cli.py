@@ -197,8 +197,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run reprolint, the concurrency-invariant static analyzer",
     )
     lint.add_argument(
-        "paths", nargs="*", default=["src/repro"],
-        help="files or directories to analyze (default: src/repro)",
+        "paths", nargs="*", default=None,
+        help="files or directories to analyze (default: src/repro; with "
+             "--perf the perf analyzer keeps its own kernel-module default "
+             "unless paths are given explicitly)",
     )
     lint.add_argument(
         "--format", choices=("text", "json"), default="text",
@@ -215,6 +217,16 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--style", action="store_true",
         help="also run the pystyle checker (unused imports, undefined names)",
+    )
+    lint.add_argument(
+        "--perf", action="store_true",
+        help="also run reproperf, the hot-path & cost-model analyzer "
+             "(baseline: ./reproperf.toml when present)",
+    )
+    lint.add_argument(
+        "--strict-baseline", action="store_true",
+        help="fail when a baseline contains entries no finding matches "
+             "(stale suppressions)",
     )
     return parser
 
@@ -546,17 +558,33 @@ def _command_batch(args: argparse.Namespace) -> int:
 
 
 def _command_lint(args) -> int:
-    """Delegate to reprolint (and optionally pystyle) with the parsed flags."""
+    """Delegate to reprolint (and optionally reproperf/pystyle) with the parsed flags."""
     from repro.analysis_tools import pystyle, reprolint
 
-    lint_argv = list(args.paths) + ["--format", args.format]
+    paths = list(args.paths) if args.paths else ["src/repro"]
+    lint_argv = paths + ["--format", args.format]
     if args.no_baseline:
         lint_argv.append("--no-baseline")
     elif args.baseline is not None:
         lint_argv += ["--baseline", args.baseline]
+    if args.strict_baseline:
+        lint_argv.append("--strict-baseline")
     status = reprolint.main(lint_argv)
+    if args.perf:
+        from repro.analysis_tools import reproperf
+
+        # explicit paths flow through; the default scope stays the kernel
+        # modules reproperf was calibrated for (its own DEFAULT_TARGETS)
+        perf_argv = (list(args.paths) if args.paths else []) + [
+            "--format", args.format,
+        ]
+        if args.no_baseline:
+            perf_argv.append("--no-baseline")
+        if args.strict_baseline:
+            perf_argv.append("--strict-baseline")
+        status = max(status, reproperf.main(perf_argv))
     if args.style:
-        status = max(status, pystyle.main(list(args.paths)))
+        status = max(status, pystyle.main(paths))
     return status
 
 

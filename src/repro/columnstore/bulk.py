@@ -18,9 +18,11 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.analysis_tools.guards import charges
 from repro.cost.counters import CostCounters
 
 
+@charges("scans", "comparisons")
 def range_mask(
     values: np.ndarray,
     low: Optional[float],
@@ -65,6 +67,7 @@ def filter_range(
     return np.flatnonzero(mask)
 
 
+@charges("random_accesses")
 def gather(
     values: np.ndarray,
     positions: np.ndarray,
@@ -77,6 +80,7 @@ def gather(
     return np.asarray(values)[positions]
 
 
+@charges("random_accesses", "movements")
 def scatter(
     target: np.ndarray,
     positions: np.ndarray,
@@ -100,6 +104,7 @@ def _payload_list(payload) -> list:
     return [payload]
 
 
+@charges("scans", "comparisons", "movements")
 def partition_two_way(
     values: np.ndarray,
     start: int,
@@ -135,6 +140,7 @@ def partition_two_way(
     return start + left_count
 
 
+@charges("scans", "comparisons", "movements")
 def partition_three_way(
     values: np.ndarray,
     start: int,
@@ -174,6 +180,7 @@ def partition_three_way(
     return start + below_count, start + below_count + middle_count
 
 
+@charges("comparisons", "movements")
 def stable_sort_segment(
     values: np.ndarray,
     start: int,
@@ -196,6 +203,7 @@ def stable_sort_segment(
         counters.record_move(n)
 
 
+@charges("scans", "comparisons", "movements")
 def radix_cluster(
     values: np.ndarray,
     bits: int,
@@ -243,6 +251,7 @@ def radix_cluster(
     return clustered, clustered_payload, offsets
 
 
+@charges("scans", "comparisons", "movements")
 def merge_sorted_with_positions(
     left_values: np.ndarray,
     left_positions: np.ndarray,

@@ -17,6 +17,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.analysis_tools.guards import charges
 from repro.columnstore.bulk import (
     binary_search_count,
     partition_three_way,
@@ -36,6 +37,7 @@ def _payloads(rowids, extra_payload):
     return payloads or None
 
 
+@charges("comparisons", "pieces")
 def crack_value(
     values: np.ndarray,
     rowids: Optional[np.ndarray],
@@ -99,6 +101,7 @@ def crack_value(
     return split
 
 
+@charges("comparisons", "pieces")
 def crack_range(
     values: np.ndarray,
     rowids: Optional[np.ndarray],

@@ -209,12 +209,13 @@ class PartialCrackedColumn:
         if fallback_ranges:
             # one shared scan answers every non-materialisable fragment range
             self.fallback_scans += 1
-            mask = np.zeros(len(self._base), dtype=bool)
+            base = self._base  # hoisted out of the range loop (PF002)
+            mask = np.zeros(len(base), dtype=bool)
             for effective_low, effective_high in fallback_ranges:
-                mask |= (self._base >= effective_low) & (self._base < effective_high)
+                mask |= (base >= effective_low) & (base < effective_high)
             if counters is not None:
-                counters.record_scan(len(self._base))
-                counters.record_comparisons(2 * len(self._base))
+                counters.record_scan(len(base))
+                counters.record_comparisons(2 * len(base))
             results.append(np.flatnonzero(mask).astype(np.int64))
         if not results:
             return np.empty(0, dtype=np.int64)

@@ -142,8 +142,12 @@ class SidewaysCracker:
 
     def _align(self, cracker_map: CrackerMap, counters: Optional[CostCounters]) -> None:
         """Replay missed cracks so this map catches up with the history."""
-        while cracker_map.applied_cracks < len(self.crack_history):
-            pivot = self.crack_history[cracker_map.applied_cracks]
+        # replaying cracks never appends to the history, so its length is
+        # loop-invariant (PF004) — measure once, index through a local
+        history = self.crack_history
+        total = len(history)
+        while cracker_map.applied_cracks < total:
+            pivot = history[cracker_map.applied_cracks]
             crack_value(
                 cracker_map.head_values,
                 cracker_map.rowids,

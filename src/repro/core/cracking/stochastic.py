@@ -115,9 +115,10 @@ class StochasticCrackedColumn(CrackedColumn):
             # does not prove the piece degenerate: probe a bounded number
             # of alternate positions before giving up on this piece.
             pivot = None
+            piece_low = piece.low  # hoisted out of the probe loop (PF002)
             for _ in range(attempts):
                 candidate = self._auxiliary_pivot(piece.start, piece.end)
-                if piece.low is not None and candidate <= piece.low:
+                if piece_low is not None and candidate <= piece_low:
                     continue
                 if self.index.has_boundary(candidate):
                     continue

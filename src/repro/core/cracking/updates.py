@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.analysis_tools.guards import charges
 from repro.columnstore.column import Column
 from repro.core.cracking.cracker_index import CrackerIndex
 from repro.core.cracking.crack_engine import crack_range, crack_value
@@ -319,6 +320,7 @@ class UpdatableCrackedColumn:
         )
         return set(rowids[mask].tolist())
 
+    @charges("comparisons", "movements", "allocations")
     def split_at(
         self, pivot: float, counters: Optional[CostCounters] = None
     ) -> Tuple["UpdatableCrackedColumn", "UpdatableCrackedColumn"]:
@@ -360,7 +362,9 @@ class UpdatableCrackedColumn:
         for value, rowid in zip(self._pending_insert_values,
                                 self._pending_insert_rowids):
             side = left_pending_inserts if value < pivot else right_pending_inserts
-            side.append((value, rowid))
+            # routing a pending entry re-queues it, it does not touch the
+            # cracker arrays (the record_move(length) above covers the carve)
+            side.append((value, rowid))  # reproperf: ignore[PF001, PF003]
         left_pending_deletes = {
             r: v for r, v in self._pending_delete_rowids.items() if v < pivot
         }
@@ -393,6 +397,7 @@ class UpdatableCrackedColumn:
         return left, right
 
     @classmethod
+    @charges("movements", "allocations")
     def merged(
         cls,
         left: "UpdatableCrackedColumn",
@@ -451,6 +456,7 @@ class UpdatableCrackedColumn:
         self._values = grown_values
         self._rowids = grown_rowids
 
+    @charges("movements", "random_accesses")
     def _ripple_insert_one(self, value: float, rowid: int,
                            counters: Optional[CostCounters]) -> None:
         """Physically place one value into its piece via ripple shifts."""
@@ -464,23 +470,29 @@ class UpdatableCrackedColumn:
             p for p, v in zip(self.index.boundary_positions, self.index.boundary_values)
             if v > value
         ]
+        # hoisted after _ensure_capacity (which rebinds both arrays): the
+        # ripple loop body runs once per piece, so per-iteration attribute
+        # loads are pure interpreter tax (PF002)
+        values = self._values
+        rowids = self._rowids
         hole = self._length
         moves = 0
         for boundary in sorted(boundary_positions, reverse=True):
             if boundary == hole:
                 continue
-            self._values[hole] = self._values[boundary]
-            self._rowids[hole] = self._rowids[boundary]
+            values[hole] = values[boundary]
+            rowids[hole] = rowids[boundary]
             hole = boundary
             moves += 1
-        self._values[hole] = value
-        self._rowids[hole] = rowid
+        values[hole] = value
+        rowids[hole] = rowid
         self._length += 1
         self.index.shift_positions_for_values_above(value, +1)
         if counters is not None:
             counters.record_move(moves + 1)
             counters.record_random_access(moves + 1)
 
+    @charges("scans", "movements", "random_accesses")
     def _ripple_delete_one(self, rowid: int, value: float,
                            counters: Optional[CostCounters]) -> bool:
         """Physically remove one row from its piece via ripple shifts."""
@@ -505,11 +517,13 @@ class UpdatableCrackedColumn:
         ]
         # end of the target piece is the first boundary above, or the length
         piece_ends = sorted(p for p, _ in boundary_items) + [self._length]
+        values = self._values  # hoisted: loaded twice per ripple step (PF002)
+        rowids = self._rowids
         for end in piece_ends:
             last = end - 1
             if last != hole:
-                self._values[hole] = self._values[last]
-                self._rowids[hole] = self._rowids[last]
+                values[hole] = values[last]
+                rowids[hole] = rowids[last]
                 moves += 1
             hole = last
         self._length -= 1
@@ -574,6 +588,7 @@ class UpdatableCrackedColumn:
 
         merged_insert_indices = []
         remaining_deletes = []
+        pending_deletes = self._pending_delete_rowids  # hoisted (PF002)
         for kind, item in work:
             if budget is not None and budget <= 0:
                 if kind == "delete":
@@ -586,11 +601,11 @@ class UpdatableCrackedColumn:
                 merged_insert_indices.append(item)
                 self.merges_performed += 1
             else:
-                value = self._pending_delete_rowids[item]
+                value = pending_deletes[item]
                 if not self._ripple_delete_one(item, value, counters):
                     remaining_deletes.append(item)
                     continue
-                del self._pending_delete_rowids[item]
+                del pending_deletes[item]
                 # a merged delete of an inserted row removes the row for
                 # good: forget its value so the rowid becomes unknown (and
                 # the bookkeeping doesn't grow with every insert ever made)

@@ -21,6 +21,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.analysis_tools.guards import charges
 from repro.columnstore.bulk import binary_search_count, radix_cluster
 from repro.core.cracking.cracker_index import CrackerIndex
 from repro.core.cracking.crack_engine import crack_range
@@ -69,6 +70,7 @@ class FinalPartition:
 
     # -- adding merged pieces -----------------------------------------------------
 
+    @charges("comparisons", "movements", "allocations", "pieces")
     def add_piece(
         self,
         low: float,
@@ -118,7 +120,8 @@ class FinalPartition:
                 break
         else:
             insert_at = len(self.pieces)
-        self.pieces.insert(insert_at, piece)
+        # ordering the piece list is bookkeeping, not tuple movement
+        self.pieces.insert(insert_at, piece)  # reproperf: ignore[PF003]
 
     # -- lookups -------------------------------------------------------------------
 

@@ -112,15 +112,16 @@ class HybridIndex:
     def _initialize(self, counters: Optional[CostCounters]) -> None:
         n = len(self._base)
         size = self.partition_size or max(1, int(np.sqrt(n))) if n else 1
+        mode = self.initial_mode  # hoisted out of the partition loop (PF002)
         for start in range(0, n, size):
             end = min(start + size, n)
             values = self._base[start:end]
             rowids = np.arange(start, end, dtype=np.int64)
-            if self.initial_mode == "crack":
+            if mode == "crack":
                 partition: InitialPartition = CrackedInitialPartition(
                     values, rowids, counters
                 )
-            elif self.initial_mode == "sort":
+            elif mode == "sort":
                 partition = SortedInitialPartition(values, rowids, counters)
             else:
                 partition = RadixInitialPartition(

@@ -22,6 +22,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis_tools.guards import charges
 from repro.columnstore.bulk import binary_search_count, radix_cluster
 from repro.core.cracking.cracker_index import CrackerIndex
 from repro.core.cracking.crack_engine import crack_range
@@ -68,6 +69,7 @@ class CrackedInitialPartition(InitialPartition):
     def nbytes(self) -> int:
         return int(self.values.nbytes + self.rowids.nbytes)
 
+    @charges("movements")
     def extract_range(
         self,
         low: Optional[float],
@@ -118,6 +120,7 @@ class SortedInitialPartition(InitialPartition):
     def nbytes(self) -> int:
         return int(self.values.nbytes + self.rowids.nbytes)
 
+    @charges("scans", "comparisons", "movements", "random_accesses")
     def extract_range(
         self,
         low: Optional[float],
@@ -182,6 +185,7 @@ class RadixInitialPartition(InitialPartition):
     def nbytes(self) -> int:
         return sum(bucket.nbytes for bucket in self.buckets)
 
+    @charges("comparisons")
     def extract_range(
         self,
         low: Optional[float],
@@ -206,8 +210,10 @@ class RadixInitialPartition(InitialPartition):
                 low, high, counters
             )
             if len(extracted_values):
-                values_parts.append(extracted_values)
-                rowid_parts.append(extracted_rowids)
+                # collecting the per-bucket blocks is bookkeeping; the data
+                # movement is charged inside bucket.extract_range
+                values_parts.append(extracted_values)  # reproperf: ignore[PF003]
+                rowid_parts.append(extracted_rowids)  # reproperf: ignore[PF003]
         if not values_parts:
             return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
         return np.concatenate(values_parts), np.concatenate(rowid_parts)

@@ -20,7 +20,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.analysis_tools.guards import guarded_by
+from repro.analysis_tools.guards import charges, guarded_by
 from repro.columnstore.bulk import binary_search_count
 from repro.columnstore.column import Column
 from repro.core.merging.intervals import IntervalSet
@@ -79,6 +79,7 @@ class AdaptiveMergingIndex:
 
     # -- merging -----------------------------------------------------------------------
 
+    @charges("comparisons", "movements")
     def _merge_range(
         self,
         low: float,

@@ -101,11 +101,12 @@ class PartitionedBTree:
         """
         kept: List[Tuple[Tuple[int, float], int]] = []
         moved_entries: List[Tuple[Tuple[int, float], int]] = []
+        final = self.FINAL_PARTITION  # hoisted out of the entry loop (PF002)
         for key, payload in self._tree.items():
             partition_id, value = key
             inside = (low is None or value >= low) and (high is None or value < high)
-            if partition_id != self.FINAL_PARTITION and inside:
-                moved_entries.append(((self.FINAL_PARTITION, value), payload))
+            if partition_id != final and inside:
+                moved_entries.append(((final, value), payload))
                 self._partition_sizes[partition_id] -= 1
             else:
                 kept.append((key, payload))

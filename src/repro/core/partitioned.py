@@ -73,7 +73,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.analysis_tools.guards import guarded_by
+from repro.analysis_tools.guards import charges, guarded_by
 from repro.columnstore.column import Column
 from repro.core.cracking.cracked_column import CrackedColumn
 from repro.core.cracking.cracker_index import CrackerIndex, Piece
@@ -227,6 +227,7 @@ class ColumnPartition:
         """True when this partition was produced by a repartitioning split."""
         return self.cracked._fragment
 
+    @charges("scans", "comparisons")
     def _ensure_bounds(self, counters: Optional[CostCounters]) -> None:
         """Learn the partition's value range (one scan, charged once)."""
         if self._bounds_known:
@@ -273,6 +274,7 @@ class ColumnPartition:
             "pieces": self.cracked.piece_count,
         }
 
+    @charges("scans", "comparisons", "movements", "allocations")
     def split(
         self, counters: Optional[CostCounters]
     ) -> Optional[Tuple["ColumnPartition", "ColumnPartition"]]:
@@ -593,11 +595,12 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
         """
         result: List[Piece] = []
         for partition in self._partitions:
+            start = partition.start  # hoisted out of the piece loop (PF002)
             for piece in partition.cracked.pieces():
                 result.append(
                     Piece(
-                        start=piece.start + partition.start,
-                        end=piece.end + partition.start,
+                        start=piece.start + start,
+                        end=piece.end + start,
                         low=piece.low,
                         high=piece.high,
                         sorted=piece.sorted,
@@ -642,17 +645,18 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
         """Split skewed partitions (bounded work per call; main thread only)."""
         if not self.repartition:
             return
+        partitions = self._partitions  # hoisted out of the split loop (PF002)
         for _ in range(_MAX_SPLITS_PER_CHECK):
             candidate = self._split_candidate()
             if candidate is None:
                 return
-            parent = self._partitions[candidate]
+            parent = partitions[candidate]
             children = parent.split(counters)
             if children is None:
                 return
             left, right = children
             left.visits = right.visits = parent.visits // 2
-            self._partitions[candidate:candidate + 1] = [left, right]
+            partitions[candidate:candidate + 1] = [left, right]
             with self._stats_lock:
                 self.partition_splits += 1
 
@@ -840,6 +844,7 @@ class UpdatableColumnPartition:
         """True when this partition was produced by a split or a merge."""
         return self.updatable._original_rowids is not None
 
+    @charges("scans", "comparisons")
     def _ensure_bounds(self, counters: Optional[CostCounters]) -> None:
         """Learn the base slice's value range (one scan, charged once)."""
         if self._bounds_known:
@@ -915,6 +920,7 @@ class UpdatableColumnPartition:
             "pieces": self.updatable.piece_count,
         }
 
+    @charges("scans", "comparisons")
     def split(
         self, counters: Optional[CostCounters]
     ) -> Optional[Tuple["UpdatableColumnPartition", "UpdatableColumnPartition"]]:
@@ -1151,14 +1157,15 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
         """Split skewed partitions (bounded work per call; main thread only)."""
         if not self.repartition:
             return
+        partitions = self._partitions  # hoisted out of the split loop (PF002)
         for _ in range(_MAX_SPLITS_PER_CHECK):
             candidate = self._split_candidate()
             if candidate is None:
                 return
-            children = self._partitions[candidate].split(counters)
+            children = partitions[candidate].split(counters)
             if children is None:
                 return
-            self._partitions[candidate:candidate + 1] = list(children)
+            partitions[candidate:candidate + 1] = list(children)
             with self._stats_lock:
                 self.partition_splits += 1
 
@@ -1174,10 +1181,11 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
         """
         if not self.repartition or len(self._partitions) < 2:
             return
-        sizes = [len(p) for p in self._partitions]
+        partitions = self._partitions  # hoisted out of the merge loop (PF002)
+        sizes = [len(p) for p in partitions]
         mean_rows = sum(sizes) / len(sizes)
-        for i in range(len(self._partitions) - 1):
-            left, right = self._partitions[i], self._partitions[i + 1]
+        for i in range(len(partitions) - 1):
+            left, right = partitions[i], partitions[i + 1]
             if sizes[i] + sizes[i + 1] > mean_rows:
                 continue
             if not left._bounds_known or not right._bounds_known:
@@ -1200,7 +1208,7 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
                 left.start, max(left.end, right.end), merged_column,
                 (min(lows) if lows else None, max(highs) if highs else None),
             )
-            self._partitions[i:i + 2] = [merged]
+            partitions[i:i + 2] = [merged]
             with self._stats_lock:
                 self.partition_merges += 1
             return

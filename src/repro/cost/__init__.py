@@ -17,8 +17,17 @@ from repro.cost.counters import CostCounters
 from repro.cost.model import CostModel, DEFAULT_MAIN_MEMORY_MODEL, DISK_MODEL
 from repro.cost.stats import QueryStatistics, WorkloadStatistics
 from repro.cost.timer import Timer
+from repro.cost.witness import (
+    CostConformanceViolation,
+    CostConformanceWitness,
+    cost_witness,
+    disable_cost_witness,
+    enable_cost_witness,
+)
 
 __all__ = [
+    "CostConformanceViolation",
+    "CostConformanceWitness",
     "CostCounters",
     "CostModel",
     "DEFAULT_MAIN_MEMORY_MODEL",
@@ -26,4 +35,7 @@ __all__ = [
     "QueryStatistics",
     "WorkloadStatistics",
     "Timer",
+    "cost_witness",
+    "disable_cost_witness",
+    "enable_cost_witness",
 ]

@@ -54,6 +54,7 @@ from repro.core.strategies import SearchStrategy, available_strategies, create_s
 from repro.cost.counters import CostCounters
 from repro.cost.stats import WorkloadStatistics
 from repro.cost.timer import Timer
+from repro.cost.witness import cost_witness
 from repro.engine.concurrency import (
     AccessPathLockManager,
     BatchExecutionReport,
@@ -611,13 +612,31 @@ class Database:
         self, query: Query, plan: Optional[Plan] = None
     ) -> QueryResult:
         """Plan (unless pre-planned) and execute one query without touching
-        shared bookkeeping; stamps the executing thread on the result."""
+        shared bookkeeping; stamps the executing thread on the result.
+
+        Both session execution paths route through here while holding the
+        plan's path locks, which makes this the cost-conformance hook site:
+        the witness (when armed, see :mod:`repro.cost.witness`) fingerprints
+        every access path the plan dispatches through before and after the
+        executor runs and checks the structural delta against the query's
+        counters."""
         counters = CostCounters()
         timer = Timer()
         if plan is None:
             plan = self.planner.plan(query)
+        witness = cost_witness()
+        snapshots = None
+        if witness is not None:
+            snapshots = witness.before(
+                (step.table, step.column, self.access_path(step.table, step.column))
+                for step in plan.access_path_steps()
+            )
         with timer:
             result = self.executor.execute(plan, counters)
+        if witness is not None:
+            witness.after(
+                query.description or query.table, snapshots, result.counters
+            )
         result.elapsed_seconds = timer.elapsed
         result.worker = threading.current_thread().name
         return result

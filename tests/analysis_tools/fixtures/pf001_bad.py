@@ -1,0 +1,19 @@
+"""Fixture: PF001 — object allocation inside a per-row loop.
+
+Every flagged line boxes a fresh Python object per element; hot kernels
+must preallocate outside the loop or operate on typed buffers.
+"""
+
+
+def gather(values, rowids, low, high):
+    out = []
+    for position in range(len(values)):
+        value = values[position]
+        if low <= value < high:
+            pair = [value, rowids[position]]  # expect[PF001]
+            row = {"value": value}  # expect[PF001]
+            tag = lambda item: item  # expect[PF001]
+            boxed = list(pair)  # expect[PF001]
+            doubled = [v + v for v in pair]  # expect[PF001]
+            out.append((row, tag, boxed, doubled))  # expect[PF001]
+    return out

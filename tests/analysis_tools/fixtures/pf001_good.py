@@ -1,0 +1,12 @@
+"""Fixture: PF001 clean — buffers built once, parallel lists in the loop."""
+
+
+def gather(values, rowids, low, high):
+    out_values = []
+    out_rowids = []
+    for position in range(len(values)):
+        value = values[position]
+        if low <= value < high:
+            out_values.append(value)
+            out_rowids.append(rowids[position])
+    return out_values, out_rowids

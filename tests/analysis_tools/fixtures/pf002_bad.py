@@ -1,0 +1,22 @@
+"""Fixture: PF002 — the same attribute chain loaded repeatedly per iteration."""
+
+
+class Cracker:
+    def __init__(self, values, base):
+        self.values = values
+        self.base = base
+
+    def count_in_range(self, low, high):
+        total = 0
+        for position in range(1000):
+            if low <= self.values[position]:  # expect[PF002]
+                if self.values[position] < high:
+                    total += 1
+        return total
+
+    def span(self, pieces):
+        width = 0
+        for piece in pieces:
+            width += self.base.offset + piece  # expect[PF002]
+            width -= self.base.offset % 2
+        return width

@@ -1,0 +1,23 @@
+"""Fixture: PF002 clean — attribute chains hoisted to locals before the loop."""
+
+
+class Cracker:
+    def __init__(self, values, base):
+        self.values = values
+        self.base = base
+
+    def count_in_range(self, low, high):
+        values = self.values
+        total = 0
+        for position in range(1000):
+            if low <= values[position] < high:
+                total += 1
+        return total
+
+    def span(self, pieces):
+        offset = self.base.offset
+        width = 0
+        for piece in pieces:
+            width += offset + piece
+            width -= offset % 2
+        return width

@@ -1,0 +1,39 @@
+"""Fixture: PF003 — @charges contracts that leak cost.
+
+Four distinct leaks: a declared-but-never-recorded channel, a
+recorded-but-undeclared channel, a mutation on a branch whose charge
+lives in the *sibling* branch, and a mutation whose channel is missing
+from the declaration entirely.
+"""
+
+from repro.analysis_tools.guards import charges
+
+
+@charges("comparisons", "scans")
+def scan_lower(values, counters, pivot):  # expect[PF003]
+    counters.record_comparisons(len(values))
+    return pivot
+
+
+@charges("comparisons")
+def merge_step(values, counters):
+    counters.record_comparisons(1)
+    counters.record_move(1)  # expect[PF003]
+    return values
+
+
+@charges("comparisons", "movements")
+def partition(values, counters, pivot, position):
+    counters.record_comparisons(1)
+    if values[position] < pivot:
+        values[position] = pivot  # expect[PF003]
+    else:
+        counters.record_move(1)
+    return position
+
+
+@charges("comparisons")
+def rotate(values, counters):
+    counters.record_comparisons(1)
+    values.append(values[0])  # expect[PF003]
+    return values

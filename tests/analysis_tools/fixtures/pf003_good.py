@@ -1,0 +1,26 @@
+"""Fixture: PF003 clean — every declared channel recorded, every mutation paid.
+
+The compare in the branch test is covered by the unconditional
+``record_comparisons`` at the top; the subscript store is covered by the
+``record_move`` charged in the *same* branch as the mutation.
+"""
+
+from repro.analysis_tools.guards import charges
+
+
+@charges("comparisons", "movements")
+def crack(values, counters, pivot):
+    counters.record_comparisons(len(values))
+    position = 0
+    for index in range(len(values)):
+        if values[index] < pivot:
+            values[position] = values[index]
+            counters.record_move(1)
+            position += 1
+    return position
+
+
+@charges("scans")
+def touch(values, counters):
+    counters.record_scan(len(values))
+    return len(values)

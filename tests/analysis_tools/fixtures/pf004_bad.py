@@ -1,0 +1,20 @@
+"""Fixture: PF004 — loop-invariant len() recomputed in while conditions."""
+
+
+def walk(values, target):
+    position = 0
+    while position < len(values):  # expect[PF004]
+        if values[position] == target:
+            return position
+        position += 1
+    return -1
+
+
+def count_below(values, pivot):
+    total = 0
+    index = 0
+    while index < len(values):  # expect[PF004]
+        if values[index] < pivot:
+            total += 1
+        index += 1
+    return total

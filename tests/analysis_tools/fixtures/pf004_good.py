@@ -1,0 +1,18 @@
+"""Fixture: PF004 clean — length hoisted, or genuinely loop-variant."""
+
+
+def walk(values, target):
+    position = 0
+    length = len(values)
+    while position < length:
+        if values[position] == target:
+            return position
+        position += 1
+    return -1
+
+
+def drain(pending):
+    handled = []
+    while 0 < len(pending):  # the body resizes pending: not invariant
+        handled.append(pending.pop())
+    return handled

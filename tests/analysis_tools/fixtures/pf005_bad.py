@@ -1,0 +1,50 @@
+"""Fixture: PF005 — per-element Python-level calls from a hot loop.
+
+Each flagged call re-enters the interpreter per element, which blocks
+the typed-buffer kernel migration; the finding names the callee so the
+report doubles as the migration worklist.
+"""
+
+from repro.cost.counters import CostCounters
+
+
+def classify(value, pivot):
+    return value < pivot
+
+
+def tally(values, pivot):
+    below = 0
+    for value in values:
+        if classify(value, pivot):  # expect[PF005]
+            below += 1
+    return below
+
+
+def per_row_counters(values):
+    totals = []
+    for value in values:
+        counters = CostCounters()  # expect[PF005]
+        counters.record_scan(value)
+        totals.append(counters)
+    return totals
+
+
+def chained(factory, events):
+    count = 0
+    for event in events:
+        count += factory()(event)  # expect[PF005]
+    return count
+
+
+class Walker:
+    def __init__(self, pieces):
+        self.pieces = pieces
+
+    def advance(self, cursor):
+        return cursor + 1
+
+    def sweep(self):
+        cursor = 0
+        for _ in range(100):
+            cursor = self.advance(cursor)  # expect[PF005]
+        return cursor

@@ -1,0 +1,22 @@
+"""Fixture: PF005 clean — work batched outside the loop, native calls inside."""
+
+
+def classify_block(values, pivot):
+    return [value < pivot for value in values]
+
+
+def tally(values, pivot):
+    mask = classify_block(values, pivot)  # one call for the whole block
+    below = 0
+    for flag in mask:
+        if flag:
+            below += 1
+    return below
+
+
+def gather(values, pivot):
+    hits = []
+    for value in values:
+        if value < pivot:
+            hits.append(value)  # builtin list.append dispatches to C
+    return hits

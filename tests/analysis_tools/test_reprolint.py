@@ -127,6 +127,24 @@ class TestSuppression:
         assert status == 0
         assert "unused baseline entr" in capsys.readouterr().err
 
+    def test_strict_baseline_fails_on_unused_entries(self, tmp_path, capsys):
+        baseline = tmp_path / "stale.toml"
+        baseline.write_text(
+            '[[suppress]]\n'
+            'rule = "RL001"\n'
+            'path = "no/such/file.py"\n'
+            'reason = "stale entry"\n'
+        )
+        status = reprolint.main(
+            [
+                str(FIXTURES / "rl001_good.py"),
+                "--baseline", str(baseline),
+                "--strict-baseline",
+            ]
+        )
+        assert status == 1
+        assert "error" in capsys.readouterr().err
+
 
 class TestJsonOutput:
     def test_json_shape_and_exit_code(self, capsys):

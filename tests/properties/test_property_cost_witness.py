@@ -1,0 +1,214 @@
+"""Property suite: the runtime cost-conformance witness observes no violations.
+
+The cost model's contract is that physical reorganisation is *paid for* out
+of query work: whenever an access path changes shape, the query that caused
+the change must charge comparisons and/or tuple movements.  The static
+analyzer (reproperf, rule PF003) checks the ``@charges`` declarations
+lexically; the witness checks the *implementation* at runtime by
+fingerprinting every access path around each query the engine executes.
+
+These tests arm a fresh raise-mode witness and drive the full registered
+strategy matrix through the engine front door — adaptive reads, repeated
+ranges (convergence), point-ish ranges and DML on the updatable strategies —
+so a kernel that reorganises for free (or a counter that regresses) fails
+the run directly.
+
+CI additionally exports ``REPRO_COST_WITNESS=1`` for the whole property
+step, so every other property suite runs cost-instrumented too.
+"""
+
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cost import witness as cost_witness_module
+from repro.cost.counters import CostCounters
+from repro.engine.database import Database
+from repro.engine.query import Query
+
+SIZE = 600
+DOMAIN = 1_000
+
+#: every registered strategy the planner can dispatch through, including
+#: the non-adaptive baselines (scan / full-index / sort-first): the witness
+#: must stay quiet on those too (no structural change, no spurious report)
+ALL_STRATEGIES = [
+    "scan",
+    "sort-first",
+    "full-index",
+    "cracking",
+    "cracking-sort-pieces",
+    "stochastic-cracking",
+    "updatable-cracking",
+    "adaptive-merging",
+    "hybrid-crack-crack",
+    "hybrid-crack-sort",
+    "hybrid-crack-radix",
+    "hybrid-sort-sort",
+    "hybrid-radix-radix",
+    "partitioned-cracking",
+    "partitioned-updatable-cracking",
+]
+
+UPDATABLE_STRATEGIES = ["updatable-cracking", "partitioned-updatable-cracking"]
+
+
+@contextmanager
+def fresh_witness():
+    """A fresh raise-mode witness, restoring whatever was active before.
+
+    A context manager rather than a fixture: hypothesis reuses the test
+    function across generated inputs, so the witness must be re-armed
+    inside the test body, per input.
+    """
+    previous = cost_witness_module.cost_witness()
+    active = cost_witness_module.enable_cost_witness("raise")
+    try:
+        yield active
+    finally:
+        cost_witness_module._WITNESS = previous
+
+
+def build_database(mode, seed=7):
+    rng = np.random.default_rng(seed)
+    database = Database(f"cost-witnessed-{mode}")
+    database.create_table(
+        "facts",
+        {
+            "key": rng.integers(0, DOMAIN, size=SIZE).astype(np.int64),
+            "payload": rng.uniform(0, 100, size=SIZE),
+        },
+    )
+    database.set_indexing("facts", "key", mode)
+    return database
+
+
+query_bounds = st.lists(
+    st.tuples(st.integers(-50, DOMAIN + 50), st.integers(-50, DOMAIN + 50)).map(
+        lambda pair: (min(pair), max(pair))
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@pytest.mark.parametrize("mode", ALL_STRATEGIES)
+@given(bounds=query_bounds)
+@settings(max_examples=10, deadline=None)
+def test_strategy_matrix_conforms(mode, bounds):
+    """Every strategy pays for its reorganisation on any query sequence.
+
+    Each query list is replayed twice (the second pass hits converged /
+    already-merged ranges, where charges come from navigation, not
+    movement) — a violation raises out of ``Database.execute`` directly.
+    """
+    with fresh_witness() as witness:
+        database = build_database(mode)
+        for _ in range(2):
+            for low, high in bounds:
+                database.execute(Query.range_query("facts", "key", low, high))
+        assert witness.violations() == []
+        assert witness.queries_checked >= 2 * len(bounds)
+
+
+@pytest.mark.parametrize("mode", UPDATABLE_STRATEGIES)
+@given(bounds=query_bounds, seed=st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None)
+def test_updatable_strategies_conform_under_dml(mode, bounds, seed):
+    """Pending-update merges (ripples) are paid for like any other query."""
+    with fresh_witness() as witness:
+        database = build_database(mode, seed=seed % 13 + 1)
+        rng = np.random.default_rng(seed)
+        inserted = []
+        for low, high in bounds:
+            value = int(rng.integers(0, DOMAIN))
+            inserted.append(
+                database.insert_row("facts", {"key": value, "payload": 1.0})
+            )
+            if inserted and rng.integers(0, 2):
+                database.delete_row("facts", inserted.pop())
+            database.execute(Query.range_query("facts", "key", low, high))
+        assert witness.violations() == []
+
+
+# -- witness mechanism ---------------------------------------------------------
+
+
+class _Reorganizer:
+    """A fake access path whose fingerprint changes on demand."""
+
+    def __init__(self):
+        self.pieces = 1
+
+    def __len__(self):
+        return SIZE
+
+    @property
+    def nbytes(self):
+        return 8 * SIZE
+
+    @property
+    def structure_description(self):
+        return f"fake: {self.pieces} pieces"
+
+
+class TestWitnessMechanism:
+    def test_free_reorganization_raises(self):
+        active = cost_witness_module.CostConformanceWitness("raise")
+        path = _Reorganizer()
+        snapshots = active.before([("facts", "key", path)])
+        path.pieces += 1  # reorganize...
+        counters = CostCounters()  # ...but charge nothing
+        with pytest.raises(cost_witness_module.CostConformanceViolation):
+            active.after("q", snapshots, counters)
+        assert "reorganized for free" in active.violations()[0]
+
+    def test_paid_reorganization_passes(self):
+        active = cost_witness_module.CostConformanceWitness("raise")
+        path = _Reorganizer()
+        snapshots = active.before([("facts", "key", path)])
+        path.pieces += 1
+        counters = CostCounters()
+        counters.record_comparisons(10)
+        counters.record_move(5)
+        active.after("q", snapshots, counters)
+        assert active.violations() == []
+
+    def test_unchanged_structure_needs_no_payment(self):
+        active = cost_witness_module.CostConformanceWitness("raise")
+        path = _Reorganizer()
+        snapshots = active.before([("facts", "key", path)])
+        active.after("q", snapshots, CostCounters())
+        assert active.violations() == []
+
+    def test_counter_regression_raises(self):
+        active = cost_witness_module.CostConformanceWitness("raise")
+        counters = CostCounters()
+        counters.tuples_moved = -3
+        with pytest.raises(cost_witness_module.CostConformanceViolation):
+            active.after("q", active.before([]), counters)
+        assert "regressed" in active.violations()[0]
+
+    def test_log_mode_records_without_raising(self):
+        active = cost_witness_module.CostConformanceWitness("log")
+        path = _Reorganizer()
+        snapshots = active.before([("facts", "key", path)])
+        path.pieces += 1
+        active.after("q", snapshots, CostCounters())
+        assert len(active.violations()) == 1
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            cost_witness_module.CostConformanceWitness("shout")
+
+    def test_enable_disable_round_trip(self):
+        previous = cost_witness_module.cost_witness()
+        try:
+            active = cost_witness_module.enable_cost_witness("log")
+            assert cost_witness_module.cost_witness() is active
+            cost_witness_module.disable_cost_witness()
+            assert cost_witness_module.cost_witness() is None
+        finally:
+            cost_witness_module._WITNESS = previous
