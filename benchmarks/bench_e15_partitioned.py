@@ -10,6 +10,12 @@ logical cost stays within a small factor of plain cracking while convergence
 is at least as fast per partition (each shard's key sub-range is smaller);
 and with ``parallel=True`` wall-clock drops on multi-core machines while the
 logical cost stays *identical* to the sequential partitioned run.
+
+The parallel fan-out is swept over both execution backends (``thread`` in
+the caller's address space, ``process`` over shared-memory segments) at
+1/2/4/8 workers each: every cell of the sweep must report logical cost
+bit-identical to the sequential partitioned run — the executor seam is a
+physical detail the cost model never sees.
 """
 
 import pytest
@@ -25,6 +31,10 @@ from repro.workloads.generators import random_workload
 
 PARTITION_COUNTS = [1, 2, 4, 8]
 
+WORKER_COUNTS = [1, 2, 4, 8]
+
+EXECUTOR_BACKENDS = ("thread", "process")
+
 
 def run_experiment():
     values = make_column(size=100_000)
@@ -36,10 +46,13 @@ def run_experiment():
             "partitioned-cracking",
             {"partitions": count, "parallel": False},
         )
-    variants["partitioned-8-parallel"] = (
-        "partitioned-cracking",
-        {"partitions": 8, "parallel": True},
-    )
+    for backend in EXECUTOR_BACKENDS:
+        for workers in WORKER_COUNTS:
+            variants[f"partitioned-8-{backend}-{workers}"] = (
+                "partitioned-cracking",
+                {"partitions": 8, "parallel": True, "executor": backend,
+                 "max_workers": workers},
+            )
     return harness.run_labeled(variants)
 
 
@@ -76,10 +89,15 @@ def test_e15_partitioned_cracking(benchmark):
         assert total < scan_total / 2
         assert total < cracking_total * 3
 
-    # the parallel run does the same logical work as the sequential one
+    # every backend × worker-count cell does the same logical work as the
+    # sequential partitioned run — execution mode never reaches the cost model
     sequential_total = cumulative["partitioned-8"][-1]
-    parallel_total = cumulative["partitioned-8-parallel"][-1]
-    assert parallel_total == pytest.approx(sequential_total, rel=1e-9)
+    for backend in EXECUTOR_BACKENDS:
+        for workers in WORKER_COUNTS:
+            label = f"partitioned-8-{backend}-{workers}"
+            assert cumulative[label][-1] == pytest.approx(
+                sequential_total, rel=1e-9
+            ), f"{label} diverged from the sequential logical cost"
 
 
 if __name__ == "__main__":

@@ -1,0 +1,274 @@
+"""E15 scaling smoke: executor backends × worker counts, for CI drift detection.
+
+Runs the partitioned-cracking fan-out over one fixed workload under every
+execution configuration — sequential, then the ``thread`` and ``process``
+backends each at 1/2/4/8 workers — and records, per configuration, the
+cumulative logical counters and best-of-N wall-clock.  Like
+``smoke_e01.py`` the scale is fixed and tiny (independent of
+``REPRO_BENCH_SCALE``), and ``--check`` enforces two contracts:
+
+* **logical counters are compared exactly**, both against the baseline and
+  *across configurations within one run*: the executor seam's core promise
+  is that logical cost accounting is execution-mode independent, so every
+  backend × worker-count cell must report bit-identical totals;
+* **wall-clock is compared with a relative tolerance** (default ±50 %,
+  override with ``REPRO_SMOKE_TOLERANCE``), per configuration, against the
+  baseline's best-of-N minimum.  The band is wider than ``smoke_e01``'s:
+  the process cells are dominated by IPC and pool scheduling, which are
+  far noisier on shared runners than the compute-bound smoke cells — the
+  exact counter identity above is the precise regression gate here, the
+  wall-clock band only catches gross slowdowns.
+
+Parallel speedup itself is a property of the *host*: the baseline records
+``cpu_count`` and the per-backend speedup at 4 workers, and ``--check``
+only enforces the process-backend >= 2x speedup claim on hosts with at
+least 4 CPUs — on fewer cores real CPU parallelism is physically
+unavailable and the numbers are recorded as observed, not gated.
+
+The baseline lives at the repository root as ``BENCH_e15_scaling.json``.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+#: rows in the smoke column (fixed: the smoke ignores REPRO_BENCH_SCALE)
+SMOKE_ROWS = 8_000
+
+#: queries in the smoke workload
+SMOKE_QUERIES = 60
+
+#: partitions of the column under test (worker counts sweep below it)
+SMOKE_PARTITIONS = 8
+
+#: worker counts swept for each backend
+WORKER_COUNTS = (1, 2, 4, 8)
+
+#: default relative wall-clock tolerance for --check (see module docstring
+#: for why it is wider than smoke_e01's)
+DEFAULT_TOLERANCE = 0.5
+
+#: wall-clock measurability floor (seconds).  Higher than smoke_e01's:
+#: the thread/seq cells finish in a few tens of milliseconds where pool
+#: hand-off and scheduler noise dominate, so their budgets come from the
+#: floor; the process cells are slow enough to be compared directly
+MIN_MEASURABLE_SECONDS = 0.05
+
+#: timing repeats; counters must be identical across repeats (asserted)
+SMOKE_REPEATS = 3
+
+#: CPUs needed before the process backend can physically deliver the 2x
+#: speedup gate at 4 workers; below this the speedup is recorded, not gated
+SPEEDUP_GATE_CPUS = 4
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_e15_scaling.json"
+
+
+def _configurations():
+    configs = [("seq", {"parallel": False})]
+    for backend in ("thread", "process"):
+        for workers in WORKER_COUNTS:
+            configs.append(
+                (
+                    f"{backend}-{workers}",
+                    {"parallel": True, "executor": backend,
+                     "max_workers": workers},
+                )
+            )
+    return configs
+
+
+def _workload():
+    import numpy as np
+
+    from repro.workloads.generators import generate_column_data
+
+    values = generate_column_data(SMOKE_ROWS, 0, 1_000_000, seed=15)
+    rng = np.random.default_rng(151)
+    width = 1_000_000 * 0.02
+    queries = [
+        (float(low), float(low + width))
+        for low in rng.uniform(0, 1_000_000 - width, size=SMOKE_QUERIES)
+    ]
+    return values, queries
+
+
+def _run_config(values, queries, options) -> dict:
+    from repro.core.partitioned import PartitionedCrackedColumn
+    from repro.cost.counters import CostCounters
+
+    counters = CostCounters()
+    result_rows = 0
+    with PartitionedCrackedColumn(
+        values, partitions=SMOKE_PARTITIONS, **options
+    ) as column:
+        started = time.perf_counter()
+        for low, high in queries:
+            result_rows += len(column.search(low, high, counters))
+        elapsed = time.perf_counter() - started
+    return {
+        "comparisons": int(counters.comparisons),
+        "movements": int(counters.tuples_moved),
+        "scans": int(counters.tuples_scanned),
+        "result_rows": int(result_rows),
+        "wall_clock_seconds": round(elapsed, 6),
+    }
+
+
+COUNTER_KEYS = ("comparisons", "movements", "scans", "result_rows")
+
+
+def run_scaling() -> dict:
+    """Every configuration at smoke scale; returns the serializable record."""
+    values, queries = _workload()
+    configurations = {}
+    for _ in range(SMOKE_REPEATS):
+        for label, options in _configurations():
+            sample = _run_config(values, queries, options)
+            current = configurations.get(label)
+            if current is None:
+                configurations[label] = sample
+                continue
+            for key in COUNTER_KEYS:
+                assert sample[key] == current[key], (
+                    f"{label}: {key} differs across repeats — the smoke "
+                    f"workload is supposed to be deterministic"
+                )
+            current["wall_clock_seconds"] = min(
+                current["wall_clock_seconds"], sample["wall_clock_seconds"]
+            )
+    # the seam's core contract: identical logical totals in every cell
+    reference = configurations["seq"]
+    for label, sample in configurations.items():
+        for key in COUNTER_KEYS:
+            assert sample[key] == reference[key], (
+                f"{label}: {key} = {sample[key]} diverges from sequential "
+                f"{reference[key]} — logical cost accounting must be "
+                f"execution-mode independent"
+            )
+    sequential_wall = configurations["seq"]["wall_clock_seconds"]
+    speedups = {
+        backend: round(
+            sequential_wall
+            / max(configurations[f"{backend}-4"]["wall_clock_seconds"], 1e-9),
+            3,
+        )
+        for backend in ("thread", "process")
+    }
+    return {
+        "rows": SMOKE_ROWS,
+        "queries": SMOKE_QUERIES,
+        "partitions": SMOKE_PARTITIONS,
+        "cpu_count": os.cpu_count() or 1,
+        "speedup_at_4_workers": speedups,
+        "configurations": configurations,
+    }
+
+
+def check(current: dict, baseline: dict, tolerance: float) -> list:
+    """Compare a fresh run against the baseline; returns failure messages."""
+    failures = []
+    if set(current["configurations"]) != set(baseline["configurations"]):
+        failures.append(
+            f"configuration set changed: baseline "
+            f"{sorted(baseline['configurations'])} vs current "
+            f"{sorted(current['configurations'])}"
+        )
+        return failures
+    for key in ("rows", "queries", "partitions"):
+        if current[key] != baseline[key]:
+            failures.append(
+                f"smoke scale changed ({key}: {baseline[key]} -> "
+                f"{current[key]}); refresh the baseline deliberately"
+            )
+    for label, now in current["configurations"].items():
+        then = baseline["configurations"][label]
+        for key in COUNTER_KEYS:
+            if now[key] != then[key]:
+                failures.append(
+                    f"{label}: {key} drifted {then[key]} -> {now[key]} "
+                    f"(logical counters are deterministic; a real change "
+                    f"must refresh the baseline)"
+                )
+        before_wall = then["wall_clock_seconds"]
+        after_wall = now["wall_clock_seconds"]
+        budget = max(before_wall, MIN_MEASURABLE_SECONDS) * (1.0 + tolerance)
+        if before_wall > 0 and after_wall > budget:
+            failures.append(
+                f"{label}: wall-clock regressed {before_wall:.4f}s -> "
+                f"{after_wall:.4f}s (> {budget:.4f}s budget: "
+                f"+{tolerance:.0%} over max(baseline, "
+                f"{MIN_MEASURABLE_SECONDS}s floor))"
+            )
+    cpus = current["cpu_count"]
+    process_speedup = current["speedup_at_4_workers"]["process"]
+    if cpus >= SPEEDUP_GATE_CPUS and process_speedup < 2.0:
+        failures.append(
+            f"process backend speedup at 4 workers is {process_speedup:.2f}x "
+            f"on a {cpus}-cpu host (>= 2x expected with "
+            f">= {SPEEDUP_GATE_CPUS} cpus)"
+        )
+    elif cpus < SPEEDUP_GATE_CPUS:
+        print(
+            f"scaling_e15: note — host has {cpus} cpu(s); the process-backend "
+            f"2x speedup gate needs >= {SPEEDUP_GATE_CPUS} and is skipped "
+            f"(observed {process_speedup:.2f}x)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="scaling_e15",
+        description="executor-backend scaling smoke for CI drift detection",
+    )
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument(
+        "--write", action="store_true",
+        help=f"write the baseline to {BASELINE_PATH.name}",
+    )
+    action.add_argument(
+        "--check", action="store_true",
+        help="run and compare against the checked-in baseline",
+    )
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), metavar="JSON",
+        help="baseline path (default: repository root BENCH_e15_scaling.json)",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_scaling()
+    baseline_path = Path(args.baseline)
+    if args.write:
+        baseline_path.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"scaling_e15: baseline written to {baseline_path}")
+        return 0
+
+    if not baseline_path.exists():
+        print(f"scaling_e15: no baseline at {baseline_path}", file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+    tolerance = float(
+        os.environ.get("REPRO_SMOKE_TOLERANCE", str(DEFAULT_TOLERANCE))
+    )
+    failures = check(record, baseline, tolerance)
+    for message in failures:
+        print(f"scaling_e15: {message}", file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        f"scaling_e15: OK — counters identical across "
+        f"{len(record['configurations'])} executor configurations, "
+        f"wall-clock within ±{tolerance:.0%}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

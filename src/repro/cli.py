@@ -41,6 +41,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.partitioned import EXECUTORS
 from repro.core.strategies import available_strategies
 from repro.version import __version__
 from repro.workloads.benchmark import AdaptiveIndexingBenchmark
@@ -58,6 +59,7 @@ from repro.workloads.reporting import (
 
 _EXAMPLES = """examples:
   repro compare --strategies cracking,partitioned-cracking --partitions 8 --parallel
+  repro compare --strategies partitioned-cracking --parallel --executor process
   repro compare --strategies partitioned-cracking --repartition --pattern skewed
   repro updates --strategy partitioned-updatable-cracking --repartition \\
       --max-partition-rows 50000 --updates-per-query 4
@@ -107,7 +109,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument(
         "--parallel", action="store_true",
-        help="fan partitioned sub-selections out over a thread pool",
+        help="fan partitioned sub-selections out over a worker pool",
+    )
+    compare.add_argument(
+        "--executor", default="thread", choices=list(EXECUTORS),
+        help="fan-out backend for the partitioned strategies: 'thread' "
+             "(shared address space) or 'process' (shared-memory segments, "
+             "escapes the GIL)",
     )
     compare.add_argument(
         "--policy", default="ripple", choices=["ripple", "gradual"],
@@ -160,7 +168,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     updates.add_argument(
         "--parallel", action="store_true",
-        help="fan partitioned sub-selections out over a thread pool",
+        help="fan partitioned sub-selections out over a worker pool",
+    )
+    updates.add_argument(
+        "--executor", default="thread", choices=list(EXECUTORS),
+        help="fan-out backend for the partitioned strategies: 'thread' "
+             "(shared address space) or 'process' (shared-memory segments, "
+             "escapes the GIL)",
     )
     _add_repartition_arguments(updates)
     updates.add_argument("--seed", type=int, default=0, help="random seed")
@@ -308,6 +322,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         "partitioned-cracking": {
             "partitions": args.partitions,
             "parallel": args.parallel,
+            "executor": args.executor,
             **repartition_options,
         },
         "updatable-cracking": {
@@ -317,6 +332,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         "partitioned-updatable-cracking": {
             "partitions": args.partitions,
             "parallel": args.parallel,
+            "executor": args.executor,
             "policy": args.policy,
             "merge_batch": args.merge_batch,
             **repartition_options,
@@ -408,7 +424,11 @@ def _command_updates(args: argparse.Namespace) -> int:
         if args.strategy in ("updatable-cracking", "partitioned-updatable-cracking"):
             options.update(policy=args.policy, merge_batch=args.merge_batch)
         if args.strategy in ("partitioned-cracking", "partitioned-updatable-cracking"):
-            options.update(partitions=args.partitions, parallel=args.parallel)
+            options.update(
+                partitions=args.partitions,
+                parallel=args.parallel,
+                executor=args.executor,
+            )
             options.update(_repartition_options(args))
         database.set_indexing("data", "key", args.strategy, **options)
 
@@ -488,6 +508,7 @@ def _command_batch(args: argparse.Namespace) -> int:
 
     from repro.engine.database import Database
     from repro.engine.query import Query
+    from repro.engine.session import validate_max_workers
 
     managed_modes = ("scan", "full-index", "online", "soft")
     if args.mode not in managed_modes and args.mode not in available_strategies():
@@ -501,8 +522,11 @@ def _command_batch(args: argparse.Namespace) -> int:
     if args.rows < 1 or args.queries < 1:
         print("--rows and --queries must be >= 1", file=sys.stderr)
         return 2
-    if args.max_workers is not None and args.max_workers < 1:
-        print("--max-workers must be >= 1", file=sys.stderr)
+    try:
+        # the same validation the session applies, surfaced as a CLI error
+        validate_max_workers(args.max_workers)
+    except ValueError as error:
+        print(error, file=sys.stderr)
         return 2
 
     domain = 1_000_000

@@ -75,6 +75,7 @@ import numpy as np
 
 from repro.analysis_tools.guards import charges, guarded_by
 from repro.columnstore.column import Column
+from repro.core import procexec
 from repro.core.cracking.cracked_column import CrackedColumn
 from repro.core.cracking.cracker_index import CrackerIndex, Piece
 from repro.core.cracking.updates import UpdatableCrackedColumn
@@ -82,6 +83,7 @@ from repro.cost.counters import CostCounters
 
 __all__ = [
     "ColumnPartition",
+    "EXECUTORS",
     "PartitionedCrackedColumn",
     "PartitionedUpdatableCrackedColumn",
     "UpdatableColumnPartition",
@@ -177,7 +179,7 @@ class ColumnPartition:
     """
 
     __slots__ = ("start", "end", "cracked", "_base_slice", "min_value", "max_value",
-                 "_bounds_known", "visits")
+                 "_bounds_known", "visits", "_shared")
 
     def __init__(self, base_slice: np.ndarray, start: int, sort_threshold: int = 0,
                  name: str = "") -> None:
@@ -191,6 +193,7 @@ class ColumnPartition:
         self.max_value: Optional[float] = None
         self._bounds_known = False
         self.visits = 0
+        self._shared = None
 
     @classmethod
     def _fragment(
@@ -217,6 +220,7 @@ class ColumnPartition:
         partition.min_value, partition.max_value = bounds
         partition._bounds_known = True
         partition.visits = 0
+        partition._shared = None
         return partition
 
     def __len__(self) -> int:
@@ -337,20 +341,32 @@ class ColumnPartition:
         return left, right
 
 
+#: execution backends a partitioned column can fan out over
+EXECUTORS = ("thread", "process")
+
+
 @guarded_by(_pool="_pool_lock")
 class _PartitionedFanOut:
-    """Shared thread-pool fan-out machinery of the partitioned columns.
+    """Shared fan-out machinery of the partitioned columns.
 
     Subclasses populate ``self._partitions`` and set ``self.parallel`` /
     ``self._max_workers``; :meth:`_fan_out` then runs one operation over a
     set of target partitions, sequentially or concurrently, with private
     per-worker counters merged back into the caller's counters.
+
+    Two execution backends sit behind the same seam: ``executor="thread"``
+    fans out over a lazily created per-column thread pool, and
+    ``executor="process"`` ships each partition to an OS worker process
+    over shared memory (:mod:`repro.core.procexec`) — real multi-core
+    execution for the pure-Python crack loops the GIL serialises.  Answers
+    and logical cost counters are bit-identical across all backends.
     """
 
     parallel: bool = False
     _max_workers: Optional[int] = None
 
-    def _init_fan_out(self, max_workers: Optional[int]) -> None:
+    def _init_fan_out(self, max_workers: Optional[int],
+                      executor: str = "thread") -> None:
         """Shared fan-out state; called by subclass constructors.
 
         The two locks make a *converged* (read-only) partitioned column
@@ -359,6 +375,14 @@ class _PartitionedFanOut:
         ``_stats_lock`` keeps shared visit/query counters from losing
         increments.
         """
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        self.executor = str(executor)
+        # a caller-chosen worker count is pinned; a defaulted one tracks the
+        # partition count as repartitioning splits and merges change it
+        self._explicit_workers = max_workers is not None
         self._max_workers = max_workers or len(self._partitions)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
@@ -373,12 +397,41 @@ class _PartitionedFanOut:
                 )
             return self._pool
 
+    def _sync_worker_pool(self) -> None:
+        """Track topology changes with the fan-out width (defaulted sizing only).
+
+        ``_max_workers`` defaults to the partition count at construction;
+        without this hook a repartitioning split past that count leaves the
+        fan-out under-subscribed forever (and merges leave the pool
+        oversized).  An existing thread pool of the wrong size is retired
+        and lazily re-created at the new width; the process backend reads
+        ``_max_workers`` per fan-out, so updating the count is enough.
+        """
+        if self._explicit_workers:
+            return
+        desired = max(1, len(self._partitions))
+        with self._pool_lock:
+            if desired == self._max_workers:
+                return
+            self._max_workers = desired
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
     def close(self) -> None:
-        """Shut down the thread pool (idempotent; a later query re-creates it)."""
+        """Release execution resources: the thread pool and any shared segments.
+
+        Idempotent, and not final — a later parallel query re-creates what
+        it needs.  Shared-memory segments created for the process backend
+        are copied back into private arrays and unlinked, so a closed (or
+        dropped) column never leaks segments.
+        """
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        for partition in self._partitions:
+            procexec.release_shared(partition)
 
     def __enter__(self):
         return self
@@ -425,6 +478,8 @@ class _PartitionedFanOut:
         use_parallel = self.parallel if parallel is None else bool(parallel)
         if not use_parallel or len(targets) <= 1:
             return [getattr(t, operation)(low, high, counters) for t in targets]
+        if self.executor == "process":
+            return self._fan_out_process(targets, operation, low, high, counters)
         locals_counters = [CostCounters() if counters is not None else None
                            for _ in targets]
         pool = self._executor()
@@ -433,6 +488,38 @@ class _PartitionedFanOut:
             for target, private in zip(targets, locals_counters)
         ]
         results = [future.result() for future in futures]
+        if counters is not None:
+            for private in locals_counters:
+                counters += private
+        return results
+
+    def _fan_out_process(
+        self,
+        targets: Sequence[object],
+        operation: str,
+        low: Optional[float],
+        high: Optional[float],
+        counters: Optional[CostCounters],
+    ) -> List[object]:
+        """The process backend of :meth:`_fan_out` (same contract).
+
+        Each target partition is snapshotted into a picklable task over its
+        shared-memory arrays, run on the process pool bounded to
+        ``_max_workers`` concurrent slots, and its outcome (result, mutated
+        bookkeeping, private counters) installed back — in partition order,
+        exactly like the thread backend merges its private counters.
+        """
+        locals_counters = [CostCounters() if counters is not None else None
+                           for _ in targets]
+        tasks = [
+            procexec.prepare_task(target, operation, low, high, private)
+            for target, private in zip(targets, locals_counters)
+        ]
+        outcomes = procexec.run_tasks(tasks, self._max_workers)
+        results = [
+            procexec.apply_outcome(target, outcome, private)
+            for target, outcome, private in zip(targets, outcomes, locals_counters)
+        ]
         if counters is not None:
             for private in locals_counters:
                 counters += private
@@ -504,7 +591,13 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
     sort_threshold:
         Forwarded to every partition's :class:`CrackedColumn`.
     max_workers:
-        Thread-pool size (defaults to the initial partition count).
+        Fan-out width (defaults to the partition count, tracking it as
+        repartitioning changes the topology; an explicit value is pinned).
+    executor:
+        Parallel execution backend: ``"thread"`` (default) fans out over a
+        thread pool, ``"process"`` over OS worker processes attached to the
+        partition arrays through shared memory.  Answers and logical cost
+        counters are bit-identical across backends.
     """
 
     def __init__(
@@ -517,6 +610,7 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
         split_threshold: float = 2.0,
         sort_threshold: int = 0,
         max_workers: Optional[int] = None,
+        executor: str = "thread",
         name: str = "",
     ) -> None:
         base = column.values if isinstance(column, Column) else np.asarray(column)
@@ -538,7 +632,7 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
                             name=f"{self.name}[{start}:{end}]" if self.name else "")
             for start, end in partition_bounds(len(base), partitions)
         ]
-        self._init_fan_out(max_workers)
+        self._init_fan_out(max_workers, executor)
 
     # -- basic properties -----------------------------------------------------
 
@@ -649,16 +743,18 @@ class PartitionedCrackedColumn(_PartitionedFanOut):
         for _ in range(_MAX_SPLITS_PER_CHECK):
             candidate = self._split_candidate()
             if candidate is None:
-                return
+                break
             parent = partitions[candidate]
             children = parent.split(counters)
             if children is None:
-                return
+                break
             left, right = children
             left.visits = right.visits = parent.visits // 2
+            procexec.release_shared(parent)
             partitions[candidate:candidate + 1] = [left, right]
             with self._stats_lock:
                 self.partition_splits += 1
+        self._sync_worker_pool()
 
     # -- the adaptive select operator -----------------------------------------
 
@@ -797,7 +893,8 @@ class UpdatableColumnPartition:
     """
 
     __slots__ = ("start", "end", "updatable", "_base_slice", "min_value",
-                 "max_value", "_bounds_known", "_extra_min", "_extra_max")
+                 "max_value", "_bounds_known", "_extra_min", "_extra_max",
+                 "_shared")
 
     def __init__(self, base_slice: np.ndarray, start: int, policy: str = "ripple",
                  merge_batch: int = 16, sort_threshold: int = 0,
@@ -814,6 +911,7 @@ class UpdatableColumnPartition:
         self._bounds_known = False
         self._extra_min: Optional[float] = None
         self._extra_max: Optional[float] = None
+        self._shared = None
 
     @classmethod
     def _fragment(
@@ -833,6 +931,7 @@ class UpdatableColumnPartition:
         partition._bounds_known = True
         partition._extra_min = None
         partition._extra_max = None
+        partition._shared = None
         return partition
 
     def __len__(self) -> int:
@@ -988,7 +1087,7 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
         :class:`~repro.core.cracking.updates.UpdatableCrackedColumn`.  Under
         the gradual policy each *partition* merges at most ``merge_batch``
         pending updates per query it participates in.
-    sort_threshold / max_workers:
+    sort_threshold / max_workers / executor:
         As in :class:`PartitionedCrackedColumn`.
 
     Updates are routed to the owning partition: deletes by asking the
@@ -1011,6 +1110,7 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
         merge_batch: int = 16,
         sort_threshold: int = 0,
         max_workers: Optional[int] = None,
+        executor: str = "thread",
         name: str = "",
     ) -> None:
         base = column.values if isinstance(column, Column) else np.asarray(column)
@@ -1038,7 +1138,7 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
             for start, end in partition_bounds(len(base), partitions)
         ]
         self._next_rowid = len(base)
-        self._init_fan_out(max_workers)
+        self._init_fan_out(max_workers, executor)
 
     # -- basic properties -------------------------------------------------------
 
@@ -1161,13 +1261,16 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
         for _ in range(_MAX_SPLITS_PER_CHECK):
             candidate = self._split_candidate()
             if candidate is None:
-                return
-            children = partitions[candidate].split(counters)
+                break
+            parent = partitions[candidate]
+            children = parent.split(counters)
             if children is None:
-                return
+                break
+            procexec.release_shared(parent)
             partitions[candidate:candidate + 1] = list(children)
             with self._stats_lock:
                 self.partition_splits += 1
+        self._sync_worker_pool()
 
     def _maybe_merge(self, counters: Optional[CostCounters]) -> None:
         """Merge one pair of cold, value-adjacent partitions (main thread only).
@@ -1208,9 +1311,12 @@ class PartitionedUpdatableCrackedColumn(_PartitionedFanOut):
                 left.start, max(left.end, right.end), merged_column,
                 (min(lows) if lows else None, max(highs) if highs else None),
             )
+            procexec.release_shared(left)
+            procexec.release_shared(right)
             partitions[i:i + 2] = [merged]
             with self._stats_lock:
                 self.partition_merges += 1
+            self._sync_worker_pool()
             return
 
     # -- updates ----------------------------------------------------------------

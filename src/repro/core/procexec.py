@@ -1,0 +1,322 @@
+"""Process-based partition execution over shared memory.
+
+The partitioned columns' thread fan-out keeps every partition's arrays in
+one address space; this module is the ``executor="process"`` counterpart.
+The contract that keeps logical cost accounting execution-mode independent
+(the ``@charges``/reproperf contract) is split across the process boundary
+like this:
+
+* **logical work stays logical** — the caller materialises (read-only
+  partitions) or pre-grows (updatable partitions) *before* dispatch,
+  charging the same counters a thread worker would have charged; the
+  worker then charges its cracking/merging/scan work to a fresh
+  :class:`~repro.cost.counters.CostCounters` that travels back and is
+  merged into the caller's counters in partition order, exactly like the
+  thread fan-out's private counters;
+* **physical transport is free** — copying arrays into shared segments and
+  pickling the small per-partition state is a property of the execution
+  backend, not of the algorithm, so it is never charged.
+
+Workers attach to column arrays by segment name
+(:class:`~repro.columnstore.storage.SharedArrayBuffer`), crack them **in
+place** — the partitioning kernels only ever assign into array slices — so
+the caller observes all data movement without copying anything back; only
+the small mutated bookkeeping (cracker index, pending queues, counters)
+returns by value.
+
+One process pool is shared by every partitioned column in the process
+(workers are expensive to spawn: each imports numpy and this package), and
+per-column ``max_workers`` caps are enforced by a bounded submission window
+instead of per-column pools.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from multiprocessing import get_context
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.columnstore.storage import SharedArrayBuffer
+from repro.core.cracking.cracked_column import CrackedColumn
+from repro.core.cracking.updates import UpdatableCrackedColumn
+from repro.cost.counters import CostCounters
+
+__all__ = [
+    "apply_outcome",
+    "prepare_task",
+    "process_pool",
+    "release_shared",
+    "run_tasks",
+    "shutdown_process_pool",
+]
+
+#: the updatable column's two cracker arrays travel by segment name; every
+#: other attribute is small bookkeeping that travels by value
+_UPDATABLE_ARRAYS = ("_values", "_rowids")
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_LOCK = threading.Lock()
+
+
+def process_pool() -> ProcessPoolExecutor:
+    """The process-wide worker pool (spawned lazily, shared by all columns)."""
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is None:
+            _POOL = ProcessPoolExecutor(
+                max_workers=max(8, os.cpu_count() or 1),
+                mp_context=get_context("spawn"),
+            )
+        return _POOL
+
+
+def shutdown_process_pool() -> None:
+    """Tear down the shared pool (idempotent; a later task re-creates it)."""
+    global _POOL
+    with _POOL_LOCK:
+        pool, _POOL = _POOL, None
+    if pool is not None:
+        pool.shutdown(wait=True)
+
+
+atexit.register(shutdown_process_pool)
+
+
+def run_tasks(tasks: List[dict], max_workers: int) -> List[dict]:
+    """Run ``tasks`` on the shared pool, at most ``max_workers`` in flight.
+
+    Results are returned in task order.  The bounded window is what makes
+    one global pool serve many columns with different worker caps: a column
+    sized for 4 workers never occupies more than 4 pool slots, however many
+    partitions its query overlaps.
+    """
+    pool = process_pool()
+    window = max(1, min(int(max_workers), len(tasks)))
+    results: List[Optional[dict]] = [None] * len(tasks)
+    pending: Dict[object, int] = {}
+    next_index = 0
+    while next_index < len(tasks) or pending:
+        while next_index < len(tasks) and len(pending) < window:
+            pending[pool.submit(_run_task, tasks[next_index])] = next_index
+            next_index += 1
+        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            results[pending.pop(future)] = future.result()
+    return results
+
+
+# -- caller side: build tasks, install outcomes --------------------------------
+
+
+def prepare_task(target, operation: str, low, high,
+                 counters: Optional[CostCounters]) -> dict:
+    """Snapshot one partition into a picklable worker task.
+
+    Any logical work a thread worker would have charged *before* touching
+    partition-private state (materialising the cracker copy, growing the
+    updatable capacity) happens here, against the same per-partition
+    ``counters`` instance, so the merged totals are bit-identical to the
+    thread backend's.
+    """
+    if hasattr(target, "cracked"):
+        return _prepare_cracked(target, operation, low, high, counters)
+    return _prepare_updatable(target, operation, low, high, counters)
+
+
+def apply_outcome(target, outcome: dict,
+                  counters: Optional[CostCounters]):
+    """Install one worker outcome into the live partition; returns the result."""
+    if counters is not None and outcome["counters"] is not None:
+        counters += outcome["counters"]
+    if hasattr(target, "cracked"):
+        column = target.cracked
+        column.index = outcome["index"]
+        column._converged = outcome["converged"]
+        with column._stats_lock:
+            column.queries_processed += outcome["queries"]
+    else:
+        # the arrays were mutated in shared memory; everything else returns
+        # by value and simply replaces the caller's bookkeeping
+        target.updatable.__dict__.update(outcome["state"])
+    return outcome["result"]
+
+
+def _ensure_shared(target, arrays) -> tuple:
+    """Back the partition's arrays with owned shared segments (idempotent).
+
+    ``arrays`` is the current ``(values, rowids)`` pair; when the partition
+    already shares exactly these arrays nothing happens.  After a split,
+    merge, or capacity growth rebinds them, the stale segments are released
+    and fresh ones created — segment names are never reused, so worker-side
+    attachment caches cannot go stale.
+    """
+    shared = target._shared
+    if (shared is not None
+            and shared[0].array is arrays[0]
+            and shared[1].array is arrays[1]):
+        return shared
+    release_shared(target)
+    shared = (SharedArrayBuffer.create(arrays[0]),
+              SharedArrayBuffer.create(arrays[1]))
+    target._shared = shared
+    return shared
+
+
+def release_shared(target) -> None:
+    """Detach a partition from its shared segments and unlink them.
+
+    The column keeps working afterwards: array contents are copied back
+    into private memory first (a physical, uncharged move — the backend
+    giving the buffers back, not the algorithm touching data).
+    """
+    shared = getattr(target, "_shared", None)
+    if shared is None:
+        return
+    target._shared = None
+    values_buffer, rowids_buffer = shared
+    if hasattr(target, "cracked"):
+        column = target.cracked
+        if column.values is values_buffer.array:
+            column.values = np.array(values_buffer.array, copy=True)
+        if column.rowids is rowids_buffer.array:
+            column.rowids = np.array(rowids_buffer.array, copy=True)
+    else:
+        column = target.updatable
+        if column._values is values_buffer.array:
+            column._values = np.array(values_buffer.array, copy=True)
+        if column._rowids is rowids_buffer.array:
+            column._rowids = np.array(rowids_buffer.array, copy=True)
+    values_buffer.close()
+    rowids_buffer.close()
+
+
+def _prepare_cracked(target, operation, low, high, counters) -> dict:
+    column = target.cracked
+    if not column.materialised:
+        # the thread worker charges the lazy cracker copy to its private
+        # counters; here the caller does, to the same counters instance
+        column._materialise(counters)
+    shared = _ensure_shared(target, (column.values, column.rowids))
+    column.values = shared[0].array
+    column.rowids = shared[1].array
+    return {
+        "kind": "cracked",
+        "operation": operation,
+        "low": low,
+        "high": high,
+        "values_segment": shared[0].descriptor(),
+        "rowids_segment": shared[1].descriptor(),
+        "index": column.index,
+        "sort_threshold": column.sort_threshold,
+        "converged": column._converged,
+        "shift": target.start,
+        "counting": counters is not None,
+    }
+
+
+def _prepare_updatable(target, operation, low, high, counters) -> dict:
+    if operation != "search":
+        raise ValueError(
+            f"updatable partitions only fan out 'search', not {operation!r}"
+        )
+    column = target.updatable
+    # a query merges at most the pending inserts into the cracker arrays;
+    # growing capacity now (charge-free, as _ensure_capacity always is)
+    # guarantees the worker never reallocates the shared arrays
+    column._ensure_capacity(column.pending_inserts)
+    shared = _ensure_shared(target, (column._values, column._rowids))
+    column._values = shared[0].array
+    column._rowids = shared[1].array
+    return {
+        "kind": "updatable",
+        "low": low,
+        "high": high,
+        "values_segment": shared[0].descriptor(),
+        "rowids_segment": shared[1].descriptor(),
+        "state": _updatable_state(column),
+        "counting": counters is not None,
+    }
+
+
+def _updatable_state(column: UpdatableCrackedColumn) -> dict:
+    return {
+        key: value for key, value in column.__dict__.items()
+        if key not in _UPDATABLE_ARRAYS
+    }
+
+
+# -- worker side ----------------------------------------------------------------
+
+#: per-worker attachment cache: segment name -> buffer.  Names are unique
+#: per owning process, so entries can never alias different data; the cap
+#: merely bounds how many dead mappings a long-lived worker keeps around.
+_ATTACH_CACHE: "OrderedDict[str, SharedArrayBuffer]" = OrderedDict()
+_ATTACH_CACHE_CAP = 64
+
+
+def _attached(descriptor) -> np.ndarray:
+    name, dtype, shape = descriptor
+    buffer = _ATTACH_CACHE.get(name)
+    if buffer is None:
+        buffer = SharedArrayBuffer.attach(name, dtype, shape)
+        _ATTACH_CACHE[name] = buffer
+        while len(_ATTACH_CACHE) > _ATTACH_CACHE_CAP:
+            _, evicted = _ATTACH_CACHE.popitem(last=False)
+            evicted.close()
+    else:
+        _ATTACH_CACHE.move_to_end(name)
+    return buffer.array
+
+
+def _run_task(task: dict) -> dict:
+    if task["kind"] == "cracked":
+        return _run_cracked(task)
+    return _run_updatable(task)
+
+
+def _run_cracked(task: dict) -> dict:
+    values = _attached(task["values_segment"])
+    rowids = _attached(task["rowids_segment"])
+    column = CrackedColumn.from_fragment(
+        np.empty(0, dtype=values.dtype), values, rowids, task["index"],
+        sort_threshold=task["sort_threshold"],
+    )
+    column._converged = task["converged"]
+    counters = CostCounters() if task["counting"] else None
+    result = getattr(column, task["operation"])(task["low"], task["high"], counters)
+    if task["operation"] == "search" and task["shift"]:
+        result = result + task["shift"]
+    return {
+        "result": result,
+        "index": column.index,
+        "converged": column._converged,
+        "queries": column.queries_processed,
+        "counters": counters,
+    }
+
+
+def _run_updatable(task: dict) -> dict:
+    values = _attached(task["values_segment"])
+    rowids = _attached(task["rowids_segment"])
+    column = UpdatableCrackedColumn.__new__(UpdatableCrackedColumn)
+    column.__dict__.update(task["state"])
+    column._values = values
+    column._rowids = rowids
+    counters = CostCounters() if task["counting"] else None
+    result = column.search(task["low"], task["high"], counters)
+    if column._values is not values or column._rowids is not rowids:
+        raise RuntimeError(
+            "worker reallocated the shared cracker arrays; the caller must "
+            "pre-grow capacity by the pending-insert count before dispatch"
+        )
+    return {
+        "result": result,
+        "state": _updatable_state(column),
+        "counters": counters,
+    }

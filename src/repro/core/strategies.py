@@ -109,6 +109,15 @@ class SearchStrategy(ABC):
         """Scan-based reference answer (used by tests to validate any strategy)."""
         return scan_select(self._array, RangePredicate(low, high))
 
+    def close(self) -> None:
+        """Release execution resources (pools, shared-memory segments).
+
+        Most strategies hold none — the base implementation is a no-op.
+        The engine calls this whenever an access path is dropped or
+        replaced, so strategies owning OS resources (the partitioned
+        columns' fan-out pools and shared segments) must override it.
+        """
+
 
 class ScanStrategy(SearchStrategy):
     """Baseline: answer every query with a full scan, never build anything."""
@@ -226,7 +235,8 @@ class PartitionedCrackingStrategy(SearchStrategy):
     per-partition sub-selections out over a thread pool, default False),
     ``repartition`` (adaptive repartitioning under skewed query streams,
     default False) with ``max_partition_rows``/``split_threshold``,
-    ``sort_threshold`` and ``max_workers`` — see
+    ``sort_threshold``, ``max_workers`` and ``executor`` (``"thread"`` or
+    ``"process"`` fan-out backend) — see
     :class:`~repro.core.partitioned.PartitionedCrackedColumn`.
     """
 
@@ -243,7 +253,12 @@ class PartitionedCrackingStrategy(SearchStrategy):
             split_threshold=options.get("split_threshold", 2.0),
             sort_threshold=options.get("sort_threshold", 0),
             max_workers=options.get("max_workers"),
+            executor=options.get("executor", "thread"),
         )
+
+    def close(self) -> None:
+        """Release the fan-out pool and any shared-memory segments."""
+        self.cracked.close()
 
     @property
     def reorganizes_on_read(self) -> bool:
@@ -356,7 +371,12 @@ class PartitionedUpdatableCrackingStrategy(SearchStrategy):
             merge_batch=options.get("merge_batch", 16),
             sort_threshold=options.get("sort_threshold", 0),
             max_workers=options.get("max_workers"),
+            executor=options.get("executor", "thread"),
         )
+
+    def close(self) -> None:
+        """Release the fan-out pool and any shared-memory segments."""
+        self.cracked.close()
 
     def search(self, low, high, counters=None):
         self.note_query()

@@ -174,6 +174,17 @@ class Database:
         self.memory.set_usage(f"table:{name}", table.nbytes)
         return table
 
+    @staticmethod
+    def _close_path(path) -> None:
+        """Release an access path's resources (fan-out pools, shared memory).
+
+        Only adaptive strategies hold releasable resources today; managed
+        indexes (full/online/soft) are plain in-process structures.
+        """
+        close = getattr(path, "close", None)
+        if close is not None:
+            close()
+
     def drop_table(self, name: str) -> None:
         """Drop a table and all physical structures attached to it."""
         if name not in self._tables:
@@ -182,6 +193,7 @@ class Database:
         for dropped_table, dropped_column in list(self._access_paths):
             if dropped_table == name:
                 self.memory.remove(f"index:{dropped_table}.{dropped_column}")
+                self._close_path(self._access_paths[(dropped_table, dropped_column)])
         self._modes = {k: v for k, v in self._modes.items() if k[0] != name}
         self._mode_options = {
             k: v for k, v in self._mode_options.items() if k[0] != name
@@ -226,8 +238,9 @@ class Database:
         self._mode_options[key] = dict(options)
         base_column = owning_table.column(column)
         # a previous mode may have recorded index memory for this column;
-        # forget it before (possibly) recording the new mode's usage
+        # forget it (and release its resources) before the new mode's
         self.memory.remove(f"index:{table}.{column}")
+        self._close_path(self._access_paths.get(key))
         if mode == "scan":
             self._access_paths.pop(key, None)
         elif mode == "full-index":
@@ -375,6 +388,7 @@ class Database:
             path.indexes.pop(column, None)
             return
         options = self._mode_options.get(key, {})
+        self._close_path(path)
         self._access_paths[key] = create_strategy(mode, base_column, **options)
 
     def delete_row(

@@ -92,6 +92,30 @@ class SessionStats:
 _SESSION_IDS = itertools.count(1)
 
 
+def default_worker_count(tasks: Optional[int] = None) -> int:
+    """Default worker count for session pools and parallel batches.
+
+    One machine-derived default shared by every fan-out entry point: at
+    least 2 workers (pipelining needs overlap even on a single core),
+    scaling with the cores actually present.  When ``tasks`` is given the
+    count is additionally capped by it — a pool never holds more workers
+    than it has tasks to run.
+    """
+    base = max(2, os.cpu_count() or 2)
+    if tasks is None:
+        return base
+    return max(1, min(int(tasks), base))
+
+
+def validate_max_workers(max_workers: Optional[int]) -> Optional[int]:
+    """Validate an optional explicit worker count (``None`` = use default)."""
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(
+            f"max_workers must be a positive worker count, got {max_workers}"
+        )
+    return max_workers
+
+
 @guarded_by(
     _pool="_lock",
     _futures="_lock",
@@ -113,10 +137,7 @@ class Session:
         name: Optional[str] = None,
         max_workers: Optional[int] = None,
     ) -> None:
-        if max_workers is not None and max_workers < 1:
-            raise ValueError(
-                f"max_workers must be a positive worker count, got {max_workers}"
-            )
+        validate_max_workers(max_workers)
         self._database = database
         self.name = name or f"session-{next(_SESSION_IDS)}"
         self._max_workers = max_workers
@@ -178,9 +199,7 @@ class Session:
         with self._lock:
             self._check_open()
             if self._pool is None:
-                workers = self._max_workers or max(
-                    2, min(4, os.cpu_count() or 2)
-                )
+                workers = self._max_workers or default_worker_count()
                 self._pool = ThreadPoolExecutor(
                     max_workers=workers,
                     thread_name_prefix=f"repro-{self.name}",
@@ -255,10 +274,7 @@ class Session:
         """
         self._check_open()
         database = self._database
-        if max_workers is not None and max_workers < 1:
-            raise ValueError(
-                f"max_workers must be a positive worker count, got {max_workers}"
-            )
+        validate_max_workers(max_workers)
         queries = list(queries)
         if not queries:
             return self._finish_batch(BatchExecutionReport(parallel=parallel), [])
@@ -291,9 +307,7 @@ class Session:
                 for task in schedule.tasks:
                     run_task(task)
             else:
-                workers = max_workers or min(
-                    len(schedule.tasks), max(2, os.cpu_count() or 2)
-                )
+                workers = max_workers or default_worker_count(len(schedule.tasks))
                 with ThreadPoolExecutor(
                     max_workers=max(1, workers), thread_name_prefix="repro-batch"
                 ) as pool:

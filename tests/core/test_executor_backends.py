@@ -1,0 +1,247 @@
+"""Execution backends: process fan-out, shared-memory lifecycle, pool sizing.
+
+Covers the executor seam behind ``_fan_out``:
+
+* thread/process equivalence on small columns (answers and counters);
+* shared-memory segment lifecycle — segments are unlinked when a column
+  closes, when ``drop_table``/``set_indexing`` replaces an access path,
+  and never accumulate under a DML hammer;
+* the two fan-out sizing regressions: the partition pool must track the
+  partition count across repartitioning splits/merges, and the session
+  worker defaults must scale with the machine instead of capping at 4.
+"""
+
+import numpy as np
+import pytest
+
+from repro.columnstore.storage import SharedArrayBuffer, live_shared_segments
+from repro.core.cracking.cracked_column import CrackedColumn
+from repro.core.cracking.updates import UpdatableCrackedColumn
+from repro.core.partitioned import (
+    EXECUTORS,
+    PartitionedCrackedColumn,
+    PartitionedUpdatableCrackedColumn,
+)
+from repro.cost.counters import CostCounters
+from repro.engine.database import Database
+from repro.engine import session as session_module
+from repro.engine.session import default_worker_count, validate_max_workers
+
+
+@pytest.fixture
+def values(rng):
+    return rng.integers(0, 1000, size=400).astype(np.int64)
+
+
+def assert_no_segment_leak(before=()):
+    assert live_shared_segments() == sorted(before)
+
+
+class TestSharedArrayBuffer:
+    def test_create_attach_roundtrip_and_in_place_mutation(self):
+        source = np.arange(16, dtype=np.int64)
+        owned = SharedArrayBuffer.create(source)
+        assert owned.name in live_shared_segments()
+        name, dtype, shape = owned.descriptor()
+        attached = SharedArrayBuffer.attach(name, dtype, shape)
+        assert np.array_equal(attached.array, source)
+        attached.array[0] = -7  # same physical bytes
+        assert owned.array[0] == -7
+        attached.close()
+        owned.close()
+        assert owned.closed
+        owned.close()  # idempotent
+        assert name not in live_shared_segments()
+
+    def test_create_copies_rather_than_aliases(self):
+        source = np.arange(8, dtype=np.int64)
+        owned = SharedArrayBuffer.create(source)
+        source[0] = 99
+        assert owned.array[0] == 0
+        owned.close()
+
+
+class TestExecutorEquivalence:
+    """Answers match the whole-column oracle; counters match across backends
+    (the partitioned physical work legitimately differs from unpartitioned)."""
+
+    def test_read_only_matches_whole_column(self, values):
+        per_executor = {}
+        for executor in EXECUTORS:
+            whole = CrackedColumn(values)
+            counters = CostCounters()
+            with PartitionedCrackedColumn(
+                values, partitions=4, parallel=True, executor=executor
+            ) as column:
+                for low, high in [(100, 300), (50, 150), (400, 900), (120, 130)]:
+                    expected = whole.search(low, high)
+                    actual = column.search(low, high, counters)
+                    assert np.array_equal(np.sort(actual), np.sort(expected))
+                column.check_invariants()
+            per_executor[executor] = counters
+            assert_no_segment_leak()
+        assert per_executor["process"] == per_executor["thread"]
+
+    def test_updatable_matches_whole_column(self, values):
+        per_executor = {}
+        for executor in EXECUTORS:
+            whole = UpdatableCrackedColumn(values)
+            counters = CostCounters()
+            with PartitionedUpdatableCrackedColumn(
+                values, partitions=4, parallel=True, executor=executor
+            ) as column:
+                for step, (low, high) in enumerate(
+                    [(100, 300), (50, 150), (400, 900), (120, 130)]
+                ):
+                    whole.insert(step * 10)
+                    column.insert(step * 10, counters)
+                    expected = whole.search(low, high)
+                    actual = column.search(low, high, counters)
+                    assert np.array_equal(np.sort(actual), np.sort(expected))
+                column.check_invariants()
+            per_executor[executor] = counters
+            assert_no_segment_leak()
+        assert per_executor["process"] == per_executor["thread"]
+
+    def test_invalid_executor_rejected(self, values):
+        with pytest.raises(ValueError, match="executor"):
+            PartitionedCrackedColumn(values, partitions=2, executor="fiber")
+
+
+class TestSharedMemoryLifecycle:
+    def test_column_close_unlinks_segments(self, values):
+        column = PartitionedCrackedColumn(
+            values, partitions=3, parallel=True, executor="process"
+        )
+        column.search(100, 500)
+        assert len(live_shared_segments()) == 6  # values + rowids per partition
+        column.close()
+        assert_no_segment_leak()
+        # the column stays usable after release (contents copied back)
+        assert len(column.search(100, 500)) > 0
+
+    def test_drop_table_and_mode_switch_unlink_segments(self, values):
+        database = Database("lifecycle")
+        database.create_table("t", {"k": values})
+        database.set_indexing(
+            "t", "k", "partitioned-cracking",
+            partitions=3, parallel=True, executor="process",
+        )
+        database.query("t").where("k", 100, 500).run()
+        assert len(live_shared_segments()) == 6
+        database.set_indexing("t", "k", "scan")  # replaces the access path
+        assert_no_segment_leak()
+        database.set_indexing(
+            "t", "k", "partitioned-updatable-cracking",
+            partitions=3, parallel=True, executor="process",
+        )
+        database.query("t").where("k", 100, 500).run()
+        assert len(live_shared_segments()) == 6
+        database.drop_table("t")
+        assert_no_segment_leak()
+
+    def test_no_leak_under_dml_hammer(self, rng):
+        values = rng.integers(0, 1000, size=300).astype(np.int64)
+        with PartitionedUpdatableCrackedColumn(
+            values, partitions=2, parallel=True, executor="process",
+            repartition=True, max_partition_rows=120,
+        ) as column:
+            for step in range(150):
+                column.insert(int(rng.integers(0, 200)))
+                if step % 3 == 0:
+                    column.search(0, int(rng.integers(50, 1000)))
+            assert column.partition_splits > 0
+            # one values + one rowids segment per live partition, no strays
+            assert len(live_shared_segments()) <= 2 * column.partition_count
+        assert_no_segment_leak()
+
+
+class TestFanOutPoolSizing:
+    """Regression: the pool must track the partition count (satellite 1)."""
+
+    def test_pool_grows_past_initial_partition_count(self, rng):
+        values = rng.integers(0, 1000, size=300).astype(np.int64)
+        column = PartitionedUpdatableCrackedColumn(
+            values, partitions=2, parallel=True,
+            repartition=True, max_partition_rows=100,
+        )
+        assert column._max_workers == 2
+        while column.partition_count <= 4:
+            column.insert(int(rng.integers(0, 1000)))
+            column.search(0, 1000)
+        # splits grew the topology; the fan-out width must have kept up
+        assert column.partition_count > 4
+        assert column._max_workers == column.partition_count
+        column.close()
+
+    def test_pool_shrinks_after_merges(self, rng):
+        values = rng.integers(0, 1000, size=400).astype(np.int64)
+        column = PartitionedUpdatableCrackedColumn(
+            values, partitions=2, parallel=True,
+            repartition=True, max_partition_rows=150,
+        )
+        inserted = []
+        while column.partition_splits == 0:
+            inserted.append(column.insert(int(rng.integers(0, 100))))
+            column.search(0, 1000)
+        grown = column.partition_count
+        assert column._max_workers == grown
+        for rowid in inserted:
+            column.delete(rowid)
+        for victim in range(len(values) - 30):
+            column.delete(victim)
+        column.search(0, 1000)
+        assert column.partition_merges > 0
+        assert column.partition_count < grown
+        assert column._max_workers == column.partition_count
+        column.close()
+
+    def test_explicit_max_workers_is_respected_across_splits(self, rng):
+        values = rng.integers(0, 1000, size=300).astype(np.int64)
+        column = PartitionedUpdatableCrackedColumn(
+            values, partitions=2, parallel=True, max_workers=3,
+            repartition=True, max_partition_rows=100,
+        )
+        while column.partition_splits == 0:
+            column.insert(int(rng.integers(0, 1000)))
+            column.search(0, 1000)
+        assert column._max_workers == 3  # an explicit cap never auto-resizes
+        column.close()
+
+
+class TestSessionWorkerDefaults:
+    """Regression: no hard cap at 4 workers (satellite 2)."""
+
+    def test_default_scales_with_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(session_module.os, "cpu_count", lambda: 16)
+        assert default_worker_count() == 16
+        assert default_worker_count(tasks=4) == 4
+        assert default_worker_count(tasks=100) == 16
+
+    def test_default_floor_is_two_workers(self, monkeypatch):
+        monkeypatch.setattr(session_module.os, "cpu_count", lambda: None)
+        assert default_worker_count() == 2
+        monkeypatch.setattr(session_module.os, "cpu_count", lambda: 1)
+        assert default_worker_count() == 2
+        assert default_worker_count(tasks=1) == 1
+
+    def test_submit_pool_uses_machine_default(self, monkeypatch, rng):
+        monkeypatch.setattr(session_module.os, "cpu_count", lambda: 16)
+        database = Database("sizing")
+        database.create_table(
+            "t", {"k": rng.integers(0, 100, size=50).astype(np.int64)}
+        )
+        with database.session() as session:
+            session.query("t").where("k", 10, 20).submit().result()
+            assert session._pool._max_workers == 16
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_validate_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError, match="positive worker count"):
+            validate_max_workers(bad)
+        with pytest.raises(ValueError, match="positive worker count"):
+            Database("v").session(max_workers=bad)
+
+    def test_validate_passes_none_and_positive_through(self):
+        assert validate_max_workers(None) is None
+        assert validate_max_workers(5) == 5

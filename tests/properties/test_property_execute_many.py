@@ -34,6 +34,15 @@ EXTRA_CASES = [
                               "max_partition_rows": 1_200}),
     ("partitioned-updatable-cracking", {"partitions": 3, "repartition": True,
                                         "max_partition_rows": 1_200}),
+    # process-backend fan-out over shared memory: the same sequential-vs-
+    # parallel bit-identity (answers and counters) must hold when partition
+    # work runs in worker processes, with and without repartitioning
+    ("partitioned-cracking", {"partitions": 3, "parallel": True,
+                              "executor": "process"}),
+    ("partitioned-updatable-cracking", {"partitions": 3, "parallel": True,
+                                        "executor": "process",
+                                        "repartition": True,
+                                        "max_partition_rows": 1_200}),
 ]
 
 

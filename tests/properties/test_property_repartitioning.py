@@ -25,18 +25,32 @@ from repro.core.partitioned import (
     PartitionedCrackedColumn,
     PartitionedUpdatableCrackedColumn,
 )
+from repro.cost.counters import CostCounters
 
 PARTITION_COUNTS = [1, 3, 8]
+
+#: execution configurations a partitioned column must be indistinguishable
+#: across: sequential, thread fan-out, process fan-out over shared memory
+EXECUTIONS = [
+    ("seq", {"parallel": False}),
+    ("thread", {"parallel": True, "executor": "thread"}),
+    ("process", {"parallel": True, "executor": "process"}),
+]
 
 #: low row cap so every configuration provokes splits during the stream
 ROW_CAP = 150
 
 
 def drive_mixed_stream(reference, partitioned, base, *, skewed, steps, seed):
-    """Interleave inserts/deletes/updates/selects, checking every answer."""
+    """Interleave inserts/deletes/updates/selects, checking every answer.
+
+    Returns the partitioned column's accumulated cost counters so callers
+    can pin them bit-identical across execution backends.
+    """
     model = {int(i): int(v) for i, v in enumerate(base)}
     next_id = len(base)
     rng = np.random.default_rng(seed)
+    counters = CostCounters()
 
     def draw_value():
         if skewed:
@@ -49,20 +63,20 @@ def drive_mixed_stream(reference, partitioned, base, *, skewed, steps, seed):
         if action <= 1:
             value = draw_value()
             got_ref = reference.insert(value)
-            got_part = partitioned.insert(value)
+            got_part = partitioned.insert(value, counters)
             assert got_ref == got_part == next_id
             model[next_id] = value
             next_id += 1
         elif action == 2 and model:
             victim = int(rng.choice(list(model)))
             reference.delete(victim)
-            partitioned.delete(victim)
+            partitioned.delete(victim, counters)
             del model[victim]
         elif action == 3 and model:
             victim = int(rng.choice(list(model)))
             value = draw_value()
             got_ref = reference.update(victim, value)
-            got_part = partitioned.update(victim, value)
+            got_part = partitioned.update(victim, value, counters)
             assert got_ref == got_part == next_id
             del model[victim]
             model[next_id] = value
@@ -72,36 +86,49 @@ def drive_mixed_stream(reference, partitioned, base, *, skewed, steps, seed):
             high = low + int(rng.integers(1, 120))
             expected = {r for r, v in model.items() if low <= v < high}
             assert set(reference.search(low, high).tolist()) == expected
-            assert set(partitioned.search(low, high).tolist()) == expected
+            assert set(partitioned.search(low, high, counters).tolist()) == expected
     reference.check_invariants()
     partitioned.check_invariants()
     assert sorted(partitioned.visible_values().tolist()) == sorted(model.values())
     assert len(partitioned) == len(model)
+    return counters
 
 
 class TestUpdatableRepartitioningOracle:
     """Adaptive columns vs the unpartitioned oracle, every configuration."""
 
     @pytest.mark.parametrize("partitions", PARTITION_COUNTS)
-    @pytest.mark.parametrize("parallel", [False, True])
     @pytest.mark.parametrize("policy", ["ripple", "gradual"])
     @pytest.mark.parametrize("skewed", [False, True])
-    def test_mixed_stream_bit_identical(self, partitions, parallel, policy, skewed):
+    def test_mixed_stream_bit_identical(self, partitions, policy, skewed):
         rng = np.random.default_rng(17)
         base = rng.integers(0, 1000, size=600).astype(np.int64)
-        reference = UpdatableCrackedColumn(base, policy=policy, merge_batch=4)
-        with PartitionedUpdatableCrackedColumn(
-            base, partitions=partitions, parallel=parallel, policy=policy,
-            merge_batch=4, repartition=True, max_partition_rows=ROW_CAP,
-        ) as partitioned:
-            drive_mixed_stream(
-                reference, partitioned, base,
-                skewed=skewed, steps=250, seed=23 + partitions,
-            )
-            # the cap (well below base size) forces real repartitioning in
-            # every configuration, so the oracle above covered split paths
-            assert partitioned.partition_splits > 0
-            assert all(len(p) <= ROW_CAP for p in partitioned.partitions)
+        outcomes = {}
+        for label, execution in EXECUTIONS:
+            reference = UpdatableCrackedColumn(base, policy=policy, merge_batch=4)
+            with PartitionedUpdatableCrackedColumn(
+                base, partitions=partitions, policy=policy,
+                merge_batch=4, repartition=True, max_partition_rows=ROW_CAP,
+                **execution,
+            ) as partitioned:
+                counters = drive_mixed_stream(
+                    reference, partitioned, base,
+                    skewed=skewed, steps=250, seed=23 + partitions,
+                )
+                # the cap (well below base size) forces real repartitioning in
+                # every configuration, so the oracle above covered split paths
+                assert partitioned.partition_splits > 0
+                assert all(len(p) <= ROW_CAP for p in partitioned.partitions)
+                outcomes[label] = (
+                    counters,
+                    partitioned.partition_splits,
+                    partitioned.partition_merges,
+                    partitioned.partition_count,
+                )
+        # logical cost accounting (and the repartitioning it drives) is
+        # execution-mode independent: every backend reports the same totals
+        assert outcomes["thread"] == outcomes["seq"]
+        assert outcomes["process"] == outcomes["seq"]
 
     @pytest.mark.parametrize("partitions", PARTITION_COUNTS)
     def test_relative_threshold_bounds_skew(self, partitions):
@@ -191,28 +218,36 @@ class TestReadOnlyRepartitioningOracle:
     """Query-skew repartitioning of the read-only partitioned column."""
 
     @pytest.mark.parametrize("partitions", PARTITION_COUNTS)
-    @pytest.mark.parametrize("parallel", [False, True])
-    def test_zoom_in_stream_matches_cracked_column(self, partitions, parallel):
+    def test_zoom_in_stream_matches_cracked_column(self, partitions):
         rng = np.random.default_rng(13)
         # clustered values (position-correlated) make the zoom-in stream
         # concentrate on few partitions, the workload repartitioning targets
         values = (np.arange(4000) * 5
                   + rng.integers(0, 500, size=4000)).astype(np.int64)
-        whole = CrackedColumn(values)
-        with PartitionedCrackedColumn(
-            values, partitions=partitions, parallel=parallel, repartition=True
-        ) as partitioned:
-            low, high = 0.0, 5000.0
-            for _ in range(80):
-                width = max((high - low) * 0.95, 40.0)
-                query_low = low + (high - low - width) / 2
-                expected = whole.search(query_low, query_low + width)
-                actual = partitioned.search(query_low, query_low + width)
-                assert set(actual.tolist()) == set(expected.tolist())
-                low, high = query_low, query_low + width
-            if partitions > 1:
-                assert partitioned.partition_splits > 0
-            partitioned.check_invariants()
+        outcomes = {}
+        for label, execution in EXECUTIONS:
+            whole = CrackedColumn(values)
+            with PartitionedCrackedColumn(
+                values, partitions=partitions, repartition=True, **execution
+            ) as partitioned:
+                counters = CostCounters()
+                low, high = 0.0, 5000.0
+                for _ in range(80):
+                    width = max((high - low) * 0.95, 40.0)
+                    query_low = low + (high - low - width) / 2
+                    expected = whole.search(query_low, query_low + width)
+                    actual = partitioned.search(
+                        query_low, query_low + width, counters
+                    )
+                    assert set(actual.tolist()) == set(expected.tolist())
+                    low, high = query_low, query_low + width
+                if partitions > 1:
+                    assert partitioned.partition_splits > 0
+                partitioned.check_invariants()
+                outcomes[label] = (counters, partitioned.partition_splits,
+                                   partitioned.partition_count)
+        assert outcomes["thread"] == outcomes["seq"]
+        assert outcomes["process"] == outcomes["seq"]
 
     def test_row_cap_splits_before_first_crack(self):
         values = np.arange(2000).astype(np.int64)

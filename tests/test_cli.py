@@ -144,7 +144,10 @@ class TestBatchCommand:
         code = main(["batch", "--rows", "100", "--queries", "2",
                      "--max-workers", "0"])
         assert code == 2
-        assert "max-workers" in capsys.readouterr().err
+        # the session's own validation message, surfaced as the CLI error
+        assert "max_workers must be a positive worker count" in (
+            capsys.readouterr().err
+        )
 
 
 class TestDemoAndDefaults:
