@@ -1,0 +1,240 @@
+"""Shared machinery of the repro static analyzers.
+
+``reprolint`` (concurrency invariants), ``reproperf`` (hot paths & the cost
+model) and ``reprotype`` (typed-buffer kernels) all follow the same
+operating contract — findings carry ``file:line``, a rule id, the enclosing
+symbol and a fix hint; suppressions are either inline
+(``# <tool>: ignore[RULE, ...]``) or entries of a checked-in TOML baseline
+whose every entry must carry a ``reason``; ``--strict-baseline`` fails on
+entries no finding matches any more (so baselines only shrink); output is
+text or JSON; exit status is 0 clean / 1 findings / 2 usage errors.
+
+This module holds that contract once: the :class:`Finding` record, file
+discovery, inline-suppression and baseline application, the JSON rendering
+and the shared CLI driver.  Each analyzer contributes only its rules and
+(optionally) an extra JSON payload section plus a text summary line.
+``pystyle`` shares the file discovery and suppression-marker helpers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+try:  # Python >= 3.11; the container and CI both satisfy this
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - pre-3.11 fallback
+    tomllib = None
+
+
+@dataclass
+class Finding:
+    """One analyzer finding, shared by every repro analyzer."""
+
+    rule: str
+    path: str
+    line: int
+    symbol: str
+    message: str
+    hint: str = ""
+    attribute: str = ""
+    suppressed_by: str = ""  # "", "baseline" or "inline"
+
+    def key(self) -> Tuple[str, str, int, str]:
+        return (self.rule, self.path, self.line, self.attribute)
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule} [{self.symbol}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "attribute": self.attribute,
+            "message": self.message,
+            "hint": self.hint,
+            "suppressed_by": self.suppressed_by,
+        }
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Every ``*.py`` file under ``paths`` (directories recursed, sorted)."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+    return files
+
+
+def apply_inline_suppressions(
+    findings: List[Finding], path: str, lines: List[str], tool: str
+) -> None:
+    """Mark findings silenced by ``# <tool>: ignore[...]`` on their line."""
+    marker_text = f"# {tool}: ignore"
+    for finding in findings:
+        if finding.path != path or finding.suppressed_by:
+            continue
+        if 1 <= finding.line <= len(lines):
+            text = lines[finding.line - 1]
+            marker = text.rfind(marker_text)
+            if marker == -1:
+                continue
+            tail = text[marker + len(marker_text):].strip()
+            if not tail or finding.rule in tail:
+                finding.suppressed_by = "inline"
+
+
+def load_baseline(path: Path) -> List[Dict[str, str]]:
+    """Parse the TOML baseline; every suppression must carry a reason."""
+    if tomllib is None:  # pragma: no cover - pre-3.11 fallback
+        raise RuntimeError("tomllib unavailable; cannot read the baseline")
+    data = tomllib.loads(path.read_text())
+    entries = data.get("suppress", [])
+    for entry in entries:
+        if not entry.get("rule") or not entry.get("path"):
+            raise ValueError(f"baseline entry needs rule and path: {entry}")
+        if not str(entry.get("reason", "")).strip():
+            raise ValueError(
+                f"baseline entry for {entry.get('path')} needs a non-empty "
+                f"reason — suppressions must be explicit and commented"
+            )
+    return entries
+
+
+def apply_baseline(findings: List[Finding], entries: List[Dict[str, str]]) -> List[str]:
+    """Mark baselined findings; returns messages for unused entries."""
+    used = [False] * len(entries)
+    for finding in findings:
+        if finding.suppressed_by:
+            continue
+        for position, entry in enumerate(entries):
+            if entry["rule"] != finding.rule:
+                continue
+            normalized = finding.path.replace("\\", "/")
+            if not normalized.endswith(entry["path"].replace("\\", "/")):
+                continue
+            if entry.get("symbol") and entry["symbol"] != finding.symbol:
+                continue
+            if entry.get("attribute") and entry["attribute"] != finding.attribute:
+                continue
+            finding.suppressed_by = "baseline"
+            used[position] = True
+            break
+    return [
+        f"unused baseline entry: {entry['rule']} {entry['path']} "
+        f"{entry.get('symbol', '')}".rstrip()
+        for entry, was_used in zip(entries, used)
+        if not was_used
+    ]
+
+
+def render_json(
+    findings: List[Finding],
+    unused_baseline: List[str],
+    extra: Optional[Dict[str, object]] = None,
+) -> str:
+    """The shared JSON report shape; ``extra`` adds analyzer sections."""
+    active = [f for f in findings if not f.suppressed_by]
+    payload: Dict[str, object] = {
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    if extra:
+        payload.update(extra)
+    payload["summary"] = {
+        "total": len(findings),
+        "active": len(active),
+        "suppressed": len(findings) - len(active),
+        "unused_baseline_entries": unused_baseline,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def run_cli(
+    *,
+    tool: str,
+    description: str,
+    default_paths: Sequence[str],
+    default_baseline: str,
+    analyze: Callable[[Sequence[str]], Tuple[List[Finding], object]],
+    extra_payload: Callable[[object], Dict[str, object]],
+    summary: Callable[[int, int, object], str],
+    path_help: str,
+    argv: Optional[Sequence[str]] = None,
+) -> int:
+    """The analyzer CLI driver (flags, baseline plumbing, exit codes).
+
+    ``analyze(paths)`` returns ``(findings, aux)``; ``extra_payload(aux)``
+    contributes the analyzer-specific JSON sections; ``summary(active,
+    suppressed, aux)`` renders the stderr summary line for text output.
+    """
+    parser = argparse.ArgumentParser(prog=tool, description=description)
+    parser.add_argument(
+        "paths", nargs="*", default=list(default_paths), help=path_help,
+    )
+    parser.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="finding output format",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="TOML",
+        help=f"suppression baseline (default: ./{default_baseline} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    parser.add_argument(
+        "--strict-baseline", action="store_true",
+        help="fail (exit 1) when the baseline contains unused entries",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        findings, aux = analyze(args.paths)
+    except FileNotFoundError as error:
+        print(f"{tool}: {error}", file=sys.stderr)
+        return 2
+
+    unused_baseline: List[str] = []
+    if not args.no_baseline:
+        baseline_path = Path(args.baseline) if args.baseline else Path(default_baseline)
+        if args.baseline and not baseline_path.exists():
+            print(f"{tool}: no baseline at {baseline_path}", file=sys.stderr)
+            return 2
+        if baseline_path.exists():
+            try:
+                entries = load_baseline(baseline_path)
+            except ValueError as error:
+                print(f"{tool}: bad baseline: {error}", file=sys.stderr)
+                return 2
+            unused_baseline = apply_baseline(findings, entries)
+
+    active = [f for f in findings if not f.suppressed_by]
+    if args.format == "json":
+        print(render_json(findings, unused_baseline, extra_payload(aux)))
+    else:
+        for finding in active:
+            print(finding.render())
+        for message in unused_baseline:
+            prefix = "error" if args.strict_baseline else "warning"
+            print(f"{prefix}: {message}", file=sys.stderr)
+        print(summary(len(active), len(findings) - len(active), aux), file=sys.stderr)
+    if active:
+        return 1
+    if args.strict_baseline and unused_baseline:
+        return 1
+    return 0

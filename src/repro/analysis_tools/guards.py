@@ -37,14 +37,40 @@ of the reproduction: ``comparisons`` (value comparisons against pivots or
 bounds), ``movements`` (tuple moves/swaps, ``CostCounters.tuples_moved``),
 ``scans`` (sequential touches), ``random_accesses`` and ``allocations``.
 
-Both decorators are intentionally free of runtime enforcement: the point
-is a single, checkable source of truth, not per-access overhead on hot
-paths.
+``@typed_kernel`` completes the set for the typed-buffer migration: it
+declares which parameters of a kernel are flat numpy buffers (and their
+dtype contract), so :mod:`repro.analysis_tools.reprotype` can verify the
+body stays vectorized (rules TB001–TB005) and the
+:class:`~repro.analysis_tools.type_witness.TypeConformanceWitness` can
+assert dtype/contiguity/no-object-escape at the call boundary::
+
+    @typed_kernel(buffers={"segment": "numeric", "rowids": "int64",
+                           "payload": "numeric*"},
+                  mutates=())
+    @charges("comparisons", "movements")
+    def partition_two_way(segment, rowids, pivot, counters, payload=None):
+        ...
+
+Buffer specs are dtype names (``"int64"``) or kind classes (``"numeric"``
+= any int/float column dtype); a ``?`` suffix allows None, a ``*`` suffix
+declares a list/tuple of buffers.  ``mutates`` names the buffers the
+kernel writes in place — ownership the reprotype TB005 rule checks
+against ``SharedArrayBuffer`` aliasing.
+
+``@guarded_by`` and ``@charges`` are free of runtime enforcement: the
+point is a single, checkable source of truth, not per-access overhead on
+hot paths.  ``@typed_kernel`` follows the same philosophy — its wrapper
+is one global read per call — unless the type witness is armed
+(``REPRO_TYPE_WITNESS=1``), when every declared buffer is checked.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple, Type, TypeVar, Union
+import functools
+import inspect
+from typing import Callable, Dict, Sequence, Tuple, Type, TypeVar, Union
+
+from repro.analysis_tools.type_witness import parse_buffer_spec, type_witness
 
 T = TypeVar("T")
 
@@ -123,3 +149,91 @@ def charges(*channels: str) -> Callable[[T], T]:
 def charged_counters(func: Union[Callable, type]) -> Tuple[str, ...]:
     """The channels ``func`` declares via ``@charges`` (empty if undeclared)."""
     return tuple(getattr(func, "__charged_counters__", ()))
+
+
+def typed_kernel(
+    *,
+    buffers: Union[Dict[str, str], Sequence[str]],
+    dtype: str = "numeric",
+    mutates: Sequence[str] = (),
+) -> Callable[[Callable], Callable]:
+    """Declare which parameters of a kernel are flat numpy buffers.
+
+    ``buffers`` maps parameter names to buffer specs (or is a plain
+    sequence of names, each getting the default ``dtype`` spec).  A spec
+    is a dtype name (``"int64"``, ``"float64"``) or a kind class
+    (``"numeric"`` = any integer/float dtype, ``"integer"``, ``"float"``)
+    plus optional suffixes: ``?`` allows None, ``*`` declares a
+    list/tuple of buffers (e.g. a payload-column container).  ``mutates``
+    names the declared buffers the kernel writes in place — the ownership
+    declaration reprotype's TB005 rule checks mutations against.
+
+    The declaration is attached as ``__typed_buffers__`` /
+    ``__typed_mutates__`` / ``__typed_kernel__`` for introspection and
+    for :mod:`repro.analysis_tools.reprotype`.  At runtime the wrapper
+    costs one module-global read per call; when the
+    :mod:`~repro.analysis_tools.type_witness` is armed it checks every
+    declared buffer (dtype, 1-D, contiguity, writeability for mutated
+    buffers) and the return value (no object-dtype escape).
+    """
+    if isinstance(buffers, dict):
+        normalized: Dict[str, str] = dict(buffers)
+    else:
+        normalized = {name: dtype for name in buffers}
+    if not normalized:
+        raise ValueError("typed_kernel() needs at least one buffer parameter")
+    for name, spec in normalized.items():
+        if not isinstance(spec, str) or not spec:
+            raise ValueError(
+                f"typed_kernel(buffers={{{name!r}: ...}}) needs a non-empty "
+                f"spec string, got {spec!r}"
+            )
+        try:
+            parse_buffer_spec(spec)
+        except TypeError:
+            raise ValueError(
+                f"typed_kernel() got unknown buffer spec {spec!r} for "
+                f"parameter {name!r}"
+            ) from None
+    mutated = tuple(mutates)
+    for name in mutated:
+        if name not in normalized:
+            raise ValueError(
+                f"typed_kernel(mutates=...) names {name!r} which is not a "
+                f"declared buffer parameter"
+            )
+
+    def decorate(func: Callable) -> Callable:
+        signature = inspect.signature(func)
+        for name in normalized:
+            if name not in signature.parameters:
+                raise ValueError(
+                    f"typed_kernel() declares buffer {name!r} but "
+                    f"{func.__qualname__} has no such parameter"
+                )
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            witness = type_witness()
+            if witness is None:
+                return func(*args, **kwargs)
+            bound = signature.bind(*args, **kwargs)
+            bound.apply_defaults()
+            witness.check_call(
+                func.__qualname__, normalized, mutated, bound.arguments
+            )
+            result = func(*args, **kwargs)
+            witness.check_result(func.__qualname__, result)
+            return result
+
+        wrapper.__typed_kernel__ = True
+        wrapper.__typed_buffers__ = dict(normalized)
+        wrapper.__typed_mutates__ = mutated
+        return wrapper
+
+    return decorate
+
+
+def typed_buffers(func: Union[Callable, type]) -> Dict[str, str]:
+    """The buffer specs ``func`` declares via ``@typed_kernel`` (or {})."""
+    return dict(getattr(func, "__typed_buffers__", {}))

@@ -1,9 +1,11 @@
-"""A minimal stdlib style checker: unused imports and undefined names.
+"""A minimal stdlib style checker: unused imports, undefined names,
+mutable default arguments.
 
-The repository pins ``ruff`` rules ``F401`` (imported but unused) and
-``F821`` (undefined name) in ``ruff.toml``; this module enforces exactly
-those two rules with nothing but :mod:`ast`, so CI can run the gate in
-environments where ruff is not installed.  Rule semantics follow ruff's:
+The repository pins ``ruff`` rules ``F401`` (imported but unused),
+``F821`` (undefined name) and ``B006`` (mutable default argument) in
+``ruff.toml``; this module enforces exactly those rules with nothing but
+:mod:`ast`, so CI can run the gate in environments where ruff is not
+installed.  Rule semantics follow ruff's:
 
 * **F401** — a name bound by an ``import`` that is never referenced in the
   module and not re-exported.  ``__init__.py`` modules are exempt (imports
@@ -13,13 +15,21 @@ environments where ruff is not installed.  Rule semantics follow ruff's:
 * **F821** — a name referenced but neither bound in an enclosing scope,
   a builtin, nor introduced by a star import (a module containing
   ``from x import *`` skips F821, matching pyflakes' capitulation).
+* **B006** — a function (or lambda) parameter whose default is a mutable
+  literal, comprehension, or zero-argument ``list()``/``dict()``/
+  ``set()``/``bytearray()`` call.  The default is evaluated once at
+  definition time, so every call shares one object and in-place mutations
+  leak across calls.
 
 Binding collection is flow-insensitive on purpose: a name assigned
 anywhere in a scope counts as bound everywhere in it, trading
 use-before-assignment detection for zero false positives.
 
 Suppression: a ``# noqa`` comment on the flagged line silences it,
-optionally scoped as ``# noqa: F401``.
+optionally scoped as ``# noqa: F401``; a ``# ruff: noqa`` comment line
+exempts the whole file (optionally scoped, e.g. ``# ruff: noqa: B006``),
+matching ruff's file-level directive — it is what keeps deliberately-bad
+fixture files out of the repository-wide gate.
 
 Usage::
 
@@ -37,13 +47,22 @@ import re
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis_tools.common import iter_python_files
 
 _BUILTIN_NAMES = set(dir(builtins)) | {"__file__", "__builtins__"}
 
 _NOQA_PATTERN = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
 
+_FILE_NOQA_PATTERN = re.compile(
+    r"#\s*(?:ruff|flake8|pystyle)\s*:\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?",
+    re.IGNORECASE,
+)
+
 _IDENTIFIER = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray"}
 
 
 @dataclass
@@ -363,6 +382,63 @@ def _has_star_import(tree: ast.Module) -> bool:
     )
 
 
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CONSTRUCTORS
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _mutable_default_findings(tree: ast.Module, path: str) -> List[StyleFinding]:
+    """B006: defaults are evaluated once, so mutable ones are shared state."""
+    findings: List[StyleFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                findings.append(
+                    StyleFinding(
+                        "B006", path, default.lineno,
+                        "mutable default argument (shared across calls); "
+                        "default to None and build the object inside the function",
+                    )
+                )
+    return findings
+
+
+def _file_noqa(source: str) -> Tuple[bool, Optional[Set[str]]]:
+    """File-level ``# ruff: noqa`` directive: ``(present, codes)``.
+
+    ``codes`` is ``None`` when the directive is unscoped (silence everything),
+    otherwise the set of silenced codes.
+    """
+    for text in source.splitlines():
+        match = _FILE_NOQA_PATTERN.search(text)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes:
+            return True, {
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            }
+        return True, None
+    return False, None
+
+
 def _noqa_lines(source: str) -> Dict[int, Optional[Set[str]]]:
     """Line -> suppressed codes (None = all codes) for ``# noqa`` comments."""
     suppressions: Dict[int, Optional[Set[str]]] = {}
@@ -381,7 +457,7 @@ def _noqa_lines(source: str) -> Dict[int, Optional[Set[str]]]:
 
 
 def check_module(path: Path) -> List[StyleFinding]:
-    """All F401/F821 findings of one module (after ``# noqa`` filtering)."""
+    """All F401/F821/B006 findings of one module (after ``# noqa`` filtering)."""
     source = path.read_text(encoding="utf-8")
     try:
         tree = ast.parse(source, filename=str(path))
@@ -412,6 +488,14 @@ def check_module(path: Path) -> List[StyleFinding]:
     if not _has_star_import(tree):
         _UndefinedNameChecker(str(path), findings).check_module(tree)
 
+    findings.extend(_mutable_default_findings(tree, str(path)))
+
+    file_noqa_present, file_noqa_codes = _file_noqa(source)
+    if file_noqa_present:
+        if file_noqa_codes is None:
+            return []
+        findings = [f for f in findings if f.code not in file_noqa_codes]
+
     suppressions = _noqa_lines(source)
     kept = []
     for finding in findings:
@@ -423,19 +507,12 @@ def check_module(path: Path) -> List[StyleFinding]:
     return sorted(kept, key=lambda f: (f.path, f.line, f.code))
 
 
-def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
-        elif path.suffix == ".py":
-            yield path
-
-
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis_tools.pystyle",
-        description="stdlib F401/F821 checker (see ruff.toml for the pinned rules)",
+        description=(
+            "stdlib F401/F821/B006 checker (see ruff.toml for the pinned rules)"
+        ),
     )
     parser.add_argument(
         "paths", nargs="*", default=["src", "tests", "benchmarks"],
@@ -445,9 +522,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         options = parser.parse_args(argv)
     except SystemExit as exit_error:
         return 2 if exit_error.code not in (0, None) else 0
+    try:
+        files = iter_python_files(options.paths)
+    except FileNotFoundError as error:
+        print(f"pystyle: {error}", file=sys.stderr)
+        return 2
     findings: List[StyleFinding] = []
     checked = 0
-    for path in iter_python_files(options.paths):
+    for path in files:
         checked += 1
         findings.extend(check_module(path))
     for finding in findings:

@@ -45,18 +45,25 @@ otherwise, 2 on usage errors.
 
 from __future__ import annotations
 
-import argparse
 import ast
-import json
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-try:  # Python >= 3.11; the container and CI both satisfy this
-    import tomllib
-except ModuleNotFoundError:  # pragma: no cover - pre-3.11 fallback
-    tomllib = None
+from repro.analysis_tools.common import (
+    Finding,
+    apply_inline_suppressions as _shared_inline_suppressions,
+    iter_python_files,
+    load_baseline,
+    run_cli,
+)
+from repro.analysis_tools.common import apply_baseline, render_json as _render_json
+
+__all__ = [
+    "RULES", "Finding", "analyze_paths", "iter_python_files",
+    "load_baseline", "apply_baseline", "render_json", "main",
+]
 
 
 RULES = {
@@ -91,27 +98,6 @@ _BLOCKING_CALLS = {"result", "join", "acquire_read", "acquire_write"}
 #: (or is being torn down by its last owner); methods named ``_init_*`` are
 #: constructor helpers by convention, invoked before the instance escapes
 _EXEMPT_METHODS = {"__init__", "__new__", "__del__", "__post_init__"}
-
-
-@dataclass
-class Finding:
-    rule: str
-    path: str
-    line: int
-    symbol: str
-    message: str
-    hint: str = ""
-    attribute: str = ""
-    suppressed_by: str = ""  # "", "baseline" or "inline"
-
-    def key(self) -> Tuple[str, str, int]:
-        return (self.rule, self.path, self.line)
-
-    def render(self) -> str:
-        text = f"{self.path}:{self.line}: {self.rule} [{self.symbol}] {self.message}"
-        if self.hint:
-            text += f"\n    hint: {self.hint}"
-        return text
 
 
 @dataclass
@@ -630,19 +616,6 @@ class _FunctionAnalyzer(ast.NodeVisitor):
 # -- driver ----------------------------------------------------------------------
 
 
-def iter_python_files(paths: Sequence[str]) -> List[Path]:
-    files: List[Path] = []
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
-        elif path.suffix == ".py":
-            files.append(path)
-        else:
-            raise FileNotFoundError(f"not a python file or directory: {raw}")
-    return files
-
-
 def analyze_paths(paths: Sequence[str]) -> Tuple[
     List[Finding], Dict[Tuple[str, str], Tuple[str, int]]
 ]:
@@ -676,91 +649,15 @@ def analyze_paths(paths: Sequence[str]) -> Tuple[
     for file_path, tree, lines in parsed:
         analyzer = _FunctionAnalyzer(str(file_path), registry, findings, graph)
         analyzer.visit(tree)
-        _apply_inline_suppressions(findings, str(file_path), lines)
+        _shared_inline_suppressions(findings, str(file_path), lines, "reprolint")
     findings.sort(key=Finding.key)
     return findings, graph
 
 
-def _apply_inline_suppressions(
-    findings: List[Finding], path: str, lines: List[str]
-) -> None:
-    for finding in findings:
-        if finding.path != path or finding.suppressed_by:
-            continue
-        if 1 <= finding.line <= len(lines):
-            text = lines[finding.line - 1]
-            marker = text.rfind("# reprolint: ignore")
-            if marker == -1:
-                continue
-            tail = text[marker + len("# reprolint: ignore"):].strip()
-            if not tail or finding.rule in tail:
-                finding.suppressed_by = "inline"
-
-
-def load_baseline(path: Path) -> List[Dict[str, str]]:
-    """Parse the TOML baseline; every suppression must carry a reason."""
-    if tomllib is None:  # pragma: no cover - pre-3.11 fallback
-        raise RuntimeError("tomllib unavailable; cannot read the baseline")
-    data = tomllib.loads(path.read_text())
-    entries = data.get("suppress", [])
-    for entry in entries:
-        if not entry.get("rule") or not entry.get("path"):
-            raise ValueError(f"baseline entry needs rule and path: {entry}")
-        if not str(entry.get("reason", "")).strip():
-            raise ValueError(
-                f"baseline entry for {entry.get('path')} needs a non-empty "
-                f"reason — suppressions must be explicit and commented"
-            )
-    return entries
-
-
-def apply_baseline(findings: List[Finding], entries: List[Dict[str, str]]) -> List[str]:
-    """Mark baselined findings; returns messages for unused entries."""
-    used = [False] * len(entries)
-    for finding in findings:
-        if finding.suppressed_by:
-            continue
-        for position, entry in enumerate(entries):
-            if entry["rule"] != finding.rule:
-                continue
-            normalized = finding.path.replace("\\", "/")
-            if not normalized.endswith(entry["path"].replace("\\", "/")):
-                continue
-            if entry.get("symbol") and entry["symbol"] != finding.symbol:
-                continue
-            if entry.get("attribute") and entry["attribute"] != finding.attribute:
-                continue
-            finding.suppressed_by = "baseline"
-            used[position] = True
-            break
-    return [
-        f"unused baseline entry: {entry['rule']} {entry['path']} "
-        f"{entry.get('symbol', '')}".rstrip()
-        for entry, was_used in zip(entries, used)
-        if not was_used
-    ]
-
-
-def render_json(
-    findings: List[Finding],
-    graph: Dict[Tuple[str, str], Tuple[str, int]],
-    unused_baseline: List[str],
-) -> str:
-    active = [f for f in findings if not f.suppressed_by]
-    payload = {
-        "findings": [
-            {
-                "rule": f.rule,
-                "path": f.path,
-                "line": f.line,
-                "symbol": f.symbol,
-                "attribute": f.attribute,
-                "message": f.message,
-                "hint": f.hint,
-                "suppressed_by": f.suppressed_by,
-            }
-            for f in findings
-        ],
+def _graph_payload(
+    graph: Dict[Tuple[str, str], Tuple[str, int]]
+) -> Dict[str, object]:
+    return {
         "acquisition_graph": [
             {
                 "from": source,
@@ -769,84 +666,33 @@ def render_json(
             }
             for (source, destination), where in sorted(graph.items())
         ],
-        "summary": {
-            "total": len(findings),
-            "active": len(active),
-            "suppressed": len(findings) - len(active),
-            "unused_baseline_entries": unused_baseline,
-        },
     }
-    return json.dumps(payload, indent=2)
+
+
+def render_json(
+    findings: List[Finding],
+    graph: Dict[Tuple[str, str], Tuple[str, int]],
+    unused_baseline: List[str],
+) -> str:
+    return _render_json(findings, unused_baseline, _graph_payload(graph))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="reprolint",
+    return run_cli(
+        tool="reprolint",
         description="concurrency-invariant static analysis for the repro engine",
-    )
-    parser.add_argument(
-        "paths", nargs="*", default=["src/repro"],
-        help="files or directories to analyze (default: src/repro)",
-    )
-    parser.add_argument(
-        "--format", default="text", choices=["text", "json"],
-        help="finding output format",
-    )
-    parser.add_argument(
-        "--baseline", default=None, metavar="TOML",
-        help="suppression baseline (default: ./reprolint.toml when present)",
-    )
-    parser.add_argument(
-        "--no-baseline", action="store_true",
-        help="ignore any baseline file (report every finding)",
-    )
-    parser.add_argument(
-        "--strict-baseline", action="store_true",
-        help="fail (exit 1) when the baseline contains unused entries",
-    )
-    args = parser.parse_args(argv)
-
-    try:
-        findings, graph = analyze_paths(args.paths)
-    except FileNotFoundError as error:
-        print(f"reprolint: {error}", file=sys.stderr)
-        return 2
-
-    unused_baseline: List[str] = []
-    if not args.no_baseline:
-        baseline_path = Path(args.baseline) if args.baseline else Path("reprolint.toml")
-        if args.baseline and not baseline_path.exists():
-            print(f"reprolint: no baseline at {baseline_path}", file=sys.stderr)
-            return 2
-        if baseline_path.exists():
-            try:
-                entries = load_baseline(baseline_path)
-            except ValueError as error:
-                print(f"reprolint: bad baseline: {error}", file=sys.stderr)
-                return 2
-            unused_baseline = apply_baseline(findings, entries)
-
-    active = [f for f in findings if not f.suppressed_by]
-    if args.format == "json":
-        print(render_json(findings, graph, unused_baseline))
-    else:
-        for finding in active:
-            print(finding.render())
-        for message in unused_baseline:
-            prefix = "error" if args.strict_baseline else "warning"
-            print(f"{prefix}: {message}", file=sys.stderr)
-        suppressed = len(findings) - len(active)
-        print(
-            f"reprolint: {len(active)} finding(s) "
+        default_paths=["src/repro"],
+        default_baseline="reprolint.toml",
+        analyze=analyze_paths,
+        extra_payload=_graph_payload,
+        summary=lambda active, suppressed, graph: (
+            f"reprolint: {active} finding(s) "
             f"({suppressed} suppressed, {len(graph)} acquisition edge(s) "
-            f"observed)",
-            file=sys.stderr,
-        )
-    if active:
-        return 1
-    if args.strict_baseline and unused_baseline:
-        return 1
-    return 0
+            f"observed)"
+        ),
+        path_help="files or directories to analyze (default: src/repro)",
+        argv=argv,
+    )
 
 
 if __name__ == "__main__":

@@ -238,6 +238,11 @@ def _build_parser() -> argparse.ArgumentParser:
              "(baseline: ./reproperf.toml when present)",
     )
     lint.add_argument(
+        "--types", action="store_true",
+        help="also run reprotype, the typed-kernel dataflow analyzer "
+             "(baseline: ./reprotype.toml when present)",
+    )
+    lint.add_argument(
         "--strict-baseline", action="store_true",
         help="fail when a baseline contains entries no finding matches "
              "(stale suppressions)",
@@ -582,7 +587,7 @@ def _command_batch(args: argparse.Namespace) -> int:
 
 
 def _command_lint(args) -> int:
-    """Delegate to reprolint (and optionally reproperf/pystyle) with the parsed flags."""
+    """Delegate to reprolint (and optionally reproperf/reprotype/pystyle)."""
     from repro.analysis_tools import pystyle, reprolint
 
     paths = list(args.paths) if args.paths else ["src/repro"]
@@ -594,19 +599,24 @@ def _command_lint(args) -> int:
     if args.strict_baseline:
         lint_argv.append("--strict-baseline")
     status = reprolint.main(lint_argv)
+    # explicit paths flow through to the companion analyzers; the default
+    # scope stays the kernel modules each one was calibrated for (their
+    # own DEFAULT_TARGETS)
+    companion_argv = (list(args.paths) if args.paths else []) + [
+        "--format", args.format,
+    ]
+    if args.no_baseline:
+        companion_argv.append("--no-baseline")
+    if args.strict_baseline:
+        companion_argv.append("--strict-baseline")
     if args.perf:
         from repro.analysis_tools import reproperf
 
-        # explicit paths flow through; the default scope stays the kernel
-        # modules reproperf was calibrated for (its own DEFAULT_TARGETS)
-        perf_argv = (list(args.paths) if args.paths else []) + [
-            "--format", args.format,
-        ]
-        if args.no_baseline:
-            perf_argv.append("--no-baseline")
-        if args.strict_baseline:
-            perf_argv.append("--strict-baseline")
-        status = max(status, reproperf.main(perf_argv))
+        status = max(status, reproperf.main(list(companion_argv)))
+    if args.types:
+        from repro.analysis_tools import reprotype
+
+        status = max(status, reprotype.main(list(companion_argv)))
     if args.style:
         status = max(status, pystyle.main(paths))
     return status

@@ -10,6 +10,13 @@ Physical reorganisation kernels (:func:`partition_two_way`,
 :func:`partition_three_way`) rearrange a slice of an array **in place** and
 return the resulting boundary positions, which is exactly what crack-in-two
 and crack-in-three need.
+
+The reorganisation kernels carry ``@typed_kernel`` declarations: their
+buffer parameters are flat numeric ndarrays, checked statically by
+:mod:`repro.analysis_tools.reprotype` and dynamically by the type witness
+(``REPRO_TYPE_WITNESS=1``).  Both partition kernels are single-pass mask
+selections (O(n)), not argsorts — the produced layout is identical to a
+stable argsort of the group keys, without the O(n log n) sort.
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.analysis_tools.guards import charges
+from repro.analysis_tools.guards import charges, typed_kernel
 from repro.cost.counters import CostCounters
 
 
@@ -95,6 +102,7 @@ def scatter(
         counters.record_move(len(positions))
 
 
+@typed_kernel(buffers={"payload": "numeric*?"})
 def _payload_list(payload) -> list:
     """Normalise the ``payload`` argument to a list of aligned arrays."""
     if payload is None:
@@ -104,6 +112,8 @@ def _payload_list(payload) -> list:
     return [payload]
 
 
+@typed_kernel(buffers={"values": "numeric", "payload": "numeric*?"},
+              mutates=("values", "payload"))
 @charges("scans", "comparisons", "movements")
 def partition_two_way(
     values: np.ndarray,
@@ -122,6 +132,10 @@ def partition_two_way(
     the dragged tail attribute of a cracker map); each is permuted
     identically.
 
+    The layout produced — qualifying elements first, original order
+    preserved within each side — is exactly a stable partition, computed
+    with two mask selections in O(n).
+
     Returns the absolute index of the first element >= pivot.
     """
     segment = values[start:end]
@@ -129,7 +143,9 @@ def partition_two_way(
         return start
     mask = segment < pivot
     left_count = int(mask.sum())
-    order = np.argsort(~mask, kind="stable")
+    # one O(n) stable permutation (qualifying positions first, original
+    # order kept within each side), applied to values and every payload
+    order = np.concatenate([np.flatnonzero(mask), np.flatnonzero(~mask)])
     values[start:end] = segment[order]
     for extra in _payload_list(payload):
         extra[start:end] = extra[start:end][order]
@@ -140,6 +156,8 @@ def partition_two_way(
     return start + left_count
 
 
+@typed_kernel(buffers={"values": "numeric", "payload": "numeric*?"},
+              mutates=("values", "payload"))
 @charges("scans", "comparisons", "movements")
 def partition_three_way(
     values: np.ndarray,
@@ -155,7 +173,9 @@ def partition_three_way(
     Returns ``(split_low, split_high)``: absolute indices of the first
     element >= low and the first element >= high respectively.  This is the
     kernel behind crack-in-three.  ``payload`` may be one aligned array or a
-    sequence of aligned arrays, permuted identically.
+    sequence of aligned arrays, permuted identically.  Like the two-way
+    kernel, the grouping is a stable partition computed with three mask
+    selections in O(n).
     """
     if high < low:
         raise ValueError("high must be >= low for three-way partitioning")
@@ -165,9 +185,10 @@ def partition_three_way(
     below = segment < low
     above = segment >= high
     middle = ~(below | above)
-    # stable grouping: below, middle, above
-    group = np.where(below, 0, np.where(middle, 1, 2))
-    order = np.argsort(group, kind="stable")
+    # stable grouping (below, middle, above) as one O(n) permutation
+    order = np.concatenate(
+        [np.flatnonzero(below), np.flatnonzero(middle), np.flatnonzero(above)]
+    )
     values[start:end] = segment[order]
     for extra in _payload_list(payload):
         extra[start:end] = extra[start:end][order]
@@ -180,6 +201,8 @@ def partition_three_way(
     return start + below_count, start + below_count + middle_count
 
 
+@typed_kernel(buffers={"values": "numeric", "payload": "numeric*?"},
+              mutates=("values", "payload"))
 @charges("comparisons", "movements")
 def stable_sort_segment(
     values: np.ndarray,
@@ -251,6 +274,8 @@ def radix_cluster(
     return clustered, clustered_payload, offsets
 
 
+@typed_kernel(buffers={"left_values": "numeric", "left_positions": "integer",
+                       "right_values": "numeric", "right_positions": "integer"})
 @charges("scans", "comparisons", "movements")
 def merge_sorted_with_positions(
     left_values: np.ndarray,

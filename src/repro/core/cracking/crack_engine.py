@@ -17,7 +17,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.analysis_tools.guards import charges
+from repro.analysis_tools.guards import charges, typed_kernel
 from repro.columnstore.bulk import (
     binary_search_count,
     partition_three_way,
@@ -28,6 +28,7 @@ from repro.core.cracking.cracker_index import CrackerIndex
 from repro.cost.counters import CostCounters
 
 
+@typed_kernel(buffers={"rowids": "integer?", "extra_payload": "numeric?"})
 def _payloads(rowids, extra_payload):
     payloads = []
     if rowids is not None:
@@ -37,6 +38,9 @@ def _payloads(rowids, extra_payload):
     return payloads or None
 
 
+@typed_kernel(buffers={"values": "numeric", "rowids": "integer?",
+                       "extra_payload": "numeric?"},
+              mutates=("values", "rowids", "extra_payload"))
 @charges("comparisons", "pieces")
 def crack_value(
     values: np.ndarray,
@@ -101,6 +105,9 @@ def crack_value(
     return split
 
 
+@typed_kernel(buffers={"values": "numeric", "rowids": "integer?",
+                       "extra_payload": "numeric?"},
+              mutates=("values", "rowids", "extra_payload"))
 @charges("comparisons", "pieces")
 def crack_range(
     values: np.ndarray,

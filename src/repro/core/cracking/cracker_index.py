@@ -24,6 +24,8 @@ import bisect
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class Piece:
@@ -84,6 +86,17 @@ class CrackerIndex:
     @property
     def boundary_positions(self) -> List[int]:
         return list(self._positions)
+
+    def positions_for_values_above(self, value: float) -> np.ndarray:
+        """Boundary positions whose boundary value is strictly above ``value``.
+
+        Returned as an int64 array: these are the pieces a ripple insert or
+        delete walks (one relocated element per returned position), and the
+        vectorized ripple kernels consume them as a typed buffer.  Boundary
+        values are kept sorted, so the filter is a bisect, not a scan.
+        """
+        index = bisect.bisect_right(self._values, value)
+        return np.asarray(self._positions[index:], dtype=np.int64)
 
     def has_boundary(self, value: float) -> bool:
         """True when a boundary for exactly ``value`` exists."""

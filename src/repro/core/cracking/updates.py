@@ -30,11 +30,99 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.analysis_tools.guards import charges
+from repro.analysis_tools.guards import charges, typed_kernel
 from repro.columnstore.column import Column
 from repro.core.cracking.cracker_index import CrackerIndex
 from repro.core.cracking.crack_engine import crack_range, crack_value
 from repro.cost.counters import CostCounters
+
+#: work-queue tags for the interleaved merge batch (int8 kind buffer)
+_KIND_INSERT, _KIND_DELETE = 0, 1
+
+
+@typed_kernel(buffers={"values": "numeric", "rowids": "int64",
+                       "boundary_positions": "int64"},
+              mutates=("values", "rowids"))
+@charges("movements", "random_accesses")
+def ripple_insert_value(
+    values: np.ndarray,
+    rowids: np.ndarray,
+    length: int,
+    value: float,
+    rowid: int,
+    boundary_positions: np.ndarray,
+    counters: Optional[CostCounters],
+) -> None:
+    """Ripple one value into ``values[:length]``, one move per later piece.
+
+    ``boundary_positions`` are the boundaries whose value lies strictly
+    above ``value`` — the pieces the hole ripples through, right to left,
+    starting from the spare slot at ``values[length]``.  The per-piece
+    walk is expressed as one gather/scatter over the move chain: the
+    chain positions are pairwise distinct, so every source is read before
+    any step would overwrite it, which is exactly what fancy indexing
+    (gather first, then scatter) computes.
+    """
+    # the walk visits each distinct boundary position once, skipping a
+    # boundary already equal to the hole (only possible at the array end)
+    chain = np.unique(boundary_positions[boundary_positions != length])[::-1]
+    if len(chain):
+        destinations = np.concatenate(
+            [np.array([length], dtype=np.int64), chain[:-1]]
+        )
+        values[destinations] = values[chain]
+        rowids[destinations] = rowids[chain]
+        hole = int(chain[-1])
+    else:
+        hole = length
+    values[hole] = value
+    rowids[hole] = rowid
+    moves = len(chain)
+    if counters is not None:
+        counters.record_move(moves + 1)
+        counters.record_random_access(moves + 1)
+
+
+@typed_kernel(buffers={"values": "numeric", "rowids": "int64",
+                       "boundary_positions": "int64"},
+              mutates=("values", "rowids"))
+@charges("movements", "random_accesses")
+def ripple_delete_position(
+    values: np.ndarray,
+    rowids: np.ndarray,
+    position: int,
+    length: int,
+    boundary_positions: np.ndarray,
+    counters: Optional[CostCounters],
+) -> int:
+    """Close the hole at ``position`` by rippling it right, piece by piece.
+
+    Each piece after the target (delimited by ``boundary_positions``, the
+    boundaries strictly above the deleted value, plus the column end)
+    donates its last element into the hole; the hole ends up at
+    ``length - 1``.  Vectorized as one gather/scatter over the chain of
+    per-piece last positions, which are pairwise distinct and ascending.
+    Returns the number of moves performed.
+    """
+    piece_lasts = np.unique(
+        np.concatenate(
+            [boundary_positions, np.array([length], dtype=np.int64)]
+        )
+    ) - 1
+    # a piece whose last element *is* the hole donates nothing (only
+    # possible for the target piece itself)
+    piece_lasts = piece_lasts[piece_lasts != position]
+    if len(piece_lasts):
+        destinations = np.concatenate(
+            [np.array([position], dtype=np.int64), piece_lasts[:-1]]
+        )
+        values[destinations] = values[piece_lasts]
+        rowids[destinations] = rowids[piece_lasts]
+    moves = len(piece_lasts)
+    if counters is not None:
+        counters.record_move(moves)
+        counters.record_random_access(moves)
+    return moves
 
 
 class UpdatableCrackedColumn:
@@ -456,7 +544,6 @@ class UpdatableCrackedColumn:
         self._values = grown_values
         self._rowids = grown_rowids
 
-    @charges("movements", "random_accesses")
     def _ripple_insert_one(self, value: float, rowid: int,
                            counters: Optional[CostCounters]) -> None:
         """Physically place one value into its piece via ripple shifts."""
@@ -464,35 +551,14 @@ class UpdatableCrackedColumn:
         target_index = self.index.piece_index_for_value(value)
         # content of target piece and of every piece after it will change order
         self.index.mark_pieces_unsorted_from(target_index)
-        # walk boundaries after the target piece from right to left, moving
-        # one element per piece into the hole that starts at the array end.
-        boundary_positions = [
-            p for p, v in zip(self.index.boundary_positions, self.index.boundary_values)
-            if v > value
-        ]
-        # hoisted after _ensure_capacity (which rebinds both arrays): the
-        # ripple loop body runs once per piece, so per-iteration attribute
-        # loads are pure interpreter tax (PF002)
-        values = self._values
-        rowids = self._rowids
-        hole = self._length
-        moves = 0
-        for boundary in sorted(boundary_positions, reverse=True):
-            if boundary == hole:
-                continue
-            values[hole] = values[boundary]
-            rowids[hole] = rowids[boundary]
-            hole = boundary
-            moves += 1
-        values[hole] = value
-        rowids[hole] = rowid
+        ripple_insert_value(
+            self._values, self._rowids, self._length, value, rowid,
+            self.index.positions_for_values_above(value), counters,
+        )
         self._length += 1
         self.index.shift_positions_for_values_above(value, +1)
-        if counters is not None:
-            counters.record_move(moves + 1)
-            counters.record_random_access(moves + 1)
 
-    @charges("scans", "movements", "random_accesses")
+    @charges("scans")
     def _ripple_delete_one(self, rowid: int, value: float,
                            counters: Optional[CostCounters]) -> bool:
         """Physically remove one row from its piece via ripple shifts."""
@@ -508,49 +574,54 @@ class UpdatableCrackedColumn:
         self.index.mark_pieces_unsorted_from(target_index)
         # fill the hole with the last element of the target piece, then let
         # the hole ripple right through every subsequent piece.
-        moves = 0
-        hole = position
-        boundary_items = [
-            (p, v) for p, v in zip(self.index.boundary_positions,
-                                   self.index.boundary_values)
-            if v > value
-        ]
-        # end of the target piece is the first boundary above, or the length
-        piece_ends = sorted(p for p, _ in boundary_items) + [self._length]
-        values = self._values  # hoisted: loaded twice per ripple step (PF002)
-        rowids = self._rowids
-        for end in piece_ends:
-            last = end - 1
-            if last != hole:
-                values[hole] = values[last]
-                rowids[hole] = rowids[last]
-                moves += 1
-            hole = last
+        ripple_delete_position(
+            self._values, self._rowids, position, self._length,
+            self.index.positions_for_values_above(value), counters,
+        )
         self._length -= 1
         self.index.shift_positions_for_values_above(value, -1)
-        if counters is not None:
-            counters.record_move(moves)
-            counters.record_random_access(moves)
         return True
 
     # -- merge-on-demand -----------------------------------------------------------
 
-    def _qualifying_pending(self, low, high) -> Tuple[List[int], List[int]]:
-        """Indices of pending inserts / rowids of pending deletes in range."""
-        def in_range(value: float) -> bool:
-            if low is not None and value < low:
-                return False
-            if high is not None and value >= high:
-                return False
-            return True
+    def _qualifying_pending(self, low, high) -> Tuple[np.ndarray, np.ndarray]:
+        """Indices of pending inserts / rowids of pending deletes in range.
 
-        insert_indices = [
-            i for i, v in enumerate(self._pending_insert_values) if in_range(v)
-        ]
-        delete_rowids = [
-            r for r, v in self._pending_delete_rowids.items()
-            if in_range(v) and self._is_merged(r)
-        ]
+        Both sides are computed with vectorized range masks over the
+        pending values; only the merged-membership filter on the delete
+        side stays per-candidate (a set lookup per qualifying delete).
+        """
+        pending_values = np.asarray(self._pending_insert_values,
+                                    dtype=np.float64)
+        mask = np.ones(len(pending_values), dtype=bool)
+        if low is not None:
+            mask &= pending_values >= low
+        if high is not None:
+            mask &= pending_values < high
+        insert_indices = np.flatnonzero(mask)
+
+        delete_count = len(self._pending_delete_rowids)
+        if delete_count:
+            candidate_rowids = np.fromiter(
+                self._pending_delete_rowids.keys(), dtype=np.int64,
+                count=delete_count,
+            )
+            candidate_values = np.fromiter(
+                self._pending_delete_rowids.values(), dtype=np.float64,
+                count=delete_count,
+            )
+            delete_mask = np.ones(delete_count, dtype=bool)
+            if low is not None:
+                delete_mask &= candidate_values >= low
+            if high is not None:
+                delete_mask &= candidate_values < high
+            delete_rowids = np.asarray(
+                [r for r in candidate_rowids[delete_mask].tolist()
+                 if self._is_merged(r)],
+                dtype=np.int64,
+            )
+        else:
+            delete_rowids = np.empty(0, dtype=np.int64)
         return insert_indices, delete_rowids
 
     def _merge_pending(self, low, high, counters: Optional[CostCounters]) -> Tuple[List[int], List[int]]:
@@ -560,11 +631,10 @@ class UpdatableCrackedColumn:
         qualifying pending updates that were *not* merged (only non-empty
         under the gradual policy) so the caller can still answer correctly.
 
-        Under the gradual policy one ``merge_batch`` budget is shared by
-        inserts and deletes, served round-robin — at most ``merge_batch``
-        pending updates in total are merged per query, and a steady stream
-        of qualifying inserts cannot starve the pending deletes (or vice
-        versa), so both queues always drain.
+        The qualifying inserts and deletes are interleaved round-robin into
+        one typed work queue (an int8 kind buffer and an int64 item buffer,
+        built with strided assignments) and dispatched by
+        :meth:`_apply_ripple_batch`.
         """
         pending_total = (
             len(self._pending_insert_values) + len(self._pending_delete_rowids)
@@ -575,26 +645,71 @@ class UpdatableCrackedColumn:
             counters.record_comparisons(pending_total)
         insert_indices, delete_rowids = self._qualifying_pending(low, high)
 
+        # round-robin interleave: insert[0], delete[0], insert[1], ... with
+        # the longer queue's tail appended once the shorter runs out
+        insert_count = len(insert_indices)
+        delete_count = len(delete_rowids)
+        paired = min(insert_count, delete_count)
+        kinds = np.empty(insert_count + delete_count, dtype=np.int8)
+        items = np.empty(insert_count + delete_count, dtype=np.int64)
+        kinds[0 : 2 * paired : 2] = _KIND_INSERT
+        kinds[1 : 2 * paired : 2] = _KIND_DELETE
+        items[0 : 2 * paired : 2] = insert_indices[:paired]
+        items[1 : 2 * paired : 2] = delete_rowids[:paired]
+        if insert_count > paired:
+            kinds[2 * paired :] = _KIND_INSERT
+            items[2 * paired :] = insert_indices[paired:]
+        elif delete_count > paired:
+            kinds[2 * paired :] = _KIND_DELETE
+            items[2 * paired :] = delete_rowids[paired:]
+
+        remaining_deletes = self._apply_ripple_batch(kinds, items, counters)
+
+        unmerged_inserts = [
+            i for i in range(len(self._pending_insert_values))
+            if self._in_range(self._pending_insert_values[i], low, high)
+        ]
+        return unmerged_inserts, remaining_deletes
+
+    @typed_kernel(buffers={"kinds": "int8", "items": "int64"})
+    def _apply_ripple_batch(
+        self,
+        kinds: np.ndarray,
+        items: np.ndarray,
+        counters: Optional[CostCounters],
+    ) -> List[int]:
+        """Dispatch one interleaved batch of pending updates to the ripple kernels.
+
+        Deliberately per-element (the one reasoned TB001 baseline entry):
+        each queue entry is a distinct physical reorganisation whose target
+        piece depends on the value being merged — and changes the piece
+        layout the next entry sees — so the dispatch cannot be batched
+        without replaying the ripple dependency chain.  The per-piece data
+        movement inside each step *is* vectorized (the module-level ripple
+        kernels).
+
+        Under the gradual policy one ``merge_batch`` budget is shared by
+        inserts and deletes, served round-robin — at most ``merge_batch``
+        pending updates in total are merged per query, and a steady stream
+        of qualifying inserts cannot starve the pending deletes (or vice
+        versa), so both queues always drain.  Returns the qualifying
+        deletes left unmerged.
+        """
         budget = None
         if self.policy == "gradual":
             budget = self.merge_batch
 
-        work: List[Tuple[str, int]] = []
-        for position in range(max(len(insert_indices), len(delete_rowids))):
-            if position < len(insert_indices):
-                work.append(("insert", insert_indices[position]))
-            if position < len(delete_rowids):
-                work.append(("delete", delete_rowids[position]))
-
-        merged_insert_indices = []
-        remaining_deletes = []
+        merged_insert_indices: List[int] = []
+        remaining_deletes: List[int] = []
         pending_deletes = self._pending_delete_rowids  # hoisted (PF002)
-        for kind, item in work:
+        for position in range(len(kinds)):
+            kind = int(kinds[position])
+            item = int(items[position])
             if budget is not None and budget <= 0:
-                if kind == "delete":
+                if kind == _KIND_DELETE:
                     remaining_deletes.append(item)
                 continue
-            if kind == "insert":
+            if kind == _KIND_INSERT:
                 value = self._pending_insert_values[item]
                 rowid = self._pending_insert_rowids[item]
                 self._ripple_insert_one(value, rowid, counters)
@@ -617,12 +732,7 @@ class UpdatableCrackedColumn:
             self._pending_insert_values.pop(pending_index)
             rowid = self._pending_insert_rowids.pop(pending_index)
             self._pending_insert_rowid_set.discard(rowid)
-
-        unmerged_inserts = [
-            i for i in range(len(self._pending_insert_values))
-            if self._in_range(self._pending_insert_values[i], low, high)
-        ]
-        return unmerged_inserts, remaining_deletes
+        return remaining_deletes
 
     @staticmethod
     def _in_range(value, low, high) -> bool:

@@ -1,0 +1,32 @@
+# ruff: noqa: B006  (fixture file: the gate skips it, the test strips this line)
+"""B006 fixture: every default below is mutable and shared across calls."""
+
+from typing import Dict, List
+
+
+def append_row(row: int, rows: List[int] = []) -> List[int]:  # expect[B006]
+    rows.append(row)
+    return rows
+
+
+def register(name: str, registry: Dict[str, int] = {}) -> Dict[str, int]:  # expect[B006]
+    registry[name] = len(registry)
+    return registry
+
+
+def tag(value: int, *, seen=set()) -> bool:  # expect[B006]
+    fresh = value not in seen
+    seen.add(value)
+    return fresh
+
+
+def collect(n: int, out=list()) -> List[int]:  # expect[B006]
+    out.extend(range(n))
+    return out
+
+
+def squares(limit: int, cache=[i * i for i in range(4)]) -> List[int]:  # expect[B006]
+    return cache[:limit]
+
+
+take = lambda item, bag=[]: bag + [item]  # noqa: E731  # expect[B006]

@@ -1,0 +1,39 @@
+"""B006 fixture: the clean counterparts — None defaults and immutables."""
+
+from typing import Dict, List, Optional, Tuple
+
+
+def append_row(row: int, rows: Optional[List[int]] = None) -> List[int]:
+    if rows is None:
+        rows = []
+    rows.append(row)
+    return rows
+
+
+def register(name: str, registry: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+    if registry is None:
+        registry = {}
+    registry[name] = len(registry)
+    return registry
+
+
+def tag(value: int, *, seen: Optional[set] = None) -> bool:
+    if seen is None:
+        seen = set()
+    fresh = value not in seen
+    seen.add(value)
+    return fresh
+
+
+def window(values: List[int], bounds: Tuple[int, int] = (0, 10)) -> List[int]:
+    low, high = bounds
+    return values[low:high]
+
+
+def label(item: int, suffix: str = "", scale: float = 1.0) -> str:
+    return f"{item * scale}{suffix}"
+
+
+def build(n: int, factory=list) -> List[int]:
+    # passing the *callable* (not a call) is the idiomatic escape hatch
+    return factory(range(n))

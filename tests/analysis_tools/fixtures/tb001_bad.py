@@ -1,0 +1,46 @@
+"""TB001 fixture: per-element Python iteration over typed buffers."""
+
+from repro.analysis_tools.guards import typed_kernel
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def direct_walk(values):
+    total = 0.0
+    for value in values:  # expect[TB001]
+        total += value
+    return total
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def indexed_walk(values):
+    total = 0.0
+    for position in range(len(values)):  # expect[TB001]
+        total += values[position]
+    return total
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def enumerated_walk(values):
+    best = -1
+    for position, value in enumerate(values):  # expect[TB001]
+        if value > 0:
+            best = position
+    return best
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def view_walk(values, start, end):
+    segment = values[start:end]
+    hits = 0
+    for value in segment:  # expect[TB001]
+        if value > 0:
+            hits += 1
+    return hits
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def cursor_walk(values, pivot):
+    cursor = 0
+    while values[cursor] < pivot:  # expect[TB001]
+        cursor += 1
+    return cursor

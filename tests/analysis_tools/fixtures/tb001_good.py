@@ -1,0 +1,35 @@
+"""TB001 fixture: the vectorized counterparts (and allowed iterations)."""
+
+import numpy as np
+
+from repro.analysis_tools.guards import typed_kernel
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def direct_sum(values):
+    return float(values.sum())
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def last_positive(values):
+    hits = np.flatnonzero(values > 0)
+    return int(hits[-1]) if len(hits) else -1
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def count_in_view(values, start, end):
+    return int((values[start:end] > 0).sum())
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def first_at_least(values, pivot):
+    return int(np.searchsorted(values, pivot, side="left"))
+
+
+@typed_kernel(buffers={"values": "numeric", "payload": "numeric*"},
+              mutates=("payload",))
+def reverse_columns(values, payload):
+    # iterating a `*` container is one step per column, not per element
+    for extra in payload:
+        extra[:] = extra[::-1]
+    return values

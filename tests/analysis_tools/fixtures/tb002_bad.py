@@ -1,0 +1,27 @@
+"""TB002 fixture: dtype-unstable operations on the typed-kernel hot path."""
+
+import numpy as np
+
+from repro.analysis_tools.guards import typed_kernel
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def box_with_tolist(values):
+    return values.tolist()  # expect[TB002]
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def box_with_list(values):
+    return list(values)  # expect[TB002]
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def mixed_literal(values):
+    bounds = np.array([0, 1.5])  # expect[TB002]
+    return values[(values >= bounds[0]) & (values < bounds[1])]
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def object_dtype(values):
+    boxed = np.asarray(values, dtype=object)  # expect[TB002]
+    return boxed

@@ -1,0 +1,27 @@
+"""TB002 fixture: dtype-stable counterparts."""
+
+import numpy as np
+
+from repro.analysis_tools.guards import typed_kernel
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def stay_in_ndarray(values):
+    return values.copy()
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def homogeneous_literal(values):
+    bounds = np.array([0.0, 1.5])
+    return values[(values >= bounds[0]) & (values < bounds[1])]
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def explicit_dtype(values):
+    bounds = np.array([0, 2], dtype=np.float64)
+    return values[(values >= bounds[0]) & (values < bounds[1])]
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def concrete_asarray(values):
+    return np.asarray(values, dtype=np.float64)

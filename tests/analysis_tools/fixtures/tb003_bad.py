@@ -1,0 +1,23 @@
+"""TB003 fixture: typed kernels leaking buffers to unannotated callees."""
+
+from repro.analysis_tools.guards import typed_kernel
+
+
+def python_helper(buffer):
+    return buffer[0]
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def leaky(values):
+    return python_helper(values)  # expect[TB003]
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def leaky_view(values, start, end):
+    segment = values[start:end]
+    return python_helper(segment)  # expect[TB003]
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def leaky_keyword(values):
+    return python_helper(buffer=values)  # expect[TB003]

@@ -1,0 +1,27 @@
+"""TB003 fixture: buffers stay inside the typed-kernel boundary."""
+
+import numpy as np
+
+from repro.analysis_tools.guards import typed_kernel
+
+
+def python_helper(count):
+    return count * 2
+
+
+@typed_kernel(buffers={"buffer": "numeric"})
+def typed_helper(buffer):
+    return float(buffer[0])
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def closed(values):
+    # a @typed_kernel callee keeps the contract closed
+    return typed_helper(values)
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def scalar_escape(values):
+    # only scalars leave the kernel; numpy callees are vectorized kernels
+    hits = int(np.count_nonzero(values > 0))
+    return python_helper(hits)

@@ -1,0 +1,21 @@
+"""TB004 fixture: @charges channels bumped per iteration."""
+
+from repro.analysis_tools.guards import charges, typed_kernel
+
+
+@typed_kernel(buffers={"values": "numeric"})
+@charges("scans")
+def per_chunk_charge(values, chunks, counters):
+    for _ in range(chunks):
+        counters.record_scan(1)  # expect[TB004]
+    return values
+
+
+@typed_kernel(buffers={"values": "numeric", "payload": "numeric*"},
+              mutates=("payload",))
+@charges("movements")
+def per_column_charge(values, payload, counters):
+    for extra in payload:
+        extra[:] = extra[::-1]
+        counters.record_move(len(extra))  # expect[TB004]
+    return values

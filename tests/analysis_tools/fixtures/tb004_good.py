@@ -1,0 +1,22 @@
+"""TB004 fixture: @charges channels computed in closed form."""
+
+from repro.analysis_tools.guards import charges, typed_kernel
+
+
+@typed_kernel(buffers={"values": "numeric"})
+@charges("scans")
+def closed_form_charge(values, chunks, counters):
+    counters.record_scan(chunks)
+    return values
+
+
+@typed_kernel(buffers={"values": "numeric", "payload": "numeric*"},
+              mutates=("payload",))
+@charges("movements")
+def analytic_column_charge(values, payload, counters):
+    moved = 0
+    for extra in payload:
+        extra[:] = extra[::-1]
+        moved += len(extra)
+    counters.record_move(moved)
+    return values

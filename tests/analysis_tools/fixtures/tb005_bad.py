@@ -1,0 +1,28 @@
+"""TB005 fixture: in-place mutation of buffers the kernel does not own."""
+
+from repro.analysis_tools.guards import typed_kernel
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def stealth_store(values, position, value):
+    values[position] = value  # expect[TB005]
+    return values
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def stealth_augmented(values, position):
+    values[position] += 1  # expect[TB005]
+    return values
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def stealth_sort(values):
+    values.sort()  # expect[TB005]
+    return values
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def stealth_view_store(values, start, end):
+    segment = values[start:end]
+    segment[0] = 0.0  # expect[TB005]
+    return values

@@ -1,0 +1,29 @@
+"""TB005 fixture: declared ownership, or mutation-free alternatives."""
+
+import numpy as np
+
+from repro.analysis_tools.guards import typed_kernel
+
+
+@typed_kernel(buffers={"values": "numeric"}, mutates=("values",))
+def declared_store(values, position, value):
+    values[position] = value
+    return values
+
+
+@typed_kernel(buffers={"values": "numeric"}, mutates=("values",))
+def declared_sort(values):
+    values.sort()
+    return values
+
+
+@typed_kernel(buffers={"values": "numeric"}, mutates=("values",))
+def declared_view_store(values, start, end):
+    segment = values[start:end]
+    segment[0] = 0.0
+    return values
+
+
+@typed_kernel(buffers={"values": "numeric"})
+def sorted_copy(values):
+    return np.sort(values)
