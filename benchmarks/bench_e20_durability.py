@@ -1,0 +1,289 @@
+"""E20 smoke: durability overhead and recovery cost for CI drift detection.
+
+Runs a fixed-size DML stream (inserts/deletes/updates through the session
+front door, cracking the key column) under four durability settings —
+
+* ``none``    — no data directory at all (the default engine config);
+* ``off``     — journaling to disk, flushing left to the OS;
+* ``batch``   — group commit (one fsync per ``batch_size`` appends);
+* ``always``  — one fsync per DML commit
+
+— then crash-recovers the ``always`` directory and measures the recovery.
+
+Two modes::
+
+    python benchmarks/bench_e20_durability.py --write   # (re)write baseline
+    python benchmarks/bench_e20_durability.py --check   # diff against it
+
+``--check`` enforces the same split of contracts as ``smoke_e01``:
+
+* **deterministic facts are compared exactly** — journal records
+  appended, fsync calls issued, operations replayed by recovery, journal
+  records scanned.  Any drift is a real change to the write-ahead
+  protocol and must refresh the baseline in the same commit;
+* **wall-clock is compared with a generous relative tolerance**
+  (default ±100 %, override with ``REPRO_E20_TOLERANCE``) — fsync
+  latency is the most machine-dependent number in the whole benchmark
+  suite (tmpfs vs SSD vs CI-shared disk), so the band only catches gross
+  regressions such as an accidental per-operation sync in batch mode.
+
+The baseline lives at the repository root as ``BENCH_e20_durability.json``.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+#: rows in the initial table (fixed: the smoke ignores REPRO_BENCH_SCALE)
+E20_ROWS = 4_000
+
+#: DML operations in the measured stream
+E20_DML_OPS = 300
+
+#: durability settings swept, in cost order
+E20_SETTINGS = ("none", "off", "batch", "always")
+
+#: default relative wall-clock tolerance for --check
+DEFAULT_TOLERANCE = 1.0
+
+#: wall-clock measurability floor (seconds); see smoke_e01
+MIN_MEASURABLE_SECONDS = 0.02
+
+#: timing repeats; deterministic facts are asserted identical across them
+E20_REPEATS = 3
+
+BASELINE_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_e20_durability.json"
+)
+
+DOMAIN = 100_000
+
+
+def _run_stream(database):
+    import numpy as np
+
+    rng = np.random.default_rng(20)
+    live = list(range(E20_ROWS))
+    started = time.perf_counter()
+    with database.session(name="e20") as session:
+        for _ in range(E20_DML_OPS):
+            roll = rng.random()
+            if roll < 0.5 or not live:
+                live.append(
+                    session.insert_row(
+                        "data",
+                        {"key": int(rng.integers(0, DOMAIN)), "payload": 1.0},
+                    )
+                )
+            elif roll < 0.75:
+                session.delete_row(
+                    "data", live.pop(int(rng.integers(0, len(live))))
+                )
+            else:
+                victim = live.pop(int(rng.integers(0, len(live))))
+                live.append(
+                    session.update_row(
+                        "data", victim, {"key": int(rng.integers(0, DOMAIN))}
+                    )
+                )
+    return time.perf_counter() - started
+
+
+def _build(setting, data_dir):
+    import numpy as np
+
+    from repro.durability.manager import DurabilityConfig
+    from repro.engine.database import Database
+
+    rng = np.random.default_rng(19)
+    if setting == "none":
+        database = Database("e20")
+    else:
+        database = Database(
+            "e20",
+            data_dir=data_dir,
+            durability=DurabilityConfig(sync=setting),
+        )
+    database.create_table(
+        "data",
+        {
+            "key": rng.integers(0, DOMAIN, size=E20_ROWS).astype(np.int64),
+            "payload": rng.uniform(0, 100, size=E20_ROWS),
+        },
+    )
+    database.set_indexing("data", "key", "cracking")
+    return database
+
+
+def _run_once() -> dict:
+    from repro.engine.database import Database
+
+    settings = {}
+    recovery = None
+    with tempfile.TemporaryDirectory(prefix="bench-e20-") as scratch:
+        scratch = Path(scratch)
+        for setting in E20_SETTINGS:
+            data_dir = scratch / setting
+            database = _build(setting, data_dir)
+            elapsed = _run_stream(database)
+            manager = database.durability
+            stats = manager.stats() if manager is not None else {}
+            database.close()
+            settings[setting] = {
+                "wall_clock_seconds": round(elapsed, 6),
+                "journal_records": int(stats.get("appended_records", 0)),
+                "fsync_calls": int(stats.get("fsync_calls", 0)),
+            }
+
+        started = time.perf_counter()
+        recovered = Database.open(scratch / "always")
+        recovery_elapsed = time.perf_counter() - started
+        report = recovered.recovery_report
+        recovery = {
+            "wall_clock_seconds": round(recovery_elapsed, 6),
+            "wal_records": int(report.wal_records),
+            "replayed_operations": int(report.replayed_total),
+        }
+        recovered.close()
+    return {"settings": settings, "recovery": recovery}
+
+
+def run_bench() -> dict:
+    """The durability sweep at smoke scale; returns the serializable
+    record (wall-clock is the per-setting minimum over repeats)."""
+    record = _run_once()
+    for _ in range(E20_REPEATS - 1):
+        repeat = _run_once()
+        for setting, current in record["settings"].items():
+            again = repeat["settings"][setting]
+            for fact in ("journal_records", "fsync_calls"):
+                assert again[fact] == current[fact], (
+                    f"{setting}: {fact} differs across repeats — the "
+                    f"write-ahead protocol is supposed to be deterministic"
+                )
+            current["wall_clock_seconds"] = min(
+                current["wall_clock_seconds"], again["wall_clock_seconds"]
+            )
+        for fact in ("wal_records", "replayed_operations"):
+            assert repeat["recovery"][fact] == record["recovery"][fact]
+        record["recovery"]["wall_clock_seconds"] = min(
+            record["recovery"]["wall_clock_seconds"],
+            repeat["recovery"]["wall_clock_seconds"],
+        )
+    record["rows"] = E20_ROWS
+    record["dml_ops"] = E20_DML_OPS
+    return record
+
+
+def check(current: dict, baseline: dict, tolerance: float) -> list:
+    """Compare a fresh run against the baseline; returns failure messages."""
+    failures = []
+    if set(current["settings"]) != set(baseline["settings"]):
+        failures.append(
+            f"setting sweep changed: baseline {sorted(baseline['settings'])} "
+            f"vs current {sorted(current['settings'])}"
+        )
+        return failures
+    for key in ("rows", "dml_ops"):
+        if current[key] != baseline[key]:
+            failures.append(
+                f"smoke scale changed ({key}: {baseline[key]} -> "
+                f"{current[key]}); refresh the baseline deliberately"
+            )
+
+    def wall_budget(then_seconds):
+        return max(then_seconds, MIN_MEASURABLE_SECONDS) * (1.0 + tolerance)
+
+    for setting, now in current["settings"].items():
+        then = baseline["settings"][setting]
+        for fact in ("journal_records", "fsync_calls"):
+            if now[fact] != then[fact]:
+                failures.append(
+                    f"{setting}: {fact} drifted {then[fact]} -> {now[fact]} "
+                    f"(the write-ahead protocol is deterministic; a real "
+                    f"protocol change must refresh the baseline)"
+                )
+        if now["wall_clock_seconds"] > wall_budget(then["wall_clock_seconds"]):
+            failures.append(
+                f"{setting}: wall-clock regressed "
+                f"{then['wall_clock_seconds']:.4f}s -> "
+                f"{now['wall_clock_seconds']:.4f}s "
+                f"(> +{tolerance:.0%} over max(baseline, floor))"
+            )
+    for fact in ("wal_records", "replayed_operations"):
+        if current["recovery"][fact] != baseline["recovery"][fact]:
+            failures.append(
+                f"recovery: {fact} drifted {baseline['recovery'][fact]} -> "
+                f"{current['recovery'][fact]}"
+            )
+    then_recovery = baseline["recovery"]["wall_clock_seconds"]
+    now_recovery = current["recovery"]["wall_clock_seconds"]
+    if now_recovery > wall_budget(then_recovery):
+        failures.append(
+            f"recovery: wall-clock regressed {then_recovery:.4f}s -> "
+            f"{now_recovery:.4f}s (> +{tolerance:.0%} over max(baseline, "
+            f"floor))"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_e20_durability",
+        description="durability-overhead and recovery smoke for CI",
+    )
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument(
+        "--write", action="store_true",
+        help=f"write the baseline to {BASELINE_PATH.name}",
+    )
+    action.add_argument(
+        "--check", action="store_true",
+        help="run and compare against the checked-in baseline",
+    )
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), metavar="JSON",
+        help="baseline path (default: repo root BENCH_e20_durability.json)",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_bench()
+    baseline_path = Path(args.baseline)
+    if args.write:
+        baseline_path.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"bench_e20: baseline written to {baseline_path}")
+        return 0
+
+    if not baseline_path.exists():
+        print(f"bench_e20: no baseline at {baseline_path}", file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+    tolerance = float(
+        os.environ.get("REPRO_E20_TOLERANCE", str(DEFAULT_TOLERANCE))
+    )
+    failures = check(record, baseline, tolerance)
+    for message in failures:
+        print(f"bench_e20: {message}", file=sys.stderr)
+    if failures:
+        return 1
+    none_wall = record["settings"]["none"]["wall_clock_seconds"]
+    always_wall = record["settings"]["always"]["wall_clock_seconds"]
+    print(
+        f"bench_e20: OK — protocol facts identical, wall-clock within "
+        f"±{tolerance:.0%} (none {none_wall:.3f}s -> always "
+        f"{always_wall:.3f}s, recovery "
+        f"{record['recovery']['wall_clock_seconds']:.3f}s for "
+        f"{record['recovery']['replayed_operations']} replayed ops)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

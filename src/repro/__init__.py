@@ -28,6 +28,8 @@ True
 
 from repro.core.adaptive_index import AdaptiveIndex
 from repro.core.strategies import available_strategies, create_strategy
+from repro.durability.manager import DurabilityConfig
+from repro.durability.recovery import RecoveryError, RecoveryReport
 from repro.engine.database import Database
 from repro.engine.query import Query, QueryBuilder
 from repro.engine.session import Session
@@ -36,8 +38,11 @@ from repro.version import __version__
 __all__ = [
     "AdaptiveIndex",
     "Database",
+    "DurabilityConfig",
     "Query",
     "QueryBuilder",
+    "RecoveryError",
+    "RecoveryReport",
     "Session",
     "available_strategies",
     "create_strategy",

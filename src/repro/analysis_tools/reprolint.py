@@ -29,9 +29,15 @@ nothing but :mod:`ast` and reports violations of that discipline:
     shared across threads — bare increments of counter-shaped attributes
     (``*_count``, ``queries_processed``, split/merge/row counters) lose
     updates under concurrent readers.
-``RL005`` blocking call while a path lock is statically held
+``RL005`` blocking call while a path lock or table gate is statically held
     ``Future.result()`` / ``.join()`` / gate acquisition inside a ``with
     <path lock>`` block can deadlock against the batch scheduler.
+    Additionally, synchronous file I/O (``open``/``write``/``fsync``/
+    ``os.replace``/... and the durability entry points ``append_record``/
+    ``write_snapshot``) inside a path-lock *or* gate critical section
+    stalls every operation queued on that lock for a disk round-trip —
+    allowed only where the write-ahead contract requires it (the journal
+    append *is* the commit point), recorded as a reasoned baseline entry.
 
 Findings carry ``file:line``, the rule id and a fix hint.  Suppressions
 live in a checked-in TOML baseline (every entry needs a ``reason``) or as
@@ -71,7 +77,7 @@ RULES = {
     "RL002": "lock acquisition violates the gate → path → stats order",
     "RL003": "SearchStrategy subclass without explicit reorganizes_on_read",
     "RL004": "counter attribute mutated via += outside any lock",
-    "RL005": "blocking call while a path lock is held",
+    "RL005": "blocking or file-I/O call while a path lock or gate is held",
 }
 
 #: lock levels of the documented protocol (lower acquires first)
@@ -91,8 +97,23 @@ _COUNTER_SUFFIXES = (
 )
 _COUNTER_NAMES = {"visits", "fenced_writes"}
 
-#: blocking attribute-call names for RL005
+#: blocking attribute-call names for RL005 (path-lock scope only: batches
+#: legitimately block on their own futures while holding table gates)
 _BLOCKING_CALLS = {"result", "join", "acquire_read", "acquire_write"}
+
+#: file-I/O attribute-call names for RL005, flagged under path locks AND
+#: table gates — a synchronous disk write inside either critical section
+#: stalls every query/DML queued on it
+_BLOCKING_IO_ATTR_CALLS = {
+    "write", "flush", "fsync", "fdatasync", "truncate",
+    "append_record", "write_snapshot",
+}
+#: os.<name> calls treated as blocking file I/O
+_BLOCKING_IO_OS_CALLS = {
+    "replace", "rename", "fsync", "fdatasync", "open", "truncate", "unlink",
+}
+#: bare-name calls treated as blocking file I/O
+_BLOCKING_IO_NAME_CALLS = {"open"}
 
 #: methods where unguarded writes are fine: the object is not shared yet
 #: (or is being torn down by its last owner); methods named ``_init_*`` are
@@ -161,7 +182,7 @@ def classify_lock_expr(expr: ast.expr) -> Optional[Tuple[int, str, str]]:
         method = expr.func.attr
         owner = expr.func.value
         owner_text = _expr_text(owner)
-        if method in ("read", "write") and "gate" in owner_text.lower():
+        if method in ("read", "write", "write_all") and "gate" in owner_text.lower():
             return (LEVEL_GATE, f"gate.{method}", owner_text)
         # path level: <path lock manager>.locked(...) / .lock_for(...)
         if method in ("locked", "lock_for") and "path_lock" in owner_text.lower():
@@ -590,6 +611,7 @@ class _FunctionAnalyzer(ast.NodeVisitor):
     # -- RL001 (mutating calls) / RL005 (blocking calls) --------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
+        self._check_blocking_io(node)
         if isinstance(node.func, ast.Attribute):
             method = node.func.attr
             receiver = node.func.value
@@ -611,6 +633,42 @@ class _FunctionAnalyzer(ast.NodeVisitor):
                          "critical section and block on them after release",
                 )
         self.generic_visit(node)
+
+    @staticmethod
+    def _is_blocking_io_call(node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in _BLOCKING_IO_NAME_CALLS
+        if not isinstance(func, ast.Attribute):
+            return False
+        method = func.attr
+        receiver = func.value
+        if isinstance(receiver, ast.Name) and receiver.id == "os":
+            return method in _BLOCKING_IO_OS_CALLS
+        if method in _BLOCKING_IO_ATTR_CALLS:
+            # gate.write(...) / registry.write(...) is a lock acquisition
+            # (classified by classify_lock_expr), not file I/O
+            return "gate" not in _expr_text(receiver).lower()
+        return False
+
+    def _check_blocking_io(self, node: ast.Call) -> None:
+        holder = next(
+            (h for h in self.held if h.level in (LEVEL_GATE, LEVEL_PATH)),
+            None,
+        )
+        if holder is None or not self._is_blocking_io_call(node):
+            return
+        self._report(
+            "RL005",
+            node,
+            f"file I/O call {_expr_text(node.func)}(...) while "
+            f"{_LEVEL_NAMES[holder.level]} lock held (since line "
+            f"{holder.line}) stalls every operation queued on that lock "
+            f"for a disk round-trip",
+            hint="move the durable write outside the critical section, or "
+                 "baseline it with the group-commit reasoning when the "
+                 "journal append is the commit point itself",
+        )
 
 
 # -- driver ----------------------------------------------------------------------

@@ -19,7 +19,19 @@ writing any Python:
     execute a batch of same-table range queries through
     ``Session.execute_many`` sequentially and (with ``--parallel``) under
     per-access-path concurrency control, verify the answers are identical,
-    and report wall-clock plus the observed worker fan-out.
+    and report wall-clock plus the observed worker fan-out;
+``python -m repro snapshot``
+    recover a durable data directory and write a fresh column-store
+    snapshot (truncating the journal it covers);
+``python -m repro recover``
+    crash-recover a durable data directory and report what recovery did:
+    the snapshot used, replayed operation counts, journal records scanned,
+    whether a torn tail was tolerated, and the wall-clock time.
+
+Durability: ``updates`` and ``batch`` accept ``--data-dir`` (journal every
+DML to a write-ahead log under that directory) and ``--sync`` (the fsync
+policy: ``always``, ``batch`` group commit, or ``off``).  A directory
+written by one run is reopened with ``repro recover``.
 
 Adaptive repartitioning: the partitioned strategies accept
 ``--repartition`` (plus ``--max-partition-rows`` / ``--split-threshold``)
@@ -65,6 +77,9 @@ _EXAMPLES = """examples:
       --max-partition-rows 50000 --updates-per-query 4
   repro batch --mode scan --queries 16 --parallel --max-workers 4
   repro batch --mode cracking --parallel   # mutating path: serialized per path
+  repro updates --strategy cracking --data-dir ./state --sync batch
+  repro recover --data-dir ./state         # replay the journal, report counts
+  repro snapshot --data-dir ./state        # compact the journal into a snapshot
 
 Adaptive repartitioning (--repartition) lets the partitioned strategies
 split hot partitions at crack boundaries (and merge cold siblings) so a
@@ -177,6 +192,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "escapes the GIL)",
     )
     _add_repartition_arguments(updates)
+    _add_durability_arguments(updates)
     updates.add_argument("--seed", type=int, default=0, help="random seed")
 
     batch = subparsers.add_parser(
@@ -204,7 +220,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="thread-pool size for the parallel run (default: one worker "
              "per independent task, capped at the CPU count)",
     )
+    _add_durability_arguments(batch)
     batch.add_argument("--seed", type=int, default=0, help="random seed")
+
+    snapshot = subparsers.add_parser(
+        "snapshot",
+        help="recover a durable data directory and write a fresh snapshot",
+    )
+    snapshot.add_argument(
+        "--data-dir", required=True, metavar="DIR",
+        help="data directory holding the write-ahead journal and snapshots",
+    )
+    snapshot.add_argument(
+        "--sync", default="batch", choices=["always", "batch", "off"],
+        help="fsync policy for journal writes after the snapshot "
+             "(default: batch group commit)",
+    )
+
+    recover = subparsers.add_parser(
+        "recover",
+        help="crash-recover a durable data directory and report what replayed",
+    )
+    recover.add_argument(
+        "--data-dir", required=True, metavar="DIR",
+        help="data directory holding the write-ahead journal and snapshots",
+    )
+    recover.add_argument(
+        "--sync", default="batch", choices=["always", "batch", "off"],
+        help="fsync policy for journal writes after recovery "
+             "(default: batch group commit)",
+    )
 
     lint = subparsers.add_parser(
         "lint",
@@ -265,6 +310,21 @@ def _add_repartition_arguments(subparser: argparse.ArgumentParser) -> None:
         "--split-threshold", type=float, default=2.0, metavar="FACTOR",
         help="split a partition once it exceeds FACTOR times the mean "
              "partition load (> 1.0, default 2.0)",
+    )
+
+
+def _add_durability_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Write-ahead-journal knobs shared by the DML-driving subcommands."""
+    subparser.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="journal every DML to a write-ahead log under DIR (the "
+             "directory must not already hold durable state; reopen it "
+             "with `repro recover`)",
+    )
+    subparser.add_argument(
+        "--sync", default="batch", choices=["always", "batch", "off"],
+        help="journal fsync policy: 'always' fsyncs every commit, 'batch' "
+             "group-commits (default), 'off' leaves flushing to the OS",
     )
 
 
@@ -422,7 +482,11 @@ def _command_updates(args: argparse.Namespace) -> int:
         print(error, file=sys.stderr)
         return 2
     values = generate_column_data(args.rows, 0, 1_000_000, seed=args.seed)
-    database = Database("updates-demo")
+    try:
+        database = _make_database("updates-demo", args)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
     database.create_table("data", {"key": values})
     if args.strategy != "scan":
         options = {}
@@ -505,6 +569,8 @@ def _command_updates(args: argparse.Namespace) -> int:
             f"max/mean rows = {record['skew']:.2f} "
             f"(repartition {'on' if record['repartition'] else 'off'})"
         )
+    _report_durability(database, args)
+    database.close()
     return 0
 
 
@@ -544,7 +610,10 @@ def _command_batch(args: argparse.Namespace) -> int:
         queries.append(Query.range_query("data", "key", low, low + width))
 
     def run(parallel: bool):
-        database = Database("batch-demo")
+        # each run gets its own journal directory: a data directory may
+        # only ever be seeded once (reopening requires Database.open)
+        label = "parallel" if parallel else "sequential"
+        database = _make_database("batch-demo", args, subdirectory=label)
         database.create_table("data", {"key": values})
         if args.mode != "scan":
             database.set_indexing("data", "key", args.mode)
@@ -555,9 +624,15 @@ def _command_batch(args: argparse.Namespace) -> int:
             )
             elapsed = time.perf_counter() - started
             report = session.stats().last_batch_report
+        _report_durability(database, args)
+        database.close()
         return results, elapsed, report
 
-    sequential_results, sequential_seconds, report = run(parallel=False)
+    try:
+        sequential_results, sequential_seconds, report = run(parallel=False)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
     print(
         f"table: {args.rows:,} rows | mode: {args.mode} | "
         f"{args.queries} queries at {args.selectivity:.2%} selectivity"
@@ -571,7 +646,11 @@ def _command_batch(args: argparse.Namespace) -> int:
     if not args.parallel:
         return 0
 
-    parallel_results, parallel_seconds, report = run(parallel=True)
+    try:
+        parallel_results, parallel_seconds, report = run(parallel=True)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
     identical = all(
         np.array_equal(sequential.positions, concurrent.positions)
         and sequential.counters == concurrent.counters
@@ -584,6 +663,118 @@ def _command_batch(args: argparse.Namespace) -> int:
     )
     print(f"results identical : {'yes' if identical else 'NO — BUG'}")
     return 0 if identical else 1
+
+
+def _make_database(name: str, args: argparse.Namespace, subdirectory: str = ""):
+    """A Database honouring the shared ``--data-dir`` / ``--sync`` flags.
+
+    Raises ``ValueError`` when the directory already holds durable state
+    (the caller surfaces it as a CLI error pointing at ``repro recover``).
+    """
+    from pathlib import Path
+
+    from repro.durability.manager import DurabilityConfig
+    from repro.engine.database import Database
+
+    if args.data_dir is None:
+        return Database(name)
+    data_dir = Path(args.data_dir)
+    if subdirectory:
+        data_dir = data_dir / subdirectory
+    return Database(
+        name,
+        data_dir=data_dir,
+        durability=DurabilityConfig(sync=args.sync),
+    )
+
+
+def _report_durability(database, args: argparse.Namespace) -> None:
+    """One summary line for the journal a durable run just wrote."""
+    manager = database.durability
+    if manager is None:
+        return
+    stats = manager.stats()
+    print(
+        f"durability        : {stats['appended_records']} journal records, "
+        f"{stats['fsync_calls']} fsyncs (sync={args.sync}), "
+        f"{stats['rotations']} segment rotations, "
+        f"{stats['snapshots_written']} snapshots "
+        f"-> {args.data_dir}"
+    )
+
+
+def _print_recovery_report(report) -> None:
+    replayed = ", ".join(
+        f"{kind}={count}"
+        for kind, count in sorted(report.replayed_operations.items())
+    ) or "nothing"
+    snapshot = (
+        f"{report.snapshot_path} (high water {report.snapshot_high_water})"
+        if report.snapshot_path is not None
+        else "none (journal only)"
+    )
+    print(f"recovered         : {report.data_dir}")
+    print(f"recovery time     : {report.elapsed_seconds * 1e3:.1f} ms")
+    print(f"snapshot used     : {snapshot}")
+    if report.skipped_snapshots:
+        for reason in report.skipped_snapshots:
+            print(f"snapshot skipped  : {reason}")
+    print(
+        f"journal scanned   : {report.wal_records} records"
+        f"{' (torn tail truncated)' if report.torn_tail else ''}"
+    )
+    print(f"replayed          : {report.replayed_total} operations ({replayed})")
+    print(f"next sequence     : {report.next_sequence}")
+
+
+def _open_durable(args: argparse.Namespace):
+    """``Database.open`` for the snapshot/recover subcommands, or None."""
+    from pathlib import Path
+
+    from repro.durability.manager import DurabilityConfig, has_durable_state
+    from repro.engine.database import Database
+    from repro.durability.recovery import RecoveryError
+
+    data_dir = Path(args.data_dir)
+    if not has_durable_state(data_dir):
+        print(
+            f"no durable state under {data_dir} (expected wal/*.seg or "
+            f"snapshots/*.snap; seed one with `repro updates --data-dir`)",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        return Database.open(
+            data_dir, durability=DurabilityConfig(sync=args.sync)
+        )
+    except RecoveryError as error:
+        print(f"recovery failed: {error}", file=sys.stderr)
+        return None
+
+
+def _command_recover(args: argparse.Namespace) -> int:
+    database = _open_durable(args)
+    if database is None:
+        return 1
+    _print_recovery_report(database.recovery_report)
+    for table in sorted(database.table_names):
+        print(
+            f"table             : {table} "
+            f"({database.visible_row_count(table):,} visible rows)"
+        )
+    database.close()
+    return 0
+
+
+def _command_snapshot(args: argparse.Namespace) -> int:
+    database = _open_durable(args)
+    if database is None:
+        return 1
+    _print_recovery_report(database.recovery_report)
+    path = database.snapshot()
+    print(f"snapshot written  : {path}")
+    database.close()
+    return 0
 
 
 def _command_lint(args) -> int:
@@ -636,6 +827,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_updates(args)
     if args.command == "batch":
         return _command_batch(args)
+    if args.command == "snapshot":
+        return _command_snapshot(args)
+    if args.command == "recover":
+        return _command_recover(args)
     if args.command == "lint":
         return _command_lint(args)
     parser.print_help()

@@ -127,6 +127,32 @@ class Column:
         """Deep copy of this column."""
         return Column(self.values.copy(), name=name or self.name, dtype=self.dtype)
 
+    # -- serialization -------------------------------------------------------
+
+    def tobytes(self) -> bytes:
+        """Raw bytes of the valid region, in the dtype's native layout.
+
+        Always materialises a contiguous copy, so it works no matter what
+        buffer backs the array — including the shared-memory segments the
+        process-executor partitions use.  The inverse is
+        :meth:`from_bytes`.
+        """
+        return np.ascontiguousarray(self.values).tobytes()
+
+    @classmethod
+    def from_bytes(
+        cls, raw: bytes, name: str, dtype: DataType, rows: int
+    ) -> "Column":
+        """Rebuild a column from :meth:`tobytes` output."""
+        expected = rows * dtype.width_bytes
+        if len(raw) < expected:
+            raise ValueError(
+                f"column {name!r} needs {expected} bytes for {rows} rows "
+                f"of {dtype.name}, got {len(raw)}"
+            )
+        values = np.frombuffer(raw, dtype=dtype.numpy_dtype, count=rows)
+        return cls(values, name=name, dtype=dtype)
+
     # -- statistics ----------------------------------------------------------
 
     def min(self):

@@ -1,0 +1,177 @@
+"""The durability manager: one object the engine talks to.
+
+A :class:`DurabilityManager` owns a data directory's write-ahead log and
+snapshot store.  The engine's contract with it is small:
+
+* :meth:`append_record` — called by sessions *inside* the table's write
+  gate, after the operation mutated the store and was stamped with its
+  linearization sequence, *before* the gate is released.  That ordering
+  is the whole WAL guarantee: once any other operation can observe the
+  change, the journal already has it (to the configured sync level).
+* :meth:`snapshot_due` — a cheap threshold check sessions make *after*
+  releasing the gate, so the (expensive, all-table-gated) snapshot never
+  runs inside a DML critical section.
+* :meth:`write_snapshot` — persists a state dump, then truncates the
+  journal through its high-water mark and prunes old snapshots.
+
+Layout under ``data_dir``::
+
+    wal/wal-00000000.seg ...        the journal segments
+    snapshots/snapshot-....snap     full-state dumps
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.durability.faults import FaultInjector
+from repro.durability.record import WalRecord
+from repro.durability.snapshot import (
+    SNAPSHOT_SUBDIR,
+    SnapshotState,
+    SnapshotStore,
+)
+from repro.durability.wal import WAL_SUBDIR, WalScan, WriteAheadLog
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Tuning knobs for the journal and the snapshot policy."""
+
+    #: fsync policy: "always" | "batch" | "off" (see wal.py)
+    sync: str = "batch"
+    #: appends per group commit under sync="batch"
+    batch_size: int = 32
+    #: rotate the journal segment once it exceeds this many bytes
+    segment_bytes: int = 4 << 20
+    #: auto-snapshot after this many journaled operations (None = manual)
+    snapshot_every_ops: Optional[int] = None
+    #: auto-snapshot once the journal exceeds this many bytes (None = off)
+    snapshot_wal_bytes: Optional[int] = None
+    #: snapshots retained after a successful new one
+    keep_snapshots: int = 2
+
+    def __post_init__(self) -> None:
+        if self.snapshot_every_ops is not None and self.snapshot_every_ops < 1:
+            raise ValueError(
+                f"snapshot_every_ops must be >= 1, got {self.snapshot_every_ops}"
+            )
+        if self.snapshot_wal_bytes is not None and self.snapshot_wal_bytes < 1:
+            raise ValueError(
+                f"snapshot_wal_bytes must be >= 1, got {self.snapshot_wal_bytes}"
+            )
+
+
+def wal_directory(data_dir: Path) -> Path:
+    return Path(data_dir) / WAL_SUBDIR
+
+
+def snapshot_directory(data_dir: Path) -> Path:
+    return Path(data_dir) / SNAPSHOT_SUBDIR
+
+
+def has_durable_state(data_dir: Path) -> bool:
+    """True when ``data_dir`` already holds journal segments or snapshots."""
+    data_dir = Path(data_dir)
+    wal_dir = wal_directory(data_dir)
+    snap_dir = snapshot_directory(data_dir)
+    return any(wal_dir.glob("wal-*.seg")) or any(
+        snap_dir.glob("snapshot-*.snap")
+    )
+
+
+class DurabilityManager:
+    """Journal + snapshot store for one database's data directory."""
+
+    def __init__(
+        self,
+        data_dir: Path,
+        config: Optional[DurabilityConfig] = None,
+        injector: Optional[FaultInjector] = None,
+        scan: Optional[WalScan] = None,
+    ) -> None:
+        self.data_dir = Path(data_dir)
+        self.config = config or DurabilityConfig()
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.wal = WriteAheadLog(
+            wal_directory(self.data_dir),
+            sync=self.config.sync,
+            batch_size=self.config.batch_size,
+            segment_bytes=self.config.segment_bytes,
+            injector=injector,
+            scan=scan,
+        )
+        self.snapshots = SnapshotStore(
+            snapshot_directory(self.data_dir),
+            keep=self.config.keep_snapshots,
+            injector=injector,
+        )
+        # ops/bytes since the last snapshot drive the auto-snapshot policy;
+        # guarded by _lock (append runs under table gates, the snapshot
+        # writer runs under all of them — this mutex keeps the counters
+        # coherent without widening either critical section)
+        self._lock = threading.Lock()
+        self._ops_since_snapshot = 0
+        self._bytes_since_snapshot = 0
+        self._snapshots_written = 0
+
+    # -- the engine-facing hooks ------------------------------------------
+
+    def append_record(self, record: WalRecord) -> None:
+        """Journal one operation (the caller holds the table write gate)."""
+        nbytes = self.wal.append(record)
+        with self._lock:
+            self._ops_since_snapshot += 1
+            self._bytes_since_snapshot += nbytes
+
+    def snapshot_due(self) -> bool:
+        """Cheap check: has a size/ops threshold been crossed?"""
+        config = self.config
+        with self._lock:
+            if (
+                config.snapshot_every_ops is not None
+                and self._ops_since_snapshot >= config.snapshot_every_ops
+            ):
+                return True
+            if (
+                config.snapshot_wal_bytes is not None
+                and self._bytes_since_snapshot >= config.snapshot_wal_bytes
+            ):
+                return True
+        return False
+
+    def write_snapshot(self, state: SnapshotState) -> Path:
+        """Persist ``state``, truncate the journal, prune old snapshots."""
+        path = self.snapshots.write(state)
+        self.wal.truncate_through(state.high_water)
+        with self._lock:
+            self._ops_since_snapshot = 0
+            self._bytes_since_snapshot = 0
+            self._snapshots_written += 1
+        return path
+
+    def seed_backlog(self, ops: int) -> None:
+        """Count journal records that predate this manager (recovery
+        replayed them but no snapshot covers them yet) toward the
+        auto-snapshot threshold."""
+        with self._lock:
+            self._ops_since_snapshot += int(ops)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def sync(self) -> None:
+        """Force the journal to disk (flushes a pending group commit)."""
+        self.wal.sync()
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def stats(self) -> Dict[str, int]:
+        report = self.wal.stats()
+        with self._lock:
+            report["ops_since_snapshot"] = self._ops_since_snapshot
+            report["snapshots_written"] = self._snapshots_written
+        return report

@@ -678,3 +678,23 @@ class TableGateRegistry:
         """Hold one table's gate exclusive (the DML side)."""
         with self.gate(table).write():
             yield
+
+    @contextmanager
+    def write_all(self, tables: Sequence[str]):
+        """Hold every listed gate exclusive (sorted, deadlock-free).
+
+        The snapshot writer uses this to quiesce the whole store: with
+        all gates held exclusive there is no query or DML in flight, so
+        the captured column arrays, tombstones and high-water sequence
+        are one consistent cut of the database.
+        """
+        gates = [self.gate(name) for name in sorted(set(tables))]
+        entered: List[TableGate] = []
+        try:
+            for gate in gates:
+                gate.acquire_write()
+                entered.append(gate)
+            yield
+        finally:
+            for gate in reversed(entered):
+                gate.release_write()

@@ -48,6 +48,7 @@ from typing import Iterable, List, Mapping, Optional, Sequence, Union
 from repro.analysis_tools.guards import guarded_by
 from repro.cost.counters import CostCounters
 from repro.cost.stats import QueryStatistics, WorkloadStatistics
+from repro.durability.record import WalRecord
 from repro.engine.concurrency import BatchExecutionReport, schedule_batch, classify_plan
 from repro.engine.executor import QueryResult
 from repro.engine.query import Query, QueryBuilder
@@ -375,13 +376,27 @@ class Session:
         """
         self._check_open()
         database = self._database
+        durability = database._durability
         with database._table_gates.write(table):
             rowid = database._insert_row_locked(table, values, counters)
-            database._journal_record(
+            sequence = database._journal_record(
                 "insert", table, dict(values), rowid, session=self.name
             )
+            if durability is not None:
+                # write-ahead contract: the journal append (and its group
+                # commit) completes before the gate releases, i.e. before
+                # any other operation can observe the insert — the file
+                # I/O inside this critical section is RL005-baselined
+                durability.append_record(
+                    WalRecord(
+                        sequence=sequence, kind="insert", table=table,
+                        rowid=rowid, values=dict(values),
+                    )
+                )
         with self._lock:
             self._stats.rows_inserted += 1
+        if durability is not None and durability.snapshot_due():
+            database.snapshot()
         return rowid
 
     def delete_row(
@@ -393,13 +408,24 @@ class Session:
         """Delete the row identified by ``rowid`` (idempotent), fenced."""
         self._check_open()
         database = self._database
+        durability = database._durability
         with database._table_gates.write(table):
             database._delete_row_locked(table, rowid, counters)
-            database._journal_record(
+            sequence = database._journal_record(
                 "delete", table, int(rowid), None, session=self.name
             )
+            if durability is not None:
+                # journaled before the gate releases (see insert_row)
+                durability.append_record(
+                    WalRecord(
+                        sequence=sequence, kind="delete", table=table,
+                        rowid=int(rowid),
+                    )
+                )
         with self._lock:
             self._stats.rows_deleted += 1
+        if durability is not None and durability.snapshot_due():
+            database.snapshot()
 
     def update_row(
         self,
@@ -411,14 +437,26 @@ class Session:
         """Update = delete + insert under one fence; returns the new rowid."""
         self._check_open()
         database = self._database
+        durability = database._durability
         with database._table_gates.write(table):
             new_rowid = database._update_row_locked(table, rowid, values, counters)
-            database._journal_record(
+            sequence = database._journal_record(
                 "update", table, (int(rowid), dict(values)), new_rowid,
                 session=self.name,
             )
+            if durability is not None:
+                # journaled before the gate releases (see insert_row)
+                durability.append_record(
+                    WalRecord(
+                        sequence=sequence, kind="update", table=table,
+                        rowid=new_rowid, old_rowid=int(rowid),
+                        values=dict(values),
+                    )
+                )
         with self._lock:
             self._stats.rows_updated += 1
+        if durability is not None and durability.snapshot_due():
+            database.snapshot()
         return new_rowid
 
     def submit_insert(

@@ -1,15 +1,36 @@
-"""RL005 fixture: blocking while statically holding a path lock.
+"""RL005 fixture: blocking or file I/O while statically holding a lock.
 
 A ``Future.result()`` (or gate acquisition) under a path lock can wait on
 work that needs that very lock — a deadlock the type system cannot see.
+Synchronous file I/O under a path lock *or* a table gate stalls every
+operation queued on that lock for a disk round-trip.
 Parsed by reprolint in tests, never run.
 """
 
+import os
+
 
 class Runner:
-    def __init__(self, path_locks):
+    def __init__(self, path_locks, table_gates):
         self._path_locks = path_locks
+        self._table_gates = table_gates
 
     def wait_under_lock(self, key, future):
         with self._path_locks.lock_for(key):
             return future.result()  # expect[RL005]
+
+    def flush_under_gate(self, name, handle):
+        with self._table_gates.write(name):
+            handle.flush()  # expect[RL005]
+
+    def replace_under_path_lock(self, key, src, dst):
+        with self._path_locks.lock_for(key):
+            os.replace(src, dst)  # expect[RL005]
+
+    def open_under_write_all(self, names, path):
+        with self._table_gates.write_all(names):
+            return open(path, "rb")  # expect[RL005]
+
+    def journal_under_gate(self, name, durability, record):
+        with self._table_gates.write(name):
+            durability.append_record(record)  # expect[RL005]

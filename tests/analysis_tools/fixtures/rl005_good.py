@@ -1,11 +1,29 @@
-"""RL005 fixture (clean): collect results after releasing the path lock."""
+"""RL005 fixture (clean): block and do file I/O outside the critical section."""
 
 
 class Runner:
-    def __init__(self, path_locks):
+    def __init__(self, path_locks, table_gates, stats_lock):
         self._path_locks = path_locks
+        self._table_gates = table_gates
+        self._stats_lock = stats_lock
 
     def wait_after_lock(self, key, future):
         with self._path_locks.lock_for(key):
             pass
         return future.result()
+
+    def write_after_gate(self, name, handle):
+        with self._table_gates.write(name):
+            pass
+        handle.write(b"payload")
+
+    def write_under_stats_lock(self, handle):
+        # stats locks are leaf locks around counter updates; file I/O here
+        # cannot stall queued queries, so RL005 leaves it alone
+        with self._stats_lock:
+            handle.write(b"payload")
+
+    def nested_gate_handle(self, name, other):
+        # gate.write(...) is a lock acquisition, not file I/O
+        with self._table_gates.write(name):
+            return self._table_gates.write(other)

@@ -1,0 +1,141 @@
+"""Wire-format tests: record round trips, framing, torn-tail scanning."""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.columnstore.types import dtype_by_name
+from repro.durability.record import (
+    FRAME_HEADER,
+    RECORD_KINDS,
+    ColumnDump,
+    FrameError,
+    RecordFormatError,
+    WalRecord,
+    decode_record,
+    encode_record,
+    frame_record,
+    iter_frames,
+    scan_frames,
+)
+
+INT64 = dtype_by_name("int64")
+FLOAT64 = dtype_by_name("float64")
+
+
+def sample_records():
+    return [
+        WalRecord(
+            sequence=1, kind="insert", table="facts", rowid=7,
+            values={"key": 42, "payload": 2.5},
+        ),
+        WalRecord(sequence=2, kind="delete", table="facts", rowid=3),
+        WalRecord(
+            sequence=3, kind="update", table="facts", rowid=9, old_rowid=4,
+            values={"key": -17},
+        ),
+        WalRecord(
+            sequence=4, kind="create_table", table="dim",
+            columns=(
+                ColumnDump("key", INT64, np.arange(5, dtype=np.int64)),
+                ColumnDump("payload", FLOAT64,
+                           np.linspace(0.0, 1.0, 5)),
+            ),
+        ),
+        WalRecord(sequence=5, kind="drop_table", table="dim"),
+        WalRecord(
+            sequence=6, kind="set_indexing", table="facts", column="key",
+            mode="partitioned-cracking",
+            options={"partitions": 3, "parallel": False},
+        ),
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "record", sample_records(), ids=lambda record: record.kind
+    )
+    def test_encode_decode_round_trip(self, record):
+        assert decode_record(encode_record(record)) == record
+
+    def test_numpy_scalars_normalise_to_python_ints(self):
+        record = WalRecord(
+            sequence=np.int64(10), kind="insert", table="t",
+            rowid=np.int64(2), values={"key": np.int64(5), "flag": True},
+        )
+        decoded = decode_record(encode_record(record))
+        assert decoded.sequence == 10
+        assert decoded.rowid == 2
+        assert decoded.values == {"key": 5, "flag": 1}
+
+    def test_unknown_kind_rejected_at_construction(self):
+        with pytest.raises(RecordFormatError):
+            WalRecord(sequence=1, kind="merge", table="t")
+
+    def test_every_kind_has_a_distinct_tag(self):
+        assert len(set(RECORD_KINDS.values())) == len(RECORD_KINDS)
+
+    def test_garbage_payload_raises_record_format_error(self):
+        with pytest.raises(RecordFormatError):
+            decode_record(b"\xff" + b"\x00" * 30)
+
+
+class TestFraming:
+    def test_frame_is_header_plus_payload_with_matching_crc(self):
+        record = sample_records()[0]
+        frame = frame_record(record)
+        length, crc = FRAME_HEADER.unpack_from(frame, 0)
+        payload = frame[FRAME_HEADER.size:]
+        assert length == len(payload)
+        assert crc == zlib.crc32(payload)
+        assert decode_record(payload) == record
+
+    def test_scan_round_trips_a_stream_of_frames(self):
+        records = sample_records()
+        buffer = b"".join(frame_record(record) for record in records)
+        payloads, valid_end, error = scan_frames(buffer)
+        assert error is None
+        assert valid_end == len(buffer)
+        assert [decode_record(payload) for payload in payloads] == records
+
+    def test_torn_header_reported_as_incomplete(self):
+        buffer = frame_record(sample_records()[0]) + b"\x01\x02"
+        payloads, valid_end, error = scan_frames(buffer)
+        assert len(payloads) == 1
+        assert isinstance(error, FrameError)
+        assert not error.frame_complete
+        assert error.offset == valid_end
+
+    def test_torn_payload_reported_as_incomplete(self):
+        frame = frame_record(sample_records()[1])
+        buffer = frame + frame_record(sample_records()[2])[:-3]
+        payloads, valid_end, error = scan_frames(buffer)
+        assert len(payloads) == 1
+        assert valid_end == len(frame)
+        assert error is not None and not error.frame_complete
+
+    def test_bit_flip_in_complete_frame_is_corruption(self):
+        frame = bytearray(frame_record(sample_records()[0]))
+        frame[-1] ^= 0xFF
+        payloads, valid_end, error = scan_frames(bytes(frame))
+        assert payloads == []
+        assert valid_end == 0
+        assert error is not None and error.frame_complete
+
+    def test_iter_frames_reports_offsets(self):
+        records = sample_records()[:3]
+        frames = [frame_record(record) for record in records]
+        buffer = b"".join(frames)
+        seen = list(iter_frames(buffer))
+        offsets = [offset for offset, _payload in seen]
+        expected = [0, len(frames[0]), len(frames[0]) + len(frames[1])]
+        assert offsets == expected
+
+    def test_oversized_length_prefix_stops_the_scan(self):
+        # a length that runs past the buffer is a torn frame, not a crash
+        header = struct.pack("<II", 1 << 20, 0)
+        payloads, valid_end, error = scan_frames(header)
+        assert payloads == [] and valid_end == 0
+        assert error is not None and not error.frame_complete

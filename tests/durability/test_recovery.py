@@ -1,0 +1,268 @@
+"""Crash-recovery tests at the Database level: open, replay, thresholds."""
+
+import numpy as np
+import pytest
+
+from repro.durability.manager import DurabilityConfig, has_durable_state
+from repro.durability.recovery import RecoveryError
+from repro.durability.wal import SEGMENT_HEADER
+from repro.durability.faults import FaultInjector
+from repro.engine.database import Database
+from repro.engine.query import Query
+
+ROWS = 400
+DOMAIN = 10_000
+
+
+def make_database(data_dir, **config):
+    rng = np.random.default_rng(7)
+    database = Database(
+        "durable",
+        data_dir=data_dir,
+        durability=DurabilityConfig(sync="always", **config),
+    )
+    database.create_table(
+        "facts",
+        {
+            "key": rng.integers(0, DOMAIN, size=ROWS).astype(np.int64),
+            "payload": rng.uniform(0, 100, size=ROWS),
+        },
+    )
+    return database
+
+
+def run_dml(database, seed=11, steps=40):
+    rng = np.random.default_rng(seed)
+    live = list(range(ROWS))
+    with database.session(name="writer") as session:
+        for _ in range(steps):
+            action = rng.random()
+            if action < 0.5 or not live:
+                live.append(
+                    session.insert_row(
+                        "facts",
+                        {"key": int(rng.integers(0, DOMAIN)), "payload": 0.5},
+                    )
+                )
+            elif action < 0.75:
+                victim = live.pop(int(rng.integers(0, len(live))))
+                session.delete_row("facts", victim)
+            else:
+                victim = live.pop(int(rng.integers(0, len(live))))
+                live.append(
+                    session.update_row(
+                        "facts", victim, {"key": int(rng.integers(0, DOMAIN))}
+                    )
+                )
+    return live
+
+
+def assert_same_database(recovered, original):
+    assert set(recovered.table_names) == set(original.table_names)
+    for table in original.table_names:
+        assert (
+            recovered.visible_row_count(table)
+            == original.visible_row_count(table)
+        )
+        for name in original.table(table).column_names:
+            assert np.array_equal(
+                recovered.table(table)[name].values,
+                original.table(table)[name].values,
+            ), f"{table}.{name} diverged"
+        assert recovered._deleted_rows.get(table, set()) == \
+            original._deleted_rows.get(table, set())
+    query = Query.range_query("facts", "key", 0, DOMAIN // 2)
+    assert np.array_equal(
+        recovered.execute(query).positions, original.execute(query).positions
+    )
+
+
+class TestOpenRecover:
+    def test_journal_only_recovery_matches_pre_crash_state(self, tmp_path):
+        database = make_database(tmp_path)
+        database.set_indexing("facts", "key", "cracking")
+        run_dml(database)
+        database.close()  # simulated clean crash: no snapshot was taken
+
+        recovered = Database.open(tmp_path)
+        report = recovered.recovery_report
+        assert report.snapshot_path is None
+        assert report.replayed_total == report.wal_records
+        assert report.replayed_operations["create_table"] == 1
+        assert_same_database(recovered, database)
+        recovered.close()
+
+    def test_snapshot_plus_tail_recovery(self, tmp_path):
+        database = make_database(tmp_path)
+        database.set_indexing("facts", "key", "cracking")
+        run_dml(database, seed=1)
+        database.snapshot()
+        run_dml(database, seed=2, steps=15)
+        database.close()
+
+        recovered = Database.open(tmp_path)
+        report = recovered.recovery_report
+        assert report.snapshot_path is not None
+        # only the post-snapshot tail replays
+        assert report.replayed_total < 60
+        assert "create_table" not in report.replayed_operations
+        assert_same_database(recovered, database)
+        recovered.close()
+
+    def test_recovered_database_keeps_journaling(self, tmp_path):
+        database = make_database(tmp_path)
+        run_dml(database, steps=10)
+        database.close()
+
+        recovered = Database.open(tmp_path)
+        run_dml(recovered, seed=3, steps=10)
+        recovered.close()
+
+        second = Database.open(tmp_path)
+        assert_same_database(second, recovered)
+        second.close()
+
+    def test_indexing_mode_is_reinstalled(self, tmp_path):
+        database = make_database(tmp_path)
+        database.set_indexing(
+            "facts", "key", "partitioned-cracking", partitions=3
+        )
+        run_dml(database, steps=10)
+        database.snapshot()
+        database.close()
+
+        recovered = Database.open(tmp_path)
+        assert recovered._modes[("facts", "key")] == "partitioned-cracking"
+        assert_same_database(recovered, database)
+        recovered.close()
+
+    def test_fresh_database_over_durable_state_is_refused(self, tmp_path):
+        database = make_database(tmp_path)
+        database.close()
+        assert has_durable_state(tmp_path)
+        with pytest.raises(ValueError, match="Database.open"):
+            Database("clobber", data_dir=tmp_path)
+
+    def test_open_without_state_is_a_recovery_error(self, tmp_path):
+        with pytest.raises(RecoveryError):
+            Database.open(tmp_path / "nothing-here")
+
+
+class TestCorruption:
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        database = make_database(tmp_path)
+        run_dml(database, steps=10)
+        database.close()
+        segment = sorted((tmp_path / "wal").glob("wal-*.seg"))[-1]
+        segment.write_bytes(segment.read_bytes()[:-5])
+
+        recovered = Database.open(tmp_path)
+        assert recovered.recovery_report.torn_tail
+        # one DML shorter than the pre-crash database, but self-consistent
+        assert recovered.visible_row_count("facts") > 0
+        recovered.close()
+
+    def test_mid_journal_corruption_is_loud(self, tmp_path):
+        database = make_database(tmp_path)
+        run_dml(database, steps=10)
+        database.close()
+        segment = sorted((tmp_path / "wal").glob("wal-*.seg"))[-1]
+        FaultInjector.corrupt_file(segment, SEGMENT_HEADER.size + 8)
+        with pytest.raises(RecoveryError):
+            Database.open(tmp_path)
+
+    def test_corrupt_newest_snapshot_falls_back_when_journal_covers(
+        self, tmp_path
+    ):
+        database = make_database(tmp_path, keep_snapshots=5)
+        run_dml(database, steps=10)
+        database.snapshot()
+        run_dml(database, seed=5, steps=5)
+        database.close()
+        # corrupt the only snapshot: the journal still covers from zero
+        # only when its segments were never truncated — they were, so
+        # recovery must refuse rather than replay from a gap
+        newest = sorted((tmp_path / "snapshots").glob("*.snap"))[-1]
+        FaultInjector.corrupt_file(newest, 32)
+        with pytest.raises(RecoveryError):
+            Database.open(tmp_path)
+
+
+class TestThresholdsAndJournalBound:
+    def test_snapshot_every_ops_triggers_automatically(self, tmp_path):
+        database = make_database(tmp_path, snapshot_every_ops=10)
+        run_dml(database, steps=25)
+        assert database.durability.stats()["snapshots_written"] >= 2
+        database.close()
+        recovered = Database.open(tmp_path)
+        assert recovered.recovery_report.snapshot_path is not None
+        assert_same_database(recovered, database)
+        recovered.close()
+
+    def test_snapshot_wal_bytes_triggers_automatically(self, tmp_path):
+        database = make_database(tmp_path, snapshot_wal_bytes=512)
+        run_dml(database, steps=25)
+        assert database.durability.stats()["snapshots_written"] >= 1
+        database.close()
+
+    def test_snapshot_trims_in_memory_journal(self, tmp_path):
+        database = make_database(tmp_path)
+        database.record_journal = True
+        run_dml(database, steps=10)
+        before = len(database.operation_journal())
+        assert before > 0
+        database.snapshot()
+        assert database.operation_journal() == []
+        run_dml(database, seed=9, steps=4)
+        assert len(database.operation_journal()) > 0
+        database.close()
+
+    def test_journal_retention_bounds_memory(self):
+        database = Database("bounded")
+        database.create_table("t", {"key": np.arange(10, dtype=np.int64)})
+        database.record_journal = True
+        database.set_journal_retention(5)
+        with database.session(name="s") as session:
+            for index in range(20):
+                session.insert_row("t", {"key": index})
+        journal = database.operation_journal()
+        assert len(journal) == 5
+        # the retained window is the newest suffix of the history
+        assert journal[-1].sequence - journal[0].sequence == 4
+
+    def test_retention_validation(self):
+        database = Database("bounded")
+        with pytest.raises(ValueError):
+            database.set_journal_retention(-1)
+        # zero is legal: retain nothing (pure durability, no oracle replay)
+        database.create_table("t", {"key": np.arange(4, dtype=np.int64)})
+        database.record_journal = True
+        database.set_journal_retention(0)
+        database.insert_row("t", {"key": 9})
+        assert database.operation_journal() == []
+
+
+class TestClose:
+    def test_close_releases_execution_resources(self, tmp_path):
+        """A closed database must not leak fan-out pools or shared
+        segments: recover-then-close loops (and benchmarks) would
+        otherwise accumulate process-backend shared memory forever."""
+        from repro.columnstore.storage import live_shared_segments
+
+        database = make_database(tmp_path / "state")
+        database.set_indexing(
+            "facts", "key", "partitioned-cracking",
+            partitions=3, parallel=True, executor="process",
+        )
+        database.query("facts").where("key", 10, 4_000).run()
+        assert live_shared_segments(), "process backend should be live"
+        database.close()
+        assert live_shared_segments() == []
+
+        # close is not final for the in-memory state: a later query
+        # lazily re-creates what it needs, with identical answers
+        count = database.query("facts").where("key", 10, 4_000).run().row_count
+        values = database.table("facts")["key"].values
+        assert count == int(((values >= 10) & (values <= 4_000)).sum())
+        database.close()
+        assert live_shared_segments() == []

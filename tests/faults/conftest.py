@@ -1,0 +1,17 @@
+"""Make the crash-fault harness and the property-suite oracle importable.
+
+The test tree has no packages (pytest prepend-imports each test file's own
+directory), so the shared pieces these suites lean on — the durable
+workload harness in this directory and the journal-replay bit-identity
+oracle in ``tests/properties/test_property_sessions.py`` — are exposed by
+putting both directories on ``sys.path`` here.
+"""
+
+import sys
+from pathlib import Path
+
+_TESTS = Path(__file__).resolve().parents[1]
+
+for _directory in (_TESTS / "faults", _TESTS / "properties"):
+    if str(_directory) not in sys.path:
+        sys.path.insert(0, str(_directory))

@@ -1,0 +1,179 @@
+"""Crash-fault scenarios: kill mid-write, damage files, demand recovery.
+
+Every scenario runs the deterministic mixed workload from
+``durable_harness`` against a journaled database, crashes it somewhere
+unpleasant, then recovers the directory and checks the durability
+contract: the recovered state is the oracle replay of exactly the
+operations the surviving journal prefix covers (prefix consistency), or
+recovery fails loudly — never a silently corrupt database.
+"""
+
+import pytest
+
+from durable_harness import (
+    FAULT_MODES,
+    assert_same_logical_state,
+    build_durable,
+    build_memory,
+    run_workload,
+    setup_wal_bytes,
+    surviving_cut,
+)
+from test_property_sessions import replay_journal
+
+from repro.durability.faults import FaultInjector, KilledByFault
+from repro.durability.manager import wal_directory
+from repro.durability.recovery import RecoveryError
+from repro.durability.wal import SEGMENT_HEADER
+from repro.engine.database import Database
+
+MODE_IDS = [mode for mode, _options in FAULT_MODES]
+
+
+def crash_and_recover(tmp_path, mode, options, injector=None,
+                      damage=None, **config):
+    """Run the workload (journal recording on), crash, recover, and
+    return (crashed, recovered, prefix-oracle)."""
+    data_dir = tmp_path / "crash"
+    database = build_durable(data_dir, mode, options, injector=injector,
+                             **config)
+    database.record_journal = True
+    try:
+        run_workload(database)
+        crashed_mid_workload = False
+    except KilledByFault:
+        crashed_mid_workload = True
+    if injector is not None and not crashed_mid_workload:
+        # the injector was aimed at a later point (e.g. a snapshot write);
+        # the workload itself must have survived untouched
+        assert not injector.killed
+    if damage is not None:
+        damage(data_dir)
+
+    recovered = Database.open(data_dir)
+    cut = surviving_cut(data_dir)
+    oracle = build_memory(mode, options)
+    prefix = [
+        record for record in database.operation_journal()
+        if record.sequence <= cut
+    ]
+    replay_journal(prefix, oracle, f"mode={mode} prefix through {cut}")
+    assert_same_logical_state(recovered, oracle, f"mode={mode}")
+    return database, recovered, oracle
+
+
+@pytest.mark.parametrize("mode,options", FAULT_MODES, ids=MODE_IDS)
+@pytest.mark.parametrize("delta", [60, 400, 1_500])
+def test_byte_budget_kill_recovers_surviving_prefix(
+    tmp_path, mode, options, delta
+):
+    """Tear the journal at an arbitrary byte offset mid-DML."""
+    budget = setup_wal_bytes(tmp_path, mode, options) + delta
+    injector = FaultInjector(fail_after_bytes=budget)
+    data_dir = tmp_path / "crash"
+    database = build_durable(data_dir, mode, options, injector=injector)
+    database.record_journal = True
+    with pytest.raises(KilledByFault):
+        run_workload(database)
+    assert injector.killed
+
+    recovered = Database.open(data_dir)
+    cut = surviving_cut(data_dir)
+    oracle = build_memory(mode, options)
+    prefix = [
+        record for record in database.operation_journal()
+        if record.sequence <= cut
+    ]
+    replay_journal(prefix, oracle, f"mode={mode} delta={delta}")
+    assert_same_logical_state(
+        recovered, oracle, f"mode={mode} delta={delta}"
+    )
+    # at most the single in-flight operation may be missing: everything
+    # the session saw succeed (sync="always") must have survived
+    committed = [
+        record.sequence for record in database.operation_journal()
+        if record.kind != "query"
+    ]
+    lost = [sequence for sequence in committed if sequence > cut]
+    assert len(lost) <= 1, f"mode={mode}: lost committed operations {lost}"
+    recovered.close()
+
+
+@pytest.mark.parametrize("mode,options", FAULT_MODES, ids=MODE_IDS)
+@pytest.mark.parametrize("torn_bytes", [1, 9, 23])
+def test_torn_tail_recovers_shorter_prefix(tmp_path, mode, options,
+                                           torn_bytes):
+    """Truncate the final segment mid-record after a clean run."""
+    def damage(data_dir):
+        segment = sorted(wal_directory(data_dir).glob("wal-*.seg"))[-1]
+        segment.write_bytes(segment.read_bytes()[:-torn_bytes])
+
+    crashed, recovered, _oracle = crash_and_recover(
+        tmp_path, mode, options, damage=damage
+    )
+    assert recovered.recovery_report.torn_tail
+    recovered.close()
+
+
+@pytest.mark.parametrize("mode,options", FAULT_MODES, ids=MODE_IDS)
+def test_mid_record_truncation_in_earlier_segment_is_loud(
+    tmp_path, mode, options
+):
+    """A hole anywhere but the final segment's tail must refuse replay."""
+    data_dir = tmp_path / "crash"
+    database = build_durable(
+        data_dir, mode, options, segment_bytes=2_048
+    )
+    run_workload(database)
+    database.close()
+    segments = sorted(wal_directory(data_dir).glob("wal-*.seg"))
+    assert len(segments) >= 2, "workload too small to rotate segments"
+    first = segments[0]
+    first.write_bytes(first.read_bytes()[:-7])
+    with pytest.raises(RecoveryError):
+        Database.open(data_dir)
+
+
+@pytest.mark.parametrize("mode,options", FAULT_MODES, ids=MODE_IDS)
+def test_checksum_corruption_is_loud(tmp_path, mode, options):
+    """A flipped byte inside a committed record must refuse replay."""
+    data_dir = tmp_path / "crash"
+    database = build_durable(data_dir, mode, options)
+    run_workload(database)
+    database.close()
+    segment = sorted(wal_directory(data_dir).glob("wal-*.seg"))[-1]
+    FaultInjector.corrupt_file(segment, SEGMENT_HEADER.size + 12)
+    with pytest.raises(RecoveryError):
+        Database.open(data_dir)
+
+
+@pytest.mark.parametrize("mode,options", FAULT_MODES, ids=MODE_IDS)
+@pytest.mark.parametrize(
+    "kill_at",
+    ["snapshot.before_write", "snapshot.before_sync",
+     "snapshot.before_rename", "snapshot.after_rename"],
+)
+def test_partial_snapshot_write_loses_nothing(tmp_path, mode, options,
+                                              kill_at):
+    """Crash inside the snapshot protocol: the journal still covers all.
+
+    Before the rename the half-written snapshot is invisible (tmp file);
+    after the rename the journal has not been truncated yet.  Either way
+    recovery must rebuild the complete pre-crash state.
+    """
+    injector = FaultInjector(kill_at=kill_at)
+    data_dir = tmp_path / "crash"
+    database = build_durable(data_dir, mode, options, injector=injector)
+    run_workload(database)
+    with pytest.raises(KilledByFault):
+        database.snapshot()
+
+    recovered = Database.open(data_dir)
+    assert_same_logical_state(
+        recovered, database, f"mode={mode} kill_at={kill_at}"
+    )
+    if kill_at == "snapshot.after_rename":
+        assert recovered.recovery_report.snapshot_path is not None
+    else:
+        assert recovered.recovery_report.snapshot_path is None
+    recovered.close()

@@ -1,0 +1,119 @@
+"""Units for the fault-injection layer itself: FaultInjector, FaultyFile."""
+
+import pytest
+
+from repro.durability.faults import (
+    FaultInjector,
+    KilledByFault,
+    open_durable,
+)
+
+
+class TestFaultInjector:
+    def test_consume_returns_torn_prefix_then_kills(self):
+        injector = FaultInjector(fail_after_bytes=10)
+        assert injector.consume(b"1234567") == b"1234567"
+        # the budget-exhausting write returns its surviving prefix (the
+        # caller persists it, then dies) and marks the injector dead
+        assert injector.consume(b"89abcdef") == b"89a"
+        assert injector.killed
+        with pytest.raises(KilledByFault):
+            injector.consume(b"more")
+
+    def test_exact_budget_boundary_survives(self):
+        injector = FaultInjector(fail_after_bytes=4)
+        assert injector.consume(b"1234") == b"1234"
+        with pytest.raises(KilledByFault):
+            injector.consume(b"5")
+
+    def test_kill_point_matches_by_name(self):
+        injector = FaultInjector(kill_at="snapshot.before_rename")
+        injector.kill_point("wal.before_append")  # different point: inert
+        with pytest.raises(KilledByFault):
+            injector.kill_point("snapshot.before_rename")
+        assert "wal.before_append" in injector.kill_points_seen
+        assert injector.killed
+
+    def test_once_killed_everything_raises(self):
+        injector = FaultInjector(fail_after_bytes=0)
+        with pytest.raises(KilledByFault):
+            injector.consume(b"x")
+        with pytest.raises(KilledByFault):
+            injector.check_alive()
+        with pytest.raises(KilledByFault):
+            injector.kill_point("any")
+
+    def test_corrupt_file_flips_one_byte(self, tmp_path):
+        path = tmp_path / "victim.bin"
+        path.write_bytes(bytes(range(16)))
+        FaultInjector.corrupt_file(path, 5)
+        data = path.read_bytes()
+        assert data[5] == 5 ^ 0xFF
+        assert data[:5] == bytes(range(5))
+        assert data[6:] == bytes(range(6, 16))
+
+
+class TestFaultyFile:
+    def test_write_tears_at_exact_byte_offset(self, tmp_path):
+        injector = FaultInjector(fail_after_bytes=6)
+        path = tmp_path / "torn.bin"
+        handle = injector.open(path, "wb")
+        handle.write(b"1234")
+        with pytest.raises(KilledByFault):
+            handle.write(b"56789")
+        handle.close()
+        assert path.read_bytes() == b"123456"  # 2 surviving bytes of 5
+
+    def test_writes_after_kill_are_dropped(self, tmp_path):
+        injector = FaultInjector(fail_after_bytes=3)
+        path = tmp_path / "dead.bin"
+        handle = injector.open(path, "wb")
+        with pytest.raises(KilledByFault):
+            handle.write(b"abcdef")
+        with pytest.raises(KilledByFault):
+            handle.write(b"ghi")
+        handle.close()
+        assert path.read_bytes() == b"abc"
+
+    def test_flush_and_fsync_check_liveness(self, tmp_path):
+        injector = FaultInjector(fail_after_bytes=2)
+        handle = injector.open(tmp_path / "f.bin", "wb")
+        handle.write(b"ab")
+        handle.flush()
+        handle.fsync()
+        with pytest.raises(KilledByFault):
+            handle.write(b"c")
+        with pytest.raises(KilledByFault):
+            handle.flush()
+        with pytest.raises(KilledByFault):
+            handle.fsync()
+        handle.close()  # close is always allowed
+
+    def test_kill_at_named_point_during_fsync(self, tmp_path):
+        injector = FaultInjector(kill_at="wal.before_fsync")
+        handle = injector.open(tmp_path / "g.bin", "wb")
+        handle.write(b"payload")
+        with pytest.raises(KilledByFault):
+            injector.kill_point("wal.before_fsync")
+        with pytest.raises(KilledByFault):
+            handle.write(b"more")
+        handle.close()
+        assert (tmp_path / "g.bin").read_bytes() == b"payload"
+
+
+class TestOpenDurable:
+    def test_without_injector_is_a_plain_durable_file(self, tmp_path):
+        path = tmp_path / "plain.bin"
+        with open_durable(path, "wb", None) as handle:
+            handle.write(b"data")
+            handle.flush()
+            handle.fsync()
+            assert handle.tell() == 4
+        assert path.read_bytes() == b"data"
+
+    def test_with_injector_routes_through_faulty_file(self, tmp_path):
+        injector = FaultInjector(fail_after_bytes=1)
+        with open_durable(tmp_path / "routed.bin", "wb", injector) as handle:
+            with pytest.raises(KilledByFault):
+                handle.write(b"xy")
+        assert injector.killed
