@@ -153,12 +153,15 @@ class DurabilityManager:
             self._snapshots_written += 1
         return path
 
-    def seed_backlog(self, ops: int) -> None:
+    def seed_backlog(self, ops: int, nbytes: int = 0) -> None:
         """Count journal records that predate this manager (recovery
         replayed them but no snapshot covers them yet) toward the
-        auto-snapshot threshold."""
+        auto-snapshot thresholds — both the op count and the framed byte
+        size of the surviving WAL tail, so ``snapshot_wal_bytes`` does not
+        undercount until the first post-recovery snapshot."""
         with self._lock:
             self._ops_since_snapshot += int(ops)
+            self._bytes_since_snapshot += int(nbytes)
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -261,6 +261,15 @@ def decode_record(payload: bytes) -> WalRecord:
                 end = offset + nbytes
                 if end > len(payload):
                     raise RecordFormatError("column section overruns payload")
+                itemsize = dtype.numpy_dtype.itemsize
+                if rows * itemsize != nbytes:
+                    # a declared row count larger than the section would
+                    # otherwise silently consume bytes of the next column
+                    raise RecordFormatError(
+                        f"column section length mismatch: {rows} rows of "
+                        f"{itemsize}-byte {dtype.name} need "
+                        f"{rows * itemsize} bytes, section holds {nbytes}"
+                    )
                 values = np.frombuffer(
                     payload, dtype=dtype.numpy_dtype, count=rows, offset=offset
                 )

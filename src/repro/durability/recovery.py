@@ -41,7 +41,7 @@ from repro.durability.manager import (
     snapshot_directory,
     wal_directory,
 )
-from repro.durability.record import WalRecord
+from repro.durability.record import WalRecord, frame_record
 from repro.durability.snapshot import (
     SnapshotCorruptionError,
     SnapshotState,
@@ -261,7 +261,15 @@ def recover(
     manager = DurabilityManager(
         data_dir, config=config, injector=injector, scan=scan
     )
-    manager.seed_backlog(replayed)
+    # seed both auto-snapshot thresholds with the surviving journal tail:
+    # the replayed op count and the framed byte size of the records past
+    # the snapshot's high-water mark still sitting in the WAL
+    backlog_bytes = sum(
+        len(frame_record(record))
+        for record in scan.records
+        if record.sequence > high_water
+    )
+    manager.seed_backlog(replayed, backlog_bytes)
     database._attach_durability(manager)
 
     report.elapsed_seconds = time.perf_counter() - started

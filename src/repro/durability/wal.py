@@ -182,6 +182,14 @@ class WriteAheadLog:
         self._segment_offset = 0
         self._unsynced_appends = 0
         self._last_sequence = -1
+        # sealed (rotated-out) segment index -> its last record's sequence
+        # (None = sealed empty); truncate_through decides coverage from
+        # this metadata instead of re-reading and re-decoding segment
+        # files while the caller holds every table gate
+        self._sealed_last: Dict[int, Optional[int]] = {}
+        # last sequence appended into the *active* segment (None = none
+        # yet); becomes the sealed entry when the segment rotates out
+        self._active_last: Optional[int] = None
         self._closed = False
         # cumulative introspection counters (read via stats())
         self._appended_records = 0
@@ -274,16 +282,20 @@ class WriteAheadLog:
         self._segment_index = index
         self._segment_offset = len(header)
         self._unsynced_appends = 0
+        self._active_last = None
 
     def _resume(self, scan: WalScan) -> None:
         """Reopen the journal after a scan: truncate the torn tail (if
         any) and append to the final segment from its last valid byte."""
         final = scan.segments[-1]
+        for info in scan.segments[:-1]:
+            self._sealed_last[info.index] = info.last_sequence
         with open(final.path, "r+b") as handle:
             handle.truncate(scan.tail_offset)
         self._handle = open_durable(final.path, "ab", self._injector)
         self._segment_index = final.index
         self._segment_offset = scan.tail_offset
+        self._active_last = final.last_sequence
         if scan.last_sequence is not None:
             self._last_sequence = scan.last_sequence
 
@@ -294,6 +306,7 @@ class WriteAheadLog:
         self._fsync_calls += 1
         self._handle.close()
         self._rotations += 1
+        self._sealed_last[self._segment_index] = self._active_last
         self._open_segment(self._segment_index + 1, base_sequence)
         kill_point(self._injector, "wal.after_rotate")
 
@@ -312,6 +325,7 @@ class WriteAheadLog:
             self._segment_offset += len(frame)
             self._appended_records += 1
             self._last_sequence = record.sequence
+            self._active_last = record.sequence
             if self.sync_mode == "always":
                 kill_point(self._injector, "wal.before_fsync")
                 self._handle.fsync()
@@ -339,28 +353,23 @@ class WriteAheadLog:
         """Drop segments fully covered by a snapshot at ``sequence``.
 
         Rotates first so the active segment is always retained, then
-        unlinks every older segment whose records all have
-        ``sequence <= sequence``.  Returns the number of segments removed.
+        unlinks every sealed segment whose records all have
+        ``sequence <= sequence``.  Coverage is decided from the in-memory
+        per-segment metadata maintained by the scan/rotation path — the
+        caller (``Database.snapshot``) holds every table gate, so this
+        must never pay an O(journal bytes) re-decode of retained segments.
+        Returns the number of segments removed.
         """
         removed = 0
         with self._lock:
             self._check_open()
             self._rotate_locked(base_sequence=self._last_sequence + 1)
-            for path in _list_segments(self.directory):
-                if _segment_index(path) == self._segment_index:
-                    continue
-                data = path.read_bytes()
-                _read_segment_header(path, data)
-                payloads, _, error = scan_frames(data, SEGMENT_HEADER.size)
-                if error is not None:
-                    raise WalCorruptionError(
-                        f"{path}: {error.reason} (met during truncation)"
-                    )
-                sequences = [decode_record(p).sequence for p in payloads]
-                if sequences and max(sequences) > sequence:
+            for index, last in sorted(self._sealed_last.items()):
+                if last is not None and last > sequence:
                     continue
                 kill_point(self._injector, "wal.truncate.before_unlink")
-                path.unlink()
+                self._segment_path(index).unlink()
+                del self._sealed_last[index]
                 removed += 1
             if removed:
                 _fsync_directory(self.directory)

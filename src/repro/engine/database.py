@@ -131,6 +131,20 @@ class Database:
         # guards engine-level bookkeeping (queries_executed,
         # last_batch_report, the operation journal) across sessions
         self._engine_stats_lock = threading.Lock()
+        # journal-order mutex: held across sequence assignment *and* the
+        # WAL append so records reach the journal in linearization order
+        # (two sessions writing different tables hold different gates, so
+        # the gates alone cannot order their appends; WalScan treats a
+        # non-increasing sequence as corruption).  Taken only on durable
+        # paths; ordering: table gates > this > _engine_stats_lock / the
+        # WAL's internal mutex.
+        self._wal_order_lock = threading.Lock()
+        # schema mutex: create_table/drop_table/set_indexing run under it,
+        # and snapshot() holds it across its all-gate quiesce — DML is
+        # excluded by the gates, DDL by this lock, so the snapshot's cut
+        # (tables, modes, high-water sequence) is consistent with the
+        # journal.  Ordering: this > table gates.
+        self._schema_lock = threading.Lock()
         #: introspection record of the most recent execute_many call
         self.last_batch_report: Optional[BatchExecutionReport] = None
         #: when True, every session operation is appended to the journal
@@ -217,13 +231,20 @@ class Database:
                 "durability is not enabled; construct the database with "
                 "data_dir=... or recover one with Database.open()"
             )
-        with self._table_gates.write_all(self.table_names):
-            state = self._capture_snapshot_state()
-            # the dump (and its fsyncs) runs inside the quiesced section by
-            # design: a consistent cut needs no concurrent DML — flagged by
-            # reprolint RL005 and baselined with this reasoning
-            path = manager.write_snapshot(state)
-            self._trim_journal(state.high_water)
+        # the schema lock (held before the gates, matching every DDL path)
+        # extends the quiesce to create_table/drop_table/set_indexing: the
+        # gates only exclude DML and queries, so without it a racing DDL op
+        # could land in the captured tables *and* carry a sequence past the
+        # recorded high-water mark, making recovery replay it twice
+        with self._schema_lock:
+            with self._table_gates.write_all(self.table_names):
+                state = self._capture_snapshot_state()
+                # the dump (and its fsyncs) runs inside the quiesced section
+                # by design: a consistent cut needs no concurrent DML —
+                # flagged by reprolint RL005 and baselined with this
+                # reasoning
+                path = manager.write_snapshot(state)
+                self._trim_journal(state.high_water)
         return path
 
     def _capture_snapshot_state(self) -> SnapshotState:
@@ -265,17 +286,29 @@ class Database:
             modes=modes,
         )
 
-    def _durable_schema_record(self, kind: str, table: str, **fields) -> None:
-        """Journal one schema operation (no-op without durability)."""
-        manager = self._durability
-        if manager is None:
-            return
+    def _next_sequence(self) -> int:
+        """Consume one linearization sequence number (no journal entry)."""
         with self._engine_stats_lock:
             sequence = self._op_sequence
             self._op_sequence += 1
-        manager.append_record(
-            WalRecord(sequence=sequence, kind=kind, table=table, **fields)
-        )
+            return sequence
+
+    def _durable_schema_record(self, kind: str, table: str, **fields) -> None:
+        """Journal one schema operation (no-op without durability).
+
+        The caller holds ``_schema_lock``; the order mutex additionally
+        spans sequence assignment and the append so a schema record can
+        never reach the WAL out of linearization order relative to a
+        concurrent DML append on some table gate.
+        """
+        manager = self._durability
+        if manager is None:
+            return
+        with self._wal_order_lock:
+            sequence = self._next_sequence()
+            manager.append_record(
+                WalRecord(sequence=sequence, kind=kind, table=table, **fields)
+            )
 
     def close(self) -> None:
         """Flush and close the durability layer and release execution
@@ -332,23 +365,28 @@ class Database:
         self, name: str, columns: Mapping[str, Union[Column, np.ndarray, Iterable]]
     ) -> Table:
         """Create and register a table from a mapping column-name -> values."""
-        if name in self._tables:
-            raise ValueError(f"table {name!r} already exists")
-        table = Table(name, columns)
-        self._tables[name] = table
-        self.memory.set_usage(f"table:{name}", table.nbytes)
-        # a table born from data must be reconstructible from the journal
-        # alone (no snapshot may ever cover it), so the record carries the
-        # full initial column arrays
-        self._durable_schema_record(
-            "create_table",
-            name,
-            columns=tuple(
-                ColumnDump(column_name, column.dtype, column.values)
-                for column_name, column in table.columns.items()
-            ),
-        )
-        return table
+        # the schema lock serializes DDL against snapshot(): a table born
+        # while a snapshot captures would otherwise land in the snapshot
+        # *and* journal a sequence past its high-water mark, so recovery
+        # would replay the creation onto an already-existing table
+        with self._schema_lock:
+            if name in self._tables:
+                raise ValueError(f"table {name!r} already exists")
+            table = Table(name, columns)
+            self._tables[name] = table
+            self.memory.set_usage(f"table:{name}", table.nbytes)
+            # a table born from data must be reconstructible from the
+            # journal alone (no snapshot may ever cover it), so the record
+            # carries the full initial column arrays
+            self._durable_schema_record(
+                "create_table",
+                name,
+                columns=tuple(
+                    ColumnDump(column_name, column.dtype, column.values)
+                    for column_name, column in table.columns.items()
+                ),
+            )
+            return table
 
     @staticmethod
     def _close_path(path) -> None:
@@ -363,26 +401,35 @@ class Database:
 
     def drop_table(self, name: str) -> None:
         """Drop a table and all physical structures attached to it."""
-        if name not in self._tables:
-            raise KeyError(f"no table {name!r}")
-        del self._tables[name]
-        for dropped_table, dropped_column in list(self._access_paths):
-            if dropped_table == name:
-                self.memory.remove(f"index:{dropped_table}.{dropped_column}")
-                self._close_path(self._access_paths[(dropped_table, dropped_column)])
-        self._modes = {k: v for k, v in self._modes.items() if k[0] != name}
-        self._mode_options = {
-            k: v for k, v in self._mode_options.items() if k[0] != name
-        }
-        self._access_paths = {
-            k: v for k, v in self._access_paths.items() if k[0] != name
-        }
-        self._sideways.pop(name, None)
-        with self._tombstone_lock:
-            self._deleted_rows.pop(name, None)
-            self._tombstone_cache.pop(name, None)
-        self.memory.remove(f"table:{name}")
-        self._durable_schema_record("drop_table", name)
+        # under the schema lock so a concurrent snapshot's captured table
+        # set stays consistent with its high-water mark (see create_table)
+        with self._schema_lock:
+            if name not in self._tables:
+                raise KeyError(f"no table {name!r}")
+            del self._tables[name]
+            for dropped_table, dropped_column in list(self._access_paths):
+                if dropped_table == name:
+                    self.memory.remove(
+                        f"index:{dropped_table}.{dropped_column}"
+                    )
+                    self._close_path(
+                        self._access_paths[(dropped_table, dropped_column)]
+                    )
+            self._modes = {
+                k: v for k, v in self._modes.items() if k[0] != name
+            }
+            self._mode_options = {
+                k: v for k, v in self._mode_options.items() if k[0] != name
+            }
+            self._access_paths = {
+                k: v for k, v in self._access_paths.items() if k[0] != name
+            }
+            self._sideways.pop(name, None)
+            with self._tombstone_lock:
+                self._deleted_rows.pop(name, None)
+                self._tombstone_cache.pop(name, None)
+            self.memory.remove(f"table:{name}")
+            self._durable_schema_record("drop_table", name)
 
     def table(self, name: str) -> Table:
         """Return the table named ``name``."""
@@ -401,53 +448,64 @@ class Database:
 
     def set_indexing(self, table: str, column: str, mode: str, **options) -> None:
         """Choose the indexing mode for selections on ``table.column``."""
-        owning_table = self.table(table)
-        if column not in owning_table:
-            raise KeyError(f"no column {column!r} in table {table!r}")
         known_adaptive = available_strategies()
         if mode not in _MANAGED_MODES and mode not in known_adaptive:
             raise ValueError(
                 f"unknown indexing mode {mode!r}; "
                 f"managed modes: {_MANAGED_MODES}, strategies: {known_adaptive}"
             )
-        key = (table, column)
-        self._modes[key] = mode
-        self._mode_options[key] = dict(options)
-        base_column = owning_table.column(column)
-        # a previous mode may have recorded index memory for this column;
-        # forget it (and release its resources) before the new mode's
-        self.memory.remove(f"index:{table}.{column}")
-        self._close_path(self._access_paths.get(key))
-        if mode == "scan":
-            self._access_paths.pop(key, None)
-        elif mode == "full-index":
-            index = FullIndex(base_column, name=column)
-            self._access_paths[key] = index
-            self.memory.set_usage(f"index:{table}.{column}", index.nbytes)
-        elif mode == "online":
-            self._access_paths[key] = OnlineIndexTuner(
-                build_threshold_factor=options.get("build_threshold_factor", 1.0),
-                decay=options.get("decay", 0.995),
-                max_indexes=options.get("max_indexes"),
+        # under the schema lock so a concurrent snapshot's captured mode
+        # set stays consistent with its high-water mark (see create_table)
+        with self._schema_lock:
+            owning_table = self.table(table)
+            if column not in owning_table:
+                raise KeyError(f"no column {column!r} in table {table!r}")
+            key = (table, column)
+            self._modes[key] = mode
+            self._mode_options[key] = dict(options)
+            base_column = owning_table.column(column)
+            # a previous mode may have recorded index memory for this
+            # column; forget it (and release its resources) before the new
+            # mode's
+            self.memory.remove(f"index:{table}.{column}")
+            self._close_path(self._access_paths.get(key))
+            if mode == "scan":
+                self._access_paths.pop(key, None)
+            elif mode == "full-index":
+                index = FullIndex(base_column, name=column)
+                self._access_paths[key] = index
+                self.memory.set_usage(f"index:{table}.{column}", index.nbytes)
+            elif mode == "online":
+                self._access_paths[key] = OnlineIndexTuner(
+                    build_threshold_factor=options.get(
+                        "build_threshold_factor", 1.0
+                    ),
+                    decay=options.get("decay", 0.995),
+                    max_indexes=options.get("max_indexes"),
+                )
+            elif mode == "soft":
+                self._access_paths[key] = SoftIndexManager(
+                    recommendation_threshold=options.get(
+                        "recommendation_threshold", 3
+                    )
+                )
+            else:
+                strategy = create_strategy(mode, base_column, **options)
+                if getattr(strategy, "supports_updates", False):
+                    # the new column treats every base position as a live
+                    # row; replay existing tombstones so rows deleted under
+                    # an earlier mode stay deleted (its answers are not
+                    # filtered)
+                    for rowid in self._deleted_rows.get(table, ()):
+                        strategy.delete(rowid)
+                self._access_paths[key] = strategy
+            # journaled so recovery re-installs the mode (options must stay
+            # JSON-serializable scalars, which every registered strategy's
+            # are)
+            self._durable_schema_record(
+                "set_indexing", table, column=column, mode=mode,
+                options=dict(options),
             )
-        elif mode == "soft":
-            self._access_paths[key] = SoftIndexManager(
-                recommendation_threshold=options.get("recommendation_threshold", 3)
-            )
-        else:
-            strategy = create_strategy(mode, base_column, **options)
-            if getattr(strategy, "supports_updates", False):
-                # the new column treats every base position as a live row;
-                # replay existing tombstones so rows deleted under an
-                # earlier mode stay deleted (its answers are not filtered)
-                for rowid in self._deleted_rows.get(table, ()):
-                    strategy.delete(rowid)
-            self._access_paths[key] = strategy
-        # journaled so recovery re-installs the mode (options must stay
-        # JSON-serializable scalars, which every registered strategy's are)
-        self._durable_schema_record(
-            "set_indexing", table, column=column, mode=mode, options=dict(options)
-        )
 
     def indexing_mode(self, table: str, column: str) -> Optional[str]:
         """Current indexing mode of ``table.column`` (None = never set = scan)."""

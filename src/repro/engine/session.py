@@ -379,20 +379,31 @@ class Session:
         durability = database._durability
         with database._table_gates.write(table):
             rowid = database._insert_row_locked(table, values, counters)
-            sequence = database._journal_record(
-                "insert", table, dict(values), rowid, session=self.name
-            )
-            if durability is not None:
+            if durability is None:
+                database._journal_record(
+                    "insert", table, dict(values), rowid, session=self.name
+                )
+            else:
                 # write-ahead contract: the journal append (and its group
                 # commit) completes before the gate releases, i.e. before
                 # any other operation can observe the insert — the file
-                # I/O inside this critical section is RL005-baselined
-                durability.append_record(
-                    WalRecord(
-                        sequence=sequence, kind="insert", table=table,
-                        rowid=rowid, values=dict(values),
+                # I/O inside this critical section is RL005-baselined.
+                # The order mutex spans sequence assignment *and* the
+                # append: sessions writing different tables hold different
+                # gates, so without it their records could reach the WAL
+                # out of linearization order (which WalScan rejects as
+                # corruption).
+                with database._wal_order_lock:
+                    sequence = database._journal_record(
+                        "insert", table, dict(values), rowid,
+                        session=self.name,
                     )
-                )
+                    durability.append_record(
+                        WalRecord(
+                            sequence=sequence, kind="insert", table=table,
+                            rowid=rowid, values=dict(values),
+                        )
+                    )
         with self._lock:
             self._stats.rows_inserted += 1
         if durability is not None and durability.snapshot_due():
@@ -411,17 +422,23 @@ class Session:
         durability = database._durability
         with database._table_gates.write(table):
             database._delete_row_locked(table, rowid, counters)
-            sequence = database._journal_record(
-                "delete", table, int(rowid), None, session=self.name
-            )
-            if durability is not None:
-                # journaled before the gate releases (see insert_row)
-                durability.append_record(
-                    WalRecord(
-                        sequence=sequence, kind="delete", table=table,
-                        rowid=int(rowid),
-                    )
+            if durability is None:
+                database._journal_record(
+                    "delete", table, int(rowid), None, session=self.name
                 )
+            else:
+                # journaled before the gate releases, sequenced and
+                # appended under the order mutex (see insert_row)
+                with database._wal_order_lock:
+                    sequence = database._journal_record(
+                        "delete", table, int(rowid), None, session=self.name
+                    )
+                    durability.append_record(
+                        WalRecord(
+                            sequence=sequence, kind="delete", table=table,
+                            rowid=int(rowid),
+                        )
+                    )
         with self._lock:
             self._stats.rows_deleted += 1
         if durability is not None and durability.snapshot_due():
@@ -440,19 +457,26 @@ class Session:
         durability = database._durability
         with database._table_gates.write(table):
             new_rowid = database._update_row_locked(table, rowid, values, counters)
-            sequence = database._journal_record(
-                "update", table, (int(rowid), dict(values)), new_rowid,
-                session=self.name,
-            )
-            if durability is not None:
-                # journaled before the gate releases (see insert_row)
-                durability.append_record(
-                    WalRecord(
-                        sequence=sequence, kind="update", table=table,
-                        rowid=new_rowid, old_rowid=int(rowid),
-                        values=dict(values),
-                    )
+            if durability is None:
+                database._journal_record(
+                    "update", table, (int(rowid), dict(values)), new_rowid,
+                    session=self.name,
                 )
+            else:
+                # journaled before the gate releases, sequenced and
+                # appended under the order mutex (see insert_row)
+                with database._wal_order_lock:
+                    sequence = database._journal_record(
+                        "update", table, (int(rowid), dict(values)),
+                        new_rowid, session=self.name,
+                    )
+                    durability.append_record(
+                        WalRecord(
+                            sequence=sequence, kind="update", table=table,
+                            rowid=new_rowid, old_rowid=int(rowid),
+                            values=dict(values),
+                        )
+                    )
         with self._lock:
             self._stats.rows_updated += 1
         if durability is not None and durability.snapshot_due():

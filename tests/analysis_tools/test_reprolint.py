@@ -69,9 +69,12 @@ class TestRealTree:
 
     def test_only_durability_write_ahead_findings_are_baselined(self):
         # The only findings the analyzer is allowed to raise on the real
-        # tree are the deliberate write-ahead-contract I/O calls: the WAL
-        # append under each DML gate and the snapshot write under the
-        # all-table gate.  Anything else is a regression.
+        # tree are the deliberate durability exceptions: the WAL append
+        # under each DML gate, the snapshot write under the all-table
+        # gate (RL005), and the schema mutex — which ranks *above* the
+        # gates but is name-classified as a stats leaf — taken by
+        # snapshot() ahead of the gates and around drop_table's tombstone
+        # cleanup (RL002).  Anything else is a regression.
         findings, _graph = reprolint.analyze_paths(
             [str(REPO_ROOT / "src" / "repro")]
         )
@@ -81,14 +84,19 @@ class TestRealTree:
             ("RL005", "Session.delete_row"),
             ("RL005", "Session.update_row"),
             ("RL005", "Database.snapshot"),
+            ("RL002", "Database.snapshot"),
+            ("RL002", "Database.drop_table"),
         }
 
-    def test_checked_in_baseline_entries_are_reasoned_rl005_only(self):
+    def test_checked_in_baseline_entries_are_reasoned(self):
         entries = reprolint.load_baseline(REPO_ROOT / "reprolint.toml")
-        assert len(entries) == 4
+        assert len(entries) == 6
+        by_rule = {}
         for entry in entries:
-            assert entry["rule"] == "RL005"
+            by_rule.setdefault(entry["rule"], 0)
+            by_rule[entry["rule"]] += 1
             assert len(entry["reason"]) > 40
+        assert by_rule == {"RL005": 4, "RL002": 2}
 
     def test_acquisition_graph_records_gate_before_path(self):
         _findings, graph = reprolint.analyze_paths(

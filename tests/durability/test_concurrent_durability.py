@@ -1,0 +1,124 @@
+"""Durability under concurrency: journal ordering and DDL-vs-snapshot.
+
+Regression pins for two races:
+
+* sequence assignment and the WAL append used to run under different
+  locks, so sessions writing *different* tables (different gates) could
+  append their records out of linearization order — which
+  :meth:`WriteAheadLog.scan` rejects as corruption, bricking recovery of
+  a perfectly healthy multi-table workload.  The WAL-order mutex now
+  spans both.
+* schema operations held no gate, so a ``create_table`` racing
+  ``snapshot()`` could land in the captured table set *and* journal a
+  sequence past the snapshot's high-water mark; recovery then replayed
+  the creation onto an already-existing table.  The schema lock (held by
+  DDL and by ``snapshot()`` ahead of its all-gate quiesce) now excludes
+  that.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.durability.manager import DurabilityConfig, wal_directory
+from repro.durability.wal import WriteAheadLog
+from repro.engine.database import Database
+
+TABLES = ("alpha", "beta", "gamma")
+INITIAL_ROWS = 32
+INSERTS_PER_TABLE = 200
+
+
+class TestJournalOrderAcrossTables:
+    def test_multi_table_dml_appends_in_linearization_order(self, tmp_path):
+        database = Database(
+            "durable",
+            data_dir=tmp_path,
+            durability=DurabilityConfig(sync="off"),
+        )
+        for name in TABLES:
+            database.create_table(
+                name, {"key": np.arange(INITIAL_ROWS, dtype=np.int64)}
+            )
+        barrier = threading.Barrier(len(TABLES))
+        errors = []
+
+        def writer(table):
+            try:
+                barrier.wait()
+                with database.session(name=f"writer-{table}") as session:
+                    for value in range(INSERTS_PER_TABLE):
+                        session.insert_row(table, {"key": value})
+            except Exception as exc:  # propagated via the errors list
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(table,)) for table in TABLES
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        database.close()
+
+        # the scan itself is the oracle: it raises WalCorruptionError on
+        # any non-increasing sequence, which is exactly how the lost race
+        # used to surface (as a permanently unopenable data directory)
+        scan = WriteAheadLog.scan(wal_directory(tmp_path))
+        sequences = [record.sequence for record in scan.records]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+
+        recovered = Database.open(tmp_path)
+        for name in TABLES:
+            assert (
+                recovered.table(name).row_count
+                == INITIAL_ROWS + INSERTS_PER_TABLE
+            )
+        recovered.close()
+
+
+class TestSchemaOpsVersusSnapshot:
+    def test_ddl_racing_snapshots_recovers_consistently(self, tmp_path):
+        database = Database(
+            "durable",
+            data_dir=tmp_path,
+            durability=DurabilityConfig(sync="off"),
+        )
+        database.create_table(
+            "base", {"key": np.arange(INITIAL_ROWS, dtype=np.int64)}
+        )
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            try:
+                round_trip = 0
+                while not stop.is_set():
+                    name = f"ephemeral{round_trip % 4}"
+                    database.create_table(
+                        name, {"key": np.arange(4, dtype=np.int64)}
+                    )
+                    database.drop_table(name)
+                    round_trip += 1
+            except Exception as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        try:
+            for _ in range(20):
+                database.snapshot()
+        finally:
+            stop.set()
+            thread.join()
+        assert errors == []
+        database.close()
+
+        # before the schema lock, this open could fail replaying a
+        # create_table onto a table the racing snapshot had captured
+        recovered = Database.open(tmp_path)
+        assert "base" in recovered.table_names
+        assert recovered.table("base").row_count == INITIAL_ROWS
+        recovered.close()

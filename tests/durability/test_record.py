@@ -81,6 +81,24 @@ class TestRoundTrip:
         with pytest.raises(RecordFormatError):
             decode_record(b"\xff" + b"\x00" * 30)
 
+    def test_create_table_row_count_must_match_section_bytes(self):
+        # a declared row count that disagrees with the section's byte
+        # length must be loud: with rows too large the decode would
+        # otherwise silently consume bytes of the *next* column section
+        record = sample_records()[3]
+        assert record.kind == "create_table"
+        payload = encode_record(record)
+        section_header = struct.pack("<QI", 5, 5 * INT64.numpy_dtype.itemsize)
+        offset = payload.index(section_header)
+        for bad_rows in (6, 4):
+            tampered = (
+                payload[:offset]
+                + struct.pack("<QI", bad_rows, 5 * INT64.numpy_dtype.itemsize)
+                + payload[offset + len(section_header):]
+            )
+            with pytest.raises(RecordFormatError, match="length mismatch"):
+                decode_record(tampered)
+
 
 class TestFraming:
     def test_frame_is_header_plus_payload_with_matching_crc(self):

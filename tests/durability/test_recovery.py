@@ -205,6 +205,19 @@ class TestThresholdsAndJournalBound:
         assert database.durability.stats()["snapshots_written"] >= 1
         database.close()
 
+    def test_recovery_seeds_byte_backlog_for_wal_threshold(self, tmp_path):
+        database = make_database(tmp_path)
+        run_dml(database, steps=10)
+        database.close()
+        recovered = Database.open(
+            tmp_path,
+            durability=DurabilityConfig(sync="always", snapshot_wal_bytes=64),
+        )
+        # the surviving journal tail still holds those framed bytes: the
+        # byte threshold must count them without waiting for new appends
+        assert recovered.durability.snapshot_due()
+        recovered.close()
+
     def test_snapshot_trims_in_memory_journal(self, tmp_path):
         database = make_database(tmp_path)
         database.record_journal = True

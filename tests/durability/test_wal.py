@@ -71,6 +71,27 @@ class TestAppendScan:
         # base must cover the first sequence after the snapshot
         assert scan.base_sequence <= 30
 
+    def test_truncate_after_reopen_drops_segments_known_from_the_scan(
+        self, tmp_path
+    ):
+        # truncation decides coverage from in-memory segment metadata (no
+        # re-decode under the caller's gates); after a reopen that
+        # metadata must be seeded from the resume scan or nothing would
+        # ever be dropped
+        wal = WriteAheadLog(tmp_path, sync="always", segment_bytes=256)
+        append_range(wal, 0, 30)
+        wal.close()
+        resumed = WriteAheadLog(tmp_path, sync="always", segment_bytes=256)
+        removed = resumed.truncate_through(29)
+        assert removed >= 1
+        append_range(resumed, 30, 5)
+        resumed.close()
+        scan = WriteAheadLog.scan(tmp_path)
+        assert [record.sequence for record in scan.records] == list(
+            range(30, 35)
+        )
+        assert scan.base_sequence <= 30
+
 
 class TestSyncModes:
     def test_always_fsyncs_every_append(self, tmp_path):
